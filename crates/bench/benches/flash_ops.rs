@@ -1,0 +1,85 @@
+//! Microbenchmarks of the native Flash command dispatch path (device model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nand_flash::{BlockAddr, FlashGeometry, NandDevice, NativeFlashInterface, Oob, Ppa};
+use std::hint::black_box;
+
+fn bench_program_read(c: &mut Criterion) {
+    let geometry = FlashGeometry::small();
+    let data = vec![0xABu8; geometry.page_size as usize];
+
+    c.bench_function("flash/program_page", |b| {
+        b.iter_batched(
+            || NandDevice::with_geometry(geometry),
+            |mut dev| {
+                let mut t = 0;
+                for p in 0..geometry.pages_per_block {
+                    let c = dev
+                        .program_page(t, Ppa::new(0, 0, 0, 0, p), &data, Oob::data(p as u64, 0))
+                        .unwrap();
+                    t = c.completed_at;
+                }
+                black_box(dev.stats().programs)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("flash/read_page", |b| {
+        let mut dev = NandDevice::with_geometry(geometry);
+        for p in 0..geometry.pages_per_block {
+            dev.program_page(0, Ppa::new(0, 0, 0, 0, p), &data, Oob::data(p as u64, 0))
+                .unwrap();
+        }
+        let mut buf = vec![0u8; geometry.page_size as usize];
+        b.iter(|| {
+            let mut t = 0;
+            for p in 0..geometry.pages_per_block {
+                let (_, c) = dev.read_page(t, Ppa::new(0, 0, 0, 0, p), &mut buf).unwrap();
+                t = c.completed_at;
+            }
+            black_box(t)
+        })
+    });
+
+    c.bench_function("flash/erase_block", |b| {
+        b.iter_batched(
+            || NandDevice::with_geometry(geometry),
+            |mut dev| {
+                for blk in 0..16u32 {
+                    dev.erase_block(0, BlockAddr::new(0, 0, 0, blk)).unwrap();
+                }
+                black_box(dev.stats().erases)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("flash/copyback", |b| {
+        b.iter_batched(
+            || {
+                let mut dev = NandDevice::with_geometry(geometry);
+                for p in 0..geometry.pages_per_block {
+                    dev.program_page(0, Ppa::new(0, 0, 0, 0, p), &data, Oob::data(p as u64, 0))
+                        .unwrap();
+                }
+                dev
+            },
+            |mut dev| {
+                for p in 0..geometry.pages_per_block {
+                    dev.copyback(0, Ppa::new(0, 0, 0, 0, p), Ppa::new(0, 0, 0, 1, p), None)
+                        .unwrap();
+                }
+                black_box(dev.stats().copybacks)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_program_read
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 3 in bench form: GC work of FASTer vs NoFTL when replaying the same
+//! skewed page-write stream (small scale so Criterion can iterate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftl::faster::{FasterConfig, FasterFtl};
+use nand_flash::FlashGeometry;
+use noftl_core::{NoFtl, NoFtlConfig};
+use sim_utils::rng::SimRng;
+use std::hint::black_box;
+use workloads::{PageTrace, TraceOp};
+
+fn synthetic_oltp_trace(pages: u64, writes: u64, seed: u64) -> PageTrace {
+    let mut rng = SimRng::new(seed);
+    let zipf = sim_utils::dist::Zipf::new(pages, 0.8);
+    let mut ops: Vec<TraceOp> = (0..pages).map(TraceOp::Write).collect();
+    for _ in 0..writes {
+        ops.push(TraceOp::Write(zipf.sample(&mut rng)));
+    }
+    PageTrace {
+        ops,
+        max_page: pages - 1,
+    }
+}
+
+fn bench_gc(c: &mut Criterion) {
+    let geometry = FlashGeometry::small();
+    let trace = synthetic_oltp_trace(6000, 4000, 7);
+
+    c.bench_function("gc/replay_faster", |b| {
+        b.iter(|| {
+            let mut ftl = FasterFtl::new(FasterConfig::new(geometry));
+            let report = trace.replay_on_ftl(&mut ftl).unwrap();
+            black_box((report.gc_page_copies, report.erases))
+        })
+    });
+
+    c.bench_function("gc/replay_noftl", |b| {
+        b.iter(|| {
+            let mut noftl = NoFtl::new(NoFtlConfig::new(geometry));
+            let report = trace.replay_on_noftl(&mut noftl).unwrap();
+            black_box((report.gc_page_copies, report.erases))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gc
+}
+criterion_main!(benches);

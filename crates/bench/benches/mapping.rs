@@ -1,0 +1,60 @@
+//! Microbenchmarks of the address-translation layers: host-resident page
+//! mapping (NoFTL), the DFTL cached mapping table and the FTL page map.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftl::mapping::{CmtEntry, LruCache, PageMap};
+use noftl_core::mapping::HostMappingTable;
+use sim_utils::rng::SimRng;
+use std::hint::black_box;
+
+fn bench_mapping(c: &mut Criterion) {
+    let n: u64 = 100_000;
+
+    c.bench_function("mapping/host_table_update_lookup", |b| {
+        let mut table = HostMappingTable::new(n);
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let lpn = rng.range(0, n);
+            table.update(lpn, lpn * 2);
+            black_box(table.get(lpn))
+        })
+    });
+
+    c.bench_function("mapping/ftl_page_map_update_lookup", |b| {
+        let mut map = PageMap::new(n);
+        let mut rng = SimRng::new(2);
+        b.iter(|| {
+            let lpn = rng.range(0, n);
+            map.update(lpn, lpn * 2);
+            black_box(map.get(lpn))
+        })
+    });
+
+    c.bench_function("mapping/dftl_cmt_hit", |b| {
+        let mut cmt = LruCache::new(4096);
+        for lpn in 0..4096u64 {
+            cmt.insert(lpn, CmtEntry { ppa: lpn, dirty: false });
+        }
+        let mut rng = SimRng::new(3);
+        b.iter(|| {
+            let lpn = rng.range(0, 4096);
+            black_box(cmt.get(lpn))
+        })
+    });
+
+    c.bench_function("mapping/dftl_cmt_miss_evict", |b| {
+        let mut cmt = LruCache::new(1024);
+        let mut rng = SimRng::new(4);
+        b.iter(|| {
+            let lpn = rng.range(0, n);
+            black_box(cmt.insert(lpn, CmtEntry { ppa: lpn, dirty: true }))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_mapping
+}
+criterion_main!(benches);

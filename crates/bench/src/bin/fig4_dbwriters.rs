@@ -1,0 +1,34 @@
+//! Reproduces **Figure 4** of the paper: TPC-C / TPC-B throughput with
+//! die-wise striping under *global* vs *die-wise* association of db-writers,
+//! as the number of NAND dies (= db-writers) grows.
+//!
+//! Usage:
+//!   `cargo run --release -p noftl-bench --bin fig4_dbwriters [tpcc|tpcb] [--full]`
+
+use noftl_bench::dbwriters::{render_table, run_dbwriter_scaling};
+use noftl_bench::setup::{Benchmark, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let benchmarks: Vec<Benchmark> = if args.iter().any(|a| a == "tpcb") {
+        vec![Benchmark::TpcB]
+    } else if args.iter().any(|a| a == "tpcc") {
+        vec![Benchmark::TpcC]
+    } else {
+        vec![Benchmark::TpcC, Benchmark::TpcB]
+    };
+    let die_counts: Vec<u32> = match scale {
+        Scale::Quick => vec![1, 2, 4, 8],
+        Scale::Full => vec![1, 2, 4, 8, 16, 32],
+    };
+    for b in benchmarks {
+        eprintln!("running {} die-scaling sweep ({scale:?})...", b.name());
+        let result = run_dbwriter_scaling(b, scale, &die_counts);
+        println!("{}", render_table(&result));
+    }
+}

@@ -1,0 +1,157 @@
+//! Figure 4 reproduction: transactional throughput of TPC-C / TPC-B with
+//! die-wise striping and either *global* or *die-wise* association of
+//! db-writers, as the number of NAND dies (= number of db-writers) grows.
+
+use noftl_core::FlusherAssignment;
+use workloads::{BenchmarkDriver, DriverConfig};
+
+use crate::gc_overhead::gc_workload;
+use crate::setup::{
+    build_engine_with_buffer, default_flushers, default_transactions, geometry_for_pages,
+    Benchmark, Scale, Stack,
+};
+
+/// One measured point of Figure 4.
+#[derive(Debug, Clone)]
+pub struct DbWriterPoint {
+    /// Number of NAND dies = number of db-writers.
+    pub dies: u32,
+    /// Writer-to-region assignment.
+    pub assignment: FlusherAssignment,
+    /// Measured throughput (transactions per virtual second).
+    pub tps: f64,
+    /// Mean transaction response time (ms).
+    pub response_ms: f64,
+}
+
+/// Result of the experiment for one benchmark.
+#[derive(Debug, Clone)]
+pub struct DbWriterScaling {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Measured points (both assignments, every die count).
+    pub points: Vec<DbWriterPoint>,
+}
+
+impl DbWriterScaling {
+    /// TPS for a specific configuration.
+    pub fn tps(&self, dies: u32, assignment: FlusherAssignment) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.dies == dies && p.assignment == assignment)
+            .map(|p| p.tps)
+    }
+
+    /// Speedup of die-wise over global association at a given die count.
+    pub fn speedup(&self, dies: u32) -> Option<f64> {
+        let global = self.tps(dies, FlusherAssignment::Global)?;
+        let die_wise = self.tps(dies, FlusherAssignment::DieWise)?;
+        (global > 0.0).then(|| die_wise / global)
+    }
+}
+
+/// Run one point: `dies` dies, `dies` db-writers, the given assignment.
+pub fn run_point(
+    benchmark: Benchmark,
+    scale: Scale,
+    dies: u32,
+    assignment: FlusherAssignment,
+    clients: usize,
+) -> DbWriterPoint {
+    // Fixed total capacity split over a varying number of dies, as in the
+    // paper's fixed 10 GB drive; the database is several times larger than
+    // the buffer pool so the db-writers are on the critical path.
+    let mut workload = gc_workload(benchmark, scale);
+    let logical_pages = match scale {
+        Scale::Quick => 24_000,
+        Scale::Full => 120_000,
+    };
+    let geometry = geometry_for_pages(logical_pages, 0.85, dies);
+    let mut flushers = default_flushers(assignment, dies as usize);
+    flushers.dirty_high_watermark = 0.3;
+    flushers.dirty_low_watermark = 0.02;
+    let mut engine = build_engine_with_buffer(Stack::NoFtl, geometry, flushers, 512);
+    let start = workload.setup(&mut engine, 0).expect("setup");
+    let transactions = default_transactions(scale) * 2;
+    let driver = BenchmarkDriver::new(DriverConfig::write_pressure(clients, transactions));
+    let report = driver
+        .run(&mut engine, workload.as_mut(), start)
+        .expect("driver run");
+    DbWriterPoint {
+        dies,
+        assignment,
+        tps: report.tps,
+        response_ms: report.mean_response_ms(),
+    }
+}
+
+/// Run the full Figure 4 sweep for one benchmark.
+pub fn run_dbwriter_scaling(
+    benchmark: Benchmark,
+    scale: Scale,
+    die_counts: &[u32],
+) -> DbWriterScaling {
+    // The paper uses 16 read processes.
+    let clients = 16;
+    let mut points = Vec::new();
+    for &dies in die_counts {
+        for assignment in [FlusherAssignment::Global, FlusherAssignment::DieWise] {
+            points.push(run_point(benchmark, scale, dies, assignment, clients));
+        }
+    }
+    DbWriterScaling {
+        benchmark: benchmark.name().to_string(),
+        points,
+    }
+}
+
+/// Render the sweep in the layout of Figure 4.
+pub fn render_table(result: &DbWriterScaling) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 4: {} throughput, die-wise striping, global vs die-wise db-writer association\n",
+        result.benchmark
+    ));
+    out.push_str(&format!(
+        "{:>6} {:>16} {:>16} {:>10}\n",
+        "dies", "global TPS", "die-wise TPS", "speedup"
+    ));
+    let mut die_counts: Vec<u32> = result.points.iter().map(|p| p.dies).collect();
+    die_counts.sort_unstable();
+    die_counts.dedup();
+    for dies in die_counts {
+        let global = result.tps(dies, FlusherAssignment::Global).unwrap_or(0.0);
+        let die_wise = result.tps(dies, FlusherAssignment::DieWise).unwrap_or(0.0);
+        let speedup = result.speedup(dies).unwrap_or(0.0);
+        out.push_str(&format!(
+            "{:>6} {:>16.1} {:>16.1} {:>9.2}x\n",
+            dies, global, die_wise, speedup
+        ));
+    }
+    out.push_str("\n(paper: die-wise association up to 1.5x for TPC-C, 1.43x for TPC-B; gap grows with die count)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_runs_and_reports_tps() {
+        let p = run_point(Benchmark::TpcB, Scale::Quick, 2, FlusherAssignment::DieWise, 4);
+        assert!(p.tps > 0.0);
+        assert!(p.response_ms > 0.0);
+    }
+
+    #[test]
+    fn die_wise_not_slower_than_global_at_scale() {
+        let result = run_dbwriter_scaling(Benchmark::TpcB, Scale::Quick, &[4]);
+        let speedup = result.speedup(4).expect("both assignments measured");
+        assert!(
+            speedup > 0.9,
+            "die-wise should not be materially slower than global (speedup {speedup:.2})"
+        );
+        let table = render_table(&result);
+        assert!(table.contains("TPC-B"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # noftl-bench
+//!
+//! Shared experiment harness behind the per-figure binaries and the Criterion
+//! benches.  Every table and figure of the paper's evaluation has a
+//! corresponding entry point here:
+//!
+//! | Paper artefact | Harness function | Binary |
+//! |---|---|---|
+//! | Figure 3 (GC copyback/erase overhead, FASTer vs NoFTL) | [`gc_overhead::run_gc_overhead`] | `fig3_gc_overhead` |
+//! | Figure 4a/4b (TPS vs #dies, global vs die-wise db-writers) | [`dbwriters::run_dbwriter_scaling`] | `fig4_dbwriters` |
+//! | §1/§5 headline (NoFTL ≥ 2.4× over FTL stacks) | [`throughput::run_headline`] | `headline_throughput` |
+//! | §3.1 (DFTL up to 3.7× slower than page mapping) | [`dftl_slowdown::run_dftl_slowdown`] | `dftl_slowdown` |
+//! | §3 latency example (0.45 ms avg writes, ~80 ms outliers) | [`latency::run_latency_profile`] | `latency_profile` |
+//! | Demo scenario 1 (emulator validation & parallelism) | [`validation::run_validation`] | `emulator_validation` |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablation;
+pub mod dbwriters;
+pub mod dftl_slowdown;
+pub mod gc_overhead;
+pub mod latency;
+pub mod setup;
+pub mod throughput;
+pub mod validation;
+
+/// Pretty-print a ratio ("2.15x").
+pub fn fmt_ratio(a: u64, b: u64) -> String {
+    if b == 0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.2}x", a as f64 / b as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(super::fmt_ratio(4, 2), "2.00x");
+        assert_eq!(super::fmt_ratio(1, 0), "n/a");
+    }
+}

@@ -1,0 +1,106 @@
+//! DBMS-side bad-block management.
+//!
+//! Under NoFTL the DBMS owns the bad-block manager (paper, Figure 2): it keeps
+//! the list of factory and grown bad blocks, removes them from the region
+//! pools and remembers how much usable capacity remains.
+
+use std::collections::HashSet;
+
+use nand_flash::BlockAddr;
+use serde::{Deserialize, Serialize};
+
+/// Why a block was retired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RetireReason {
+    /// Marked bad by the manufacturer (discovered at format time).
+    Factory,
+    /// Failed in the field (program/erase failure or worn out).
+    Grown,
+}
+
+/// Registry of retired blocks.
+#[derive(Debug, Clone, Default)]
+pub struct BadBlockManager {
+    factory: HashSet<BlockAddr>,
+    grown: HashSet<BlockAddr>,
+}
+
+impl BadBlockManager {
+    /// Create an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a retired block. Returns `false` if it was already known.
+    pub fn retire(&mut self, block: BlockAddr, reason: RetireReason) -> bool {
+        match reason {
+            RetireReason::Factory => self.factory.insert(block),
+            RetireReason::Grown => {
+                if self.factory.contains(&block) {
+                    return false;
+                }
+                self.grown.insert(block)
+            }
+        }
+    }
+
+    /// Whether a block is known bad.
+    pub fn is_bad(&self, block: BlockAddr) -> bool {
+        self.factory.contains(&block) || self.grown.contains(&block)
+    }
+
+    /// Number of factory bad blocks.
+    pub fn factory_count(&self) -> usize {
+        self.factory.len()
+    }
+
+    /// Number of grown bad blocks.
+    pub fn grown_count(&self) -> usize {
+        self.grown.len()
+    }
+
+    /// Total retired blocks.
+    pub fn total(&self) -> usize {
+        self.factory.len() + self.grown.len()
+    }
+
+    /// Iterate over all retired blocks.
+    pub fn iter(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.factory.iter().chain(self.grown.iter()).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retire_and_query() {
+        let mut bbm = BadBlockManager::new();
+        let b = BlockAddr::new(0, 0, 0, 5);
+        assert!(!bbm.is_bad(b));
+        assert!(bbm.retire(b, RetireReason::Grown));
+        assert!(bbm.is_bad(b));
+        assert!(!bbm.retire(b, RetireReason::Grown), "double retire rejected");
+        assert_eq!(bbm.grown_count(), 1);
+        assert_eq!(bbm.factory_count(), 0);
+        assert_eq!(bbm.total(), 1);
+    }
+
+    #[test]
+    fn factory_takes_precedence() {
+        let mut bbm = BadBlockManager::new();
+        let b = BlockAddr::new(0, 0, 0, 1);
+        assert!(bbm.retire(b, RetireReason::Factory));
+        assert!(!bbm.retire(b, RetireReason::Grown));
+        assert_eq!(bbm.total(), 1);
+    }
+
+    #[test]
+    fn iteration_covers_both_sets() {
+        let mut bbm = BadBlockManager::new();
+        bbm.retire(BlockAddr::new(0, 0, 0, 1), RetireReason::Factory);
+        bbm.retire(BlockAddr::new(0, 0, 0, 2), RetireReason::Grown);
+        assert_eq!(bbm.iter().count(), 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! NoFTL configuration.
+
+use nand_flash::FlashGeometry;
+use serde::{Deserialize, Serialize};
+
+use crate::regions::StripingMode;
+
+/// Configuration of the DBMS-integrated Flash management.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NoFtlConfig {
+    /// Device geometry (normally obtained via IDENTIFY).
+    pub geometry: FlashGeometry,
+    /// Fraction of physical capacity kept as spare space for out-of-place
+    /// updates and GC headroom.
+    pub op_ratio: f64,
+    /// How dies are grouped into regions (die-wise striping by default).
+    pub striping: StripingMode,
+    /// Per-region GC low watermark, in free blocks.
+    pub gc_low_watermark: usize,
+    /// Per-region GC high watermark, in free blocks.
+    pub gc_high_watermark: usize,
+    /// Wear-leveling trigger: when `max_erase − min_erase` exceeds this many
+    /// cycles, cold data is migrated into the most-worn free block.
+    pub wear_leveling_threshold: u64,
+    /// Whether the underlying device stores page contents.
+    pub store_data: bool,
+}
+
+impl NoFtlConfig {
+    /// Defaults for `geometry`: 10 % spare space, die-wise striping, GC at
+    /// 2 free blocks per region, wear-leveling threshold of 64 cycles.
+    pub fn new(geometry: FlashGeometry) -> Self {
+        Self {
+            geometry,
+            op_ratio: 0.10,
+            striping: StripingMode::DieWise,
+            gc_low_watermark: 2,
+            gc_high_watermark: 4,
+            wear_leveling_threshold: 64,
+            store_data: true,
+        }
+    }
+
+    /// Metadata-only configuration for trace replay experiments.
+    pub fn metadata_only(geometry: FlashGeometry) -> Self {
+        Self {
+            store_data: false,
+            ..Self::new(geometry)
+        }
+    }
+
+    /// Number of logical pages exported to the DBMS.
+    pub fn logical_pages(&self) -> u64 {
+        ((self.geometry.total_pages() as f64) * (1.0 - self.op_ratio)).floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = NoFtlConfig::new(FlashGeometry::small());
+        assert!(cfg.logical_pages() > 0);
+        assert!(cfg.logical_pages() < FlashGeometry::small().total_pages());
+        assert_eq!(cfg.striping, StripingMode::DieWise);
+    }
+
+    #[test]
+    fn metadata_only_flips_store_data() {
+        let cfg = NoFtlConfig::metadata_only(FlashGeometry::tiny());
+        assert!(!cfg.store_data);
+    }
+
+    #[test]
+    fn logical_pages_scale_with_op() {
+        let mut cfg = NoFtlConfig::new(FlashGeometry::small());
+        let at_10 = cfg.logical_pages();
+        cfg.op_ratio = 0.30;
+        let at_30 = cfg.logical_pages();
+        assert!(at_30 < at_10);
+    }
+}

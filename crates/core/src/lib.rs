@@ -1,0 +1,41 @@
+//! # noftl-core
+//!
+//! The paper's primary contribution: **NoFTL**, DBMS-integrated Flash
+//! management over native Flash storage (EDBT 2015, §3).
+//!
+//! Instead of hiding NAND behind an on-device FTL and the legacy block
+//! interface, NoFTL lets the database operate on the native Flash interface
+//! directly and moves the Flash-maintenance functionality into the DBMS:
+//!
+//! * **address translation** in host memory ([`mapping::HostMappingTable`]) —
+//!   the host has enough RAM for a full page-level table, unlike the device
+//!   (§3.1);
+//! * **out-of-place updates, garbage collection and wear leveling**
+//!   ([`NoFtl`], [`gc`], [`wear`]) — driven by DBMS knowledge: pages the
+//!   free-space manager reports dead are never relocated;
+//! * **bad-block management** ([`bad_block::BadBlockManager`]);
+//! * **physical regions and Flash-aware writer assignment**
+//!   ([`regions::RegionManager`]) — dies are grouped into regions,
+//!   db-writers are bound to regions, and data placement follows die-wise
+//!   striping (§3.2, the mechanism behind Figure 4).
+//!
+//! The crate depends only on the `nand-flash` device model; the Shore-MT-like
+//! storage engine (`storage-engine` crate) plugs it in as one of its storage
+//! back ends.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bad_block;
+pub mod config;
+pub mod gc;
+pub mod mapping;
+pub mod noftl;
+pub mod regions;
+pub mod stats;
+pub mod wear;
+
+pub use config::NoFtlConfig;
+pub use noftl::NoFtl;
+pub use regions::{FlusherAssignment, RegionId, RegionManager, StripingMode};
+pub use stats::NoFtlStats;

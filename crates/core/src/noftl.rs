@@ -1,0 +1,594 @@
+//! The NoFTL storage manager: DBMS-integrated Flash management over the
+//! native Flash interface.
+//!
+//! [`NoFtl`] is the component a database storage manager embeds when it runs
+//! on native Flash (Figure 2 of the paper).  It owns the device, the
+//! host-resident mapping table, the region manager, GC, wear leveling and the
+//! bad-block manager, and exposes a logical-page read/write interface plus
+//! the DBMS-specific hooks that an on-device FTL can never have:
+//!
+//! * [`NoFtl::mark_dead`] — the free-space manager declares a page dead so GC
+//!   never copies it;
+//! * [`NoFtl::region_of_lpn`] / [`NoFtl::regions`] — exposes the physical
+//!   layout so the buffer manager can bind db-writers to regions (§3.2);
+//! * [`NoFtl::write_in_region`] — placement-aware writes used by the
+//!   Flash-aware flusher assignment.
+
+use nand_flash::{
+    DeviceConfig, DeviceIdentification, FlashError, FlashGeometry, FlashResult, FlashStats,
+    NandDevice, NativeFlashInterface, Oob, OpCompletion, PageState, Ppa,
+};
+use sim_utils::time::SimInstant;
+use std::collections::HashSet;
+
+use crate::bad_block::{BadBlockManager, RetireReason};
+use crate::config::NoFtlConfig;
+use crate::gc::{select_victim, GcPolicy};
+use crate::mapping::HostMappingTable;
+use crate::regions::{RegionId, RegionManager};
+use crate::stats::NoFtlStats;
+use crate::wear::WearLeveler;
+
+/// DBMS-integrated Flash management (the paper's contribution).
+pub struct NoFtl {
+    device: NandDevice,
+    map: HostMappingTable,
+    regions: RegionManager,
+    bad_blocks: BadBlockManager,
+    wear: WearLeveler,
+    gc_policy: GcPolicy,
+    stats: NoFtlStats,
+    /// Physical pages invalidated through dead-page hints (distinguished from
+    /// ordinary superseded pages for reporting).
+    dead_hinted: HashSet<u64>,
+    logical_pages: u64,
+    gc_low: usize,
+    gc_high: usize,
+    page_size: usize,
+    scratch: Vec<u8>,
+}
+
+impl NoFtl {
+    /// Build a NoFTL instance and its backing device from `config`.
+    pub fn new(config: NoFtlConfig) -> Self {
+        let geometry = config.geometry;
+        let mut dev_cfg = DeviceConfig::new(geometry);
+        dev_cfg.store_data = config.store_data;
+        let device = NandDevice::new(dev_cfg);
+        Self::with_device(device, config)
+    }
+
+    /// Build NoFTL on top of an existing device (e.g. one shared with an
+    /// emulator front-end).
+    pub fn with_device(device: NandDevice, config: NoFtlConfig) -> Self {
+        let geometry = *device.geometry();
+        let logical_pages = config.logical_pages();
+        assert!(logical_pages > 0, "no logical capacity left after OP");
+        Self {
+            device,
+            map: HostMappingTable::new(logical_pages),
+            regions: RegionManager::new(geometry, config.striping),
+            bad_blocks: BadBlockManager::new(),
+            wear: WearLeveler::new(config.wear_leveling_threshold),
+            gc_policy: GcPolicy::Greedy,
+            stats: NoFtlStats::new(),
+            dead_hinted: HashSet::new(),
+            logical_pages,
+            gc_low: config.gc_low_watermark.max(1),
+            gc_high: config.gc_high_watermark.max(config.gc_low_watermark + 1),
+            page_size: geometry.page_size as usize,
+            scratch: vec![0u8; geometry.page_size as usize],
+        }
+    }
+
+    /// Convenience constructor with the default configuration for `geometry`.
+    pub fn with_geometry(geometry: FlashGeometry) -> Self {
+        Self::new(NoFtlConfig::new(geometry))
+    }
+
+    /// Number of logical pages exported to the DBMS.
+    pub fn logical_pages(&self) -> u64 {
+        self.logical_pages
+    }
+
+    /// Device identification (geometry, endurance, capabilities) — what the
+    /// DBMS learns through the native interface's IDENTIFY command.
+    pub fn identify(&self) -> DeviceIdentification {
+        self.device.identify()
+    }
+
+    /// Number of physical regions (die-wise striping ⇒ number of dies).
+    pub fn regions(&self) -> usize {
+        self.regions.regions()
+    }
+
+    /// Region a logical page is striped to.
+    pub fn region_of_lpn(&self, lpn: u64) -> RegionId {
+        self.regions.region_of_lpn(lpn)
+    }
+
+    /// Borrow the region manager (placement queries by the buffer manager).
+    pub fn region_manager(&self) -> &RegionManager {
+        &self.regions
+    }
+
+    /// GC victim-selection policy (greedy by default).
+    pub fn set_gc_policy(&mut self, policy: GcPolicy) {
+        self.gc_policy = policy;
+    }
+
+    /// NoFTL-level statistics.
+    pub fn stats(&self) -> &NoFtlStats {
+        &self.stats
+    }
+
+    /// Native-command statistics of the device.
+    pub fn flash_stats(&self) -> &FlashStats {
+        self.device.stats()
+    }
+
+    /// Borrow the underlying device.
+    pub fn device(&self) -> &NandDevice {
+        &self.device
+    }
+
+    /// Bad-block registry.
+    pub fn bad_blocks(&self) -> &BadBlockManager {
+        &self.bad_blocks
+    }
+
+    /// Reset NoFTL and device statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats.clear();
+        self.device.reset_stats();
+    }
+
+    fn check_lpn(&self, lpn: u64) -> FlashResult<()> {
+        if lpn < self.logical_pages {
+            Ok(())
+        } else {
+            Err(FlashError::InvalidAddress {
+                what: format!(
+                    "logical page {lpn} out of range (capacity {})",
+                    self.logical_pages
+                ),
+            })
+        }
+    }
+
+    fn check_buf(&self, len: usize) -> FlashResult<()> {
+        if len == self.page_size {
+            Ok(())
+        } else {
+            Err(FlashError::BufferSizeMismatch {
+                expected: self.page_size,
+                actual: len,
+            })
+        }
+    }
+
+    /// Read logical page `lpn`.
+    pub fn read(&mut self, now: SimInstant, lpn: u64, buf: &mut [u8]) -> FlashResult<OpCompletion> {
+        self.check_lpn(lpn)?;
+        self.check_buf(buf.len())?;
+        let g = *self.device.geometry();
+        let Some(flat) = self.map.get(lpn) else {
+            return Err(FlashError::ReadOfUnwrittenPage(Ppa::from_flat(&g, 0)));
+        };
+        let (_, completion) = self.device.read_page(now, Ppa::from_flat(&g, flat), buf)?;
+        self.stats.host_reads += 1;
+        self.stats.read_latency.record(completion.latency_from(now));
+        Ok(completion)
+    }
+
+    /// Write logical page `lpn`, placing it in the region its address stripes
+    /// to (die-wise striping).
+    pub fn write(&mut self, now: SimInstant, lpn: u64, data: &[u8]) -> FlashResult<OpCompletion> {
+        let region = self.regions.region_of_lpn(lpn);
+        self.write_in_region(now, region, lpn, data)
+    }
+
+    /// Write logical page `lpn` into an explicitly chosen region.  Used by
+    /// the Flash-aware flusher experiments where placement is driven by the
+    /// db-writer that owns the page.
+    pub fn write_in_region(
+        &mut self,
+        now: SimInstant,
+        region: RegionId,
+        lpn: u64,
+        data: &[u8],
+    ) -> FlashResult<OpCompletion> {
+        self.check_lpn(lpn)?;
+        self.check_buf(data.len())?;
+        let g = *self.device.geometry();
+        let start = now;
+        let mut t = self.ensure_region_space(now, region)?;
+        let ppa = match self.regions.allocate_page_in(region) {
+            Some(p) => p,
+            None => {
+                // The region is genuinely full (e.g. severely skewed
+                // placement): fall back to any region with space.
+                let mut found = None;
+                for r in 0..self.regions.regions() {
+                    if let Some(p) = self.regions.allocate_page_in(r) {
+                        found = Some(p);
+                        break;
+                    }
+                }
+                found.ok_or(FlashError::OutOfSpareBlocks)?
+            }
+        };
+        let completion = self.device.program_page(t, ppa, data, Oob::data(lpn, 0))?;
+        t = t.max(completion.completed_at);
+        if let Some(old) = self.map.update(lpn, ppa.flat(&g)) {
+            self.device.invalidate_page(Ppa::from_flat(&g, old))?;
+            self.dead_hinted.remove(&old);
+        }
+        self.stats.host_writes += 1;
+        self.stats.write_latency.record(t.saturating_sub(start));
+        Ok(OpCompletion {
+            started_at: completion.started_at,
+            completed_at: t,
+        })
+    }
+
+    /// Dead-page hint from the DBMS free-space manager: the logical page no
+    /// longer holds useful data (dropped table, freed extent, superseded
+    /// version).  Its physical page becomes garbage immediately and GC will
+    /// never copy it.
+    pub fn mark_dead(&mut self, lpn: u64) -> FlashResult<()> {
+        self.check_lpn(lpn)?;
+        let g = *self.device.geometry();
+        if let Some(old) = self.map.unmap(lpn) {
+            self.device.invalidate_page(Ppa::from_flat(&g, old))?;
+            self.dead_hinted.insert(old);
+        }
+        self.stats.dead_page_hints += 1;
+        Ok(())
+    }
+
+    /// Run GC in `region` until it is back above the high watermark.  Returns
+    /// the time at which the caller may proceed.
+    fn ensure_region_space(&mut self, now: SimInstant, region: RegionId) -> FlashResult<SimInstant> {
+        let mut t = now;
+        if self.regions.free_blocks_in(region) > self.gc_low {
+            return Ok(t);
+        }
+        self.stats.gc_stalls += 1;
+        while self.regions.free_blocks_in(region) < self.gc_high {
+            match self.gc_region_once(t, region)? {
+                Some(end) => t = end,
+                None => break,
+            }
+        }
+        Ok(t)
+    }
+
+    /// Reclaim one block in `region`. Returns the completion time of the last
+    /// command, or `None` when the region holds no reclaimable garbage.
+    fn gc_region_once(
+        &mut self,
+        now: SimInstant,
+        region: RegionId,
+    ) -> FlashResult<Option<SimInstant>> {
+        let Some(victim) = select_victim(&self.device, &self.regions, region, self.gc_policy)
+        else {
+            return Ok(None);
+        };
+        let g = *self.device.geometry();
+        let mut t = now;
+
+        for page_idx in 0..g.pages_per_block {
+            let src = victim.page(page_idx);
+            let flat = src.flat(&g);
+            match self.device.page_state(src)? {
+                PageState::Valid => {}
+                PageState::Invalid => {
+                    if self.dead_hinted.remove(&flat) {
+                        self.stats.gc_dead_skipped += 1;
+                    }
+                    continue;
+                }
+                PageState::Free => continue,
+            }
+            let Some(lpn) = self.map.reverse(flat) else {
+                continue;
+            };
+            // Relocate within the same region; within a die-wise region the
+            // destination shares the plane, so COPYBACK applies.
+            let dst = match self.regions.allocate_page_in(region) {
+                Some(p) => p,
+                None => return Err(FlashError::OutOfSpareBlocks),
+            };
+            let same_plane =
+                dst.channel == src.channel && dst.die == src.die && dst.plane == src.plane;
+            let completion = if same_plane {
+                self.device.copyback(t, src, dst, None)?
+            } else {
+                let mut buf = std::mem::take(&mut self.scratch);
+                let (oob, _) = self.device.read_page(t, src, &mut buf)?;
+                let c = self.device.program_page(t, dst, &buf, oob)?;
+                self.scratch = buf;
+                c
+            };
+            t = t.max(completion.completed_at);
+            self.map.update(lpn, dst.flat(&g));
+            self.stats.gc_page_copies += 1;
+        }
+
+        // Erase the victim; a worn-out failure retires the block instead of
+        // recycling it.
+        match self.device.erase_block(t, victim) {
+            Ok(c) => {
+                t = t.max(c.completed_at);
+                self.stats.gc_erases += 1;
+                self.regions.release_block(victim);
+            }
+            Err(FlashError::WornOut(b)) => {
+                self.bad_blocks.retire(b, RetireReason::Grown);
+                self.regions.retire_block(b);
+                self.stats.retired_blocks += 1;
+            }
+            Err(e) => return Err(e),
+        }
+
+        // Static wear leveling, evaluated every few erases.
+        if self.wear.on_erase() {
+            t = self.maybe_level_wear(t, region)?;
+        }
+        Ok(Some(t))
+    }
+
+    /// Migrate a cold block if the wear spread in `region` demands it.
+    fn maybe_level_wear(&mut self, now: SimInstant, region: RegionId) -> FlashResult<SimInstant> {
+        let Some(migration) = self.wear.select_migration(&self.device, &self.regions, region)
+        else {
+            return Ok(now);
+        };
+        let g = *self.device.geometry();
+        let cold = migration.cold_block;
+        let mut t = now;
+        for page_idx in 0..g.pages_per_block {
+            let src = cold.page(page_idx);
+            if self.device.page_state(src)? != PageState::Valid {
+                continue;
+            }
+            let Some(lpn) = self.map.reverse(src.flat(&g)) else {
+                continue;
+            };
+            let Some(dst) = self.regions.allocate_page_in(region) else {
+                return Ok(t);
+            };
+            let same_plane =
+                dst.channel == src.channel && dst.die == src.die && dst.plane == src.plane;
+            let completion = if same_plane {
+                self.device.copyback(t, src, dst, None)?
+            } else {
+                let mut buf = std::mem::take(&mut self.scratch);
+                let (oob, _) = self.device.read_page(t, src, &mut buf)?;
+                let c = self.device.program_page(t, dst, &buf, oob)?;
+                self.scratch = buf;
+                c
+            };
+            t = t.max(completion.completed_at);
+            self.map.update(lpn, dst.flat(&g));
+            self.stats.gc_page_copies += 1;
+        }
+        match self.device.erase_block(t, cold) {
+            Ok(c) => {
+                t = t.max(c.completed_at);
+                self.stats.gc_erases += 1;
+                self.regions.release_block(cold);
+                self.stats.wear_migrations += 1;
+            }
+            Err(FlashError::WornOut(b)) => {
+                self.bad_blocks.retire(b, RetireReason::Grown);
+                self.regions.retire_block(b);
+                self.stats.retired_blocks += 1;
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nand_flash::FlashGeometry;
+
+    fn small_noftl() -> NoFtl {
+        NoFtl::with_geometry(FlashGeometry::small())
+    }
+
+    fn tiny_noftl() -> NoFtl {
+        let mut cfg = NoFtlConfig::new(FlashGeometry::tiny());
+        cfg.op_ratio = 0.30;
+        cfg.gc_low_watermark = 2;
+        cfg.gc_high_watermark = 3;
+        NoFtl::new(cfg)
+    }
+
+    fn page(n: &NoFtl, byte: u8) -> Vec<u8> {
+        vec![byte; n.device().geometry().page_size as usize]
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let mut n = small_noftl();
+        let data = page(&n, 0x5C);
+        n.write(0, 42, &data).unwrap();
+        let mut buf = page(&n, 0);
+        n.read(0, 42, &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn writes_follow_die_wise_striping() {
+        let mut n = small_noftl();
+        let g = *n.device().geometry();
+        let data = page(&n, 1);
+        for lpn in 0..16u64 {
+            n.write(0, lpn, &data).unwrap();
+        }
+        // Each die must have received writes (4 dies, 16 striped pages).
+        let per_die = &n.flash_stats().per_die_ops;
+        assert_eq!(per_die.len(), g.total_dies() as usize);
+        assert!(per_die.iter().all(|&c| c > 0), "striping skipped a die: {per_die:?}");
+    }
+
+    #[test]
+    fn region_of_lpn_matches_flash_placement() {
+        let mut n = small_noftl();
+        let g = *n.device().geometry();
+        let data = page(&n, 2);
+        for lpn in 0..32u64 {
+            n.write(0, lpn, &data).unwrap();
+            let region = n.region_of_lpn(lpn);
+            // Read back through the map and check the die matches the region.
+            let flat = n.map.get(lpn).unwrap();
+            let ppa = Ppa::from_flat(&g, flat);
+            assert_eq!(n.region_manager().region_of_die(ppa.die_addr()), region);
+        }
+    }
+
+    #[test]
+    fn overwrites_and_gc_preserve_newest_data() {
+        let mut n = tiny_noftl();
+        let lpns = n.logical_pages();
+        let mut now = 0;
+        for round in 0u8..6 {
+            for lpn in 0..lpns {
+                let data = vec![round ^ lpn as u8; n.page_size];
+                now = n.write(now, lpn, &data).unwrap().completed_at;
+            }
+        }
+        assert!(n.stats().gc_erases > 0, "GC should have run");
+        for lpn in 0..lpns {
+            let mut buf = vec![0u8; n.page_size];
+            n.read(now, lpn, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == 5 ^ lpn as u8));
+        }
+    }
+
+    #[test]
+    fn dead_page_hints_reduce_gc_copies() {
+        // Two identical runs, except one marks half the pages dead before the
+        // overwrite storm: GC should copy fewer pages in that run.
+        let run = |use_hints: bool| -> (u64, u64) {
+            let mut n = tiny_noftl();
+            let lpns = n.logical_pages();
+            let mut now = 0;
+            for lpn in 0..lpns {
+                let data = vec![1u8; n.page_size];
+                now = n.write(now, lpn, &data).unwrap().completed_at;
+            }
+            if use_hints {
+                for lpn in (0..lpns).step_by(2) {
+                    n.mark_dead(lpn).unwrap();
+                }
+            }
+            // Overwrite the other half repeatedly to force GC.
+            for round in 0u8..8 {
+                for lpn in (1..lpns).step_by(2) {
+                    let data = vec![round; n.page_size];
+                    now = n.write(now, lpn, &data).unwrap().completed_at;
+                }
+            }
+            (n.stats().gc_page_copies, n.stats().gc_erases)
+        };
+        let (copies_without, _) = run(false);
+        let (copies_with, _) = run(true);
+        assert!(
+            copies_with < copies_without,
+            "dead-page hints should reduce GC copies: {copies_with} vs {copies_without}"
+        );
+    }
+
+    #[test]
+    fn mark_dead_makes_page_unreadable() {
+        let mut n = small_noftl();
+        let data = page(&n, 3);
+        n.write(0, 9, &data).unwrap();
+        n.mark_dead(9).unwrap();
+        let mut buf = page(&n, 0);
+        assert!(n.read(0, 9, &mut buf).is_err());
+        assert_eq!(n.stats().dead_page_hints, 1);
+    }
+
+    #[test]
+    fn write_in_region_places_page_on_requested_die() {
+        let mut n = small_noftl();
+        let g = *n.device().geometry();
+        let data = page(&n, 4);
+        // Place lpn 0 (which stripes to region 0) explicitly into region 3.
+        n.write_in_region(0, 3, 0, &data).unwrap();
+        let flat = n.map.get(0).unwrap();
+        let ppa = Ppa::from_flat(&g, flat);
+        assert_eq!(n.region_manager().region_of_die(ppa.die_addr()), 3);
+        let mut buf = page(&n, 0);
+        n.read(0, 0, &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn gc_work_is_less_than_faster_style_merging() {
+        // NoFTL's greedy page-level GC should produce clearly less copy work
+        // than one full-merge per updated block would — sanity check of the
+        // mechanism behind Figure 3 (exact ratios are checked in the bench
+        // harness / integration tests).
+        let mut cfg = NoFtlConfig::new(FlashGeometry::small());
+        cfg.op_ratio = 0.20;
+        let mut n = NoFtl::new(cfg);
+        let lpns = n.logical_pages();
+        let mut now = 0;
+        let mut rng = sim_utils::rng::SimRng::new(5);
+        for lpn in 0..lpns {
+            let data = vec![0u8; n.page_size];
+            now = n.write(now, lpn, &data).unwrap().completed_at;
+        }
+        let writes = 2000u64;
+        for _ in 0..writes {
+            let lpn = rng.range(0, lpns);
+            let data = vec![1u8; n.page_size];
+            now = n.write(now, lpn, &data).unwrap().completed_at;
+        }
+        let wa = n.stats().write_amplification();
+        assert!(wa < 3.0, "NoFTL write amplification unexpectedly high: {wa}");
+    }
+
+    #[test]
+    fn unwritten_and_out_of_range_reads_fail() {
+        let mut n = small_noftl();
+        let mut buf = page(&n, 0);
+        assert!(n.read(0, 1, &mut buf).is_err());
+        assert!(n.read(0, n.logical_pages() + 1, &mut buf).is_err());
+    }
+
+    #[test]
+    fn identify_exposes_geometry_to_dbms() {
+        let n = small_noftl();
+        let id = n.identify();
+        assert_eq!(id.geometry, *n.device().geometry());
+        assert_eq!(n.regions(), id.geometry.total_dies() as usize);
+    }
+
+    #[test]
+    fn reset_stats_clears_all_layers() {
+        let mut n = small_noftl();
+        let data = page(&n, 1);
+        n.write(0, 0, &data).unwrap();
+        n.reset_stats();
+        assert_eq!(n.stats().host_writes, 0);
+        assert_eq!(n.flash_stats().programs, 0);
+    }
+
+    #[test]
+    fn buffer_size_mismatch_rejected() {
+        let mut n = small_noftl();
+        assert!(matches!(
+            n.write(0, 0, &[0u8; 7]),
+            Err(FlashError::BufferSizeMismatch { .. })
+        ));
+    }
+}

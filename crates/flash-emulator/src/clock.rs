@@ -1,0 +1,63 @@
+//! The virtual clock shared by simulation drivers.
+
+use sim_utils::time::{SimDuration, SimInstant};
+
+/// A monotonically advancing virtual clock (nanosecond resolution).
+///
+/// The clock never goes backwards: advancing to an earlier instant is a
+/// no-op, which lets independent actors report completions out of order.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: SimInstant,
+}
+
+impl VirtualClock {
+    /// Create a clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Advance to `instant` (no-op if the clock is already past it).
+    pub fn advance_to(&mut self, instant: SimInstant) {
+        self.now = self.now.max(instant);
+    }
+
+    /// Advance by `delta`.
+    pub fn advance_by(&mut self, delta: SimDuration) {
+        self.now += delta;
+    }
+
+    /// Elapsed virtual seconds since simulation start.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.now as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), 0);
+        c.advance_to(100);
+        assert_eq!(c.now(), 100);
+        c.advance_to(50);
+        assert_eq!(c.now(), 100, "clock must never go backwards");
+        c.advance_by(25);
+        assert_eq!(c.now(), 125);
+    }
+
+    #[test]
+    fn elapsed_seconds() {
+        let mut c = VirtualClock::new();
+        c.advance_to(2_500_000_000);
+        assert!((c.elapsed_secs() - 2.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,209 @@
+//! Emulated devices: a conventional SSD (host link + FTL + NAND) behind the
+//! legacy block interface, and an emulated native Flash device for NoFTL.
+
+use ftl::block_device::BlockDevice;
+use ftl::traits::Ftl;
+use nand_flash::{
+    DeviceConfig, FlashResult, NandDevice, NativeFlashInterface, OpCompletion,
+};
+use sim_utils::time::SimInstant;
+
+use crate::host_interface::{HostInterface, HostLink};
+use crate::profiles::DeviceProfile;
+
+/// A conventional Flash SSD: an FTL hidden behind a host link with a bounded
+/// command queue (Figure 1.a/1.b, Figure 6.a of the paper).
+pub struct EmulatedSsd<F: Ftl> {
+    ftl: F,
+    host: HostInterface,
+}
+
+impl<F: Ftl> EmulatedSsd<F> {
+    /// Wrap an FTL behind `link`.
+    pub fn new(ftl: F, link: HostLink) -> Self {
+        Self {
+            ftl,
+            host: HostInterface::new(link),
+        }
+    }
+
+    /// Borrow the embedded FTL (statistics inspection).
+    pub fn ftl(&self) -> &F {
+        &self.ftl
+    }
+
+    /// Mutably borrow the embedded FTL.
+    pub fn ftl_mut(&mut self) -> &mut F {
+        &mut self.ftl
+    }
+
+    /// Borrow the host-interface state (queue-wait accounting).
+    pub fn host(&self) -> &HostInterface {
+        &self.host
+    }
+}
+
+impl<F: Ftl> BlockDevice for EmulatedSsd<F> {
+    fn block_size(&self) -> usize {
+        self.ftl.device().geometry().page_size as usize
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.ftl.logical_pages()
+    }
+
+    fn read_block(
+        &mut self,
+        now: SimInstant,
+        lba: u64,
+        buf: &mut [u8],
+    ) -> FlashResult<OpCompletion> {
+        let start = self.host.admit(now);
+        let completion = self.ftl.read(start, lba, buf)?;
+        self.host.complete(completion.completed_at);
+        Ok(OpCompletion {
+            started_at: start,
+            completed_at: completion.completed_at,
+        })
+    }
+
+    fn write_block(
+        &mut self,
+        now: SimInstant,
+        lba: u64,
+        data: &[u8],
+    ) -> FlashResult<OpCompletion> {
+        let start = self.host.admit(now);
+        let completion = self.ftl.write(start, lba, data)?;
+        self.host.complete(completion.completed_at);
+        Ok(OpCompletion {
+            started_at: start,
+            completed_at: completion.completed_at,
+        })
+    }
+
+    fn trim_block(&mut self, now: SimInstant, lba: u64) -> FlashResult<()> {
+        self.ftl.trim(now, lba)
+    }
+}
+
+/// An emulated *native* Flash device: a raw NAND array plus a low-overhead
+/// host link (the character-device front-end of the paper's emulator, or the
+/// ATA-pass-through path on OpenSSD).
+pub struct EmulatedNativeFlash {
+    device: NandDevice,
+    host: HostInterface,
+}
+
+impl EmulatedNativeFlash {
+    /// Build the native device from a profile.
+    pub fn from_profile(profile: &DeviceProfile) -> Self {
+        let device = NandDevice::new(DeviceConfig::new(profile.geometry));
+        Self {
+            device,
+            host: HostInterface::new(profile.host_link),
+        }
+    }
+
+    /// Build from an explicit device and link.
+    pub fn new(device: NandDevice, link: HostLink) -> Self {
+        Self {
+            device,
+            host: HostInterface::new(link),
+        }
+    }
+
+    /// Admission control of the host link: returns when the device may start
+    /// working on a command issued at `now`.
+    pub fn admit(&mut self, now: SimInstant) -> SimInstant {
+        self.host.admit(now)
+    }
+
+    /// Record a command completion (frees a host queue slot).
+    pub fn complete(&mut self, completion: SimInstant) {
+        self.host.complete(completion);
+    }
+
+    /// Borrow the raw device.
+    pub fn device(&self) -> &NandDevice {
+        &self.device
+    }
+
+    /// Mutably borrow the raw device (to issue native Flash commands).
+    pub fn device_mut(&mut self) -> &mut NandDevice {
+        &mut self.device
+    }
+
+    /// Consume the wrapper, yielding the raw device (e.g. to hand it to
+    /// `noftl_core::NoFtl::with_device`).
+    pub fn into_device(self) -> NandDevice {
+        self.device
+    }
+
+    /// Host-interface state.
+    pub fn host(&self) -> &HostInterface {
+        &self.host
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftl::page_ftl::PageFtl;
+    use nand_flash::{FlashGeometry, Oob, Ppa};
+
+    #[test]
+    fn emulated_ssd_roundtrip_and_overhead() {
+        let ftl = PageFtl::with_geometry(FlashGeometry::small());
+        let mut ssd = EmulatedSsd::new(ftl, HostLink::sata2());
+        let data = vec![0x3Cu8; ssd.block_size()];
+        let w = ssd.write_block(0, 7, &data).unwrap();
+        // Host link overhead (20 µs) is part of the observed latency.
+        assert!(w.completed_at >= 20_000);
+        let mut buf = vec![0u8; ssd.block_size()];
+        let r = ssd.read_block(w.completed_at, 7, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert!(r.completed_at > w.completed_at);
+        assert_eq!(ssd.host().admitted(), 2);
+    }
+
+    #[test]
+    fn sata2_queue_depth_limits_concurrency() {
+        // Issue 64 writes all at t=0: with QD=32, the second half must wait
+        // for earlier completions, so the finish time is later than with the
+        // native link.
+        let run = |link: HostLink| -> u64 {
+            let ftl = PageFtl::with_geometry(FlashGeometry::small());
+            let mut ssd = EmulatedSsd::new(ftl, link);
+            let data = vec![1u8; ssd.block_size()];
+            let mut last = 0;
+            for lba in 0..64u64 {
+                let c = ssd.write_block(0, lba, &data).unwrap();
+                last = last.max(c.completed_at);
+            }
+            last
+        };
+        let sata = run(HostLink::sata2());
+        let native = run(HostLink::native());
+        assert!(
+            sata > native,
+            "SATA2 queue depth should throttle 64 concurrent writes: {sata} vs {native}"
+        );
+    }
+
+    #[test]
+    fn native_flash_exposes_raw_device() {
+        let profile = DeviceProfile::small();
+        let mut native = EmulatedNativeFlash::from_profile(&profile);
+        let start = native.admit(0);
+        let data = vec![9u8; profile.geometry.page_size as usize];
+        let c = native
+            .device_mut()
+            .program_page(start, Ppa::new(0, 0, 0, 0, 0), &data, Oob::data(1, 0))
+            .unwrap();
+        native.complete(c.completed_at);
+        assert_eq!(native.device().stats().programs, 1);
+        let dev = native.into_device();
+        assert_eq!(dev.stats().programs, 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! The [`Ftl`] trait: the contract every Flash Translation Layer fulfils.
+//!
+//! An FTL hides physical Flash behind *logical page numbers* (the legacy
+//! block interface of Figure 1.a/1.b).  The host reads and writes logical
+//! pages; the FTL performs out-of-place updates, address translation, garbage
+//! collection and wear leveling internally — which is exactly the work (and
+//! the overhead) the NoFTL architecture moves into the DBMS.
+
+use nand_flash::{FlashResult, FlashStats, NandDevice, OpCompletion};
+use sim_utils::time::SimInstant;
+
+use crate::stats::FtlStats;
+
+/// A Flash Translation Layer exporting a logical-page address space.
+pub trait Ftl {
+    /// Human-readable scheme name ("page-ftl", "dftl", "faster").
+    fn name(&self) -> &'static str;
+
+    /// Number of logical pages exported to the host (device capacity minus
+    /// over-provisioning).
+    fn logical_pages(&self) -> u64;
+
+    /// Read logical page `lpn` into `buf` (`buf.len()` = page size).
+    fn read(&mut self, now: SimInstant, lpn: u64, buf: &mut [u8]) -> FlashResult<OpCompletion>;
+
+    /// Write logical page `lpn` from `data` (`data.len()` = page size).
+    ///
+    /// May trigger synchronous garbage collection; the returned completion
+    /// time then includes the GC stall — the mechanism behind the "frequent
+    /// FTL-specific outliers" of §3.
+    fn write(&mut self, now: SimInstant, lpn: u64, data: &[u8]) -> FlashResult<OpCompletion>;
+
+    /// Discard logical page `lpn` (TRIM): its physical page becomes garbage.
+    fn trim(&mut self, now: SimInstant, lpn: u64) -> FlashResult<()>;
+
+    /// FTL-level statistics (GC work, merges, translation traffic).
+    fn ftl_stats(&self) -> &FtlStats;
+
+    /// Native-command statistics of the underlying Flash device.
+    fn flash_stats(&self) -> &FlashStats;
+
+    /// Borrow the underlying device (read-only inspection).
+    fn device(&self) -> &NandDevice;
+
+    /// Reset FTL and device statistics (used between warm-up and measurement
+    /// phases of an experiment).
+    fn reset_stats(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    // The trait itself has no behaviour to test; concrete FTLs carry the
+    // conformance suite (see `page_ftl`, `dftl`, `faster` and the
+    // property-based tests in `tests/`).
+}

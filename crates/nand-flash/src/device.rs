@@ -1,0 +1,898 @@
+//! The NAND device model: implements the native Flash interface over an
+//! in-memory array of dies, blocks and pages, with per-die/per-channel
+//! occupancy-based timing, wear tracking and bad-block growth.
+
+use serde::{Deserialize, Serialize};
+use sim_utils::rng::SimRng;
+use sim_utils::time::SimInstant;
+
+use crate::addr::{BlockAddr, DieAddr, Ppa};
+use crate::bad_block::BadBlockPolicy;
+use crate::block::{Block, BlockHealth};
+use crate::die::Die;
+use crate::error::{FlashError, FlashResult};
+use crate::geometry::FlashGeometry;
+use crate::interface::{DeviceIdentification, NativeFlashInterface, OpCompletion, OpKind};
+use crate::nand_type::TimingProfile;
+use crate::oob::Oob;
+use crate::page::PageState;
+use crate::stats::FlashStats;
+use crate::timing::Channel;
+use crate::trace::{TraceEntry, Tracer};
+
+/// Construction-time configuration of a [`NandDevice`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Physical organisation of the device.
+    pub geometry: FlashGeometry,
+    /// Whether page contents are stored (`true`) or only metadata is tracked
+    /// (`false`, cheaper — used by trace-driven experiments).
+    pub store_data: bool,
+    /// Bad-block injection policy.
+    pub bad_blocks: BadBlockPolicy,
+    /// Override of the NAND timing profile (defaults to the geometry's NAND
+    /// type profile).
+    pub timing_override: Option<TimingProfile>,
+    /// Capacity of the command tracer; `0` disables tracing.
+    pub trace_capacity: usize,
+    /// Enforce the sequential page-programming rule within a block.  SLC NAND
+    /// historically permits random page order inside an erased block, which
+    /// block-mapped FTLs (FAST/FASTer data blocks) rely on; MLC/TLC require
+    /// strictly sequential programming.
+    pub strict_sequential_program: bool,
+}
+
+impl DeviceConfig {
+    /// Default configuration for a given geometry: data stored, no factory
+    /// bad blocks, tracing disabled.
+    pub fn new(geometry: FlashGeometry) -> Self {
+        Self {
+            geometry,
+            store_data: true,
+            bad_blocks: BadBlockPolicy::none(),
+            timing_override: None,
+            trace_capacity: 0,
+            strict_sequential_program: true,
+        }
+    }
+
+    /// Metadata-only configuration (no page contents stored).
+    pub fn metadata_only(geometry: FlashGeometry) -> Self {
+        Self {
+            store_data: false,
+            ..Self::new(geometry)
+        }
+    }
+}
+
+/// Summary of an erase block's bookkeeping state, exposed to Flash-management
+/// layers (FTLs and NoFTL) for GC victim selection and wear leveling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// Number of erase cycles endured.
+    pub erase_count: u64,
+    /// Number of valid pages.
+    pub valid_pages: u32,
+    /// Number of invalid pages.
+    pub invalid_pages: u32,
+    /// Number of still-free pages.
+    pub free_pages: u32,
+    /// Next page index the sequential-programming rule expects.
+    pub next_program_page: u32,
+    /// Whether the block is usable (not factory/grown bad).
+    pub usable: bool,
+}
+
+/// In-memory NAND Flash device.
+pub struct NandDevice {
+    geometry: FlashGeometry,
+    timing: TimingProfile,
+    endurance: u64,
+    store_data: bool,
+    strict_sequential: bool,
+    bad_policy: BadBlockPolicy,
+    dies: Vec<Die>,
+    channels: Vec<Channel>,
+    stats: FlashStats,
+    tracer: Tracer,
+    rng: SimRng,
+    sequence: u64,
+}
+
+impl NandDevice {
+    /// Build a device from a configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        config
+            .geometry
+            .validate()
+            .expect("invalid flash geometry");
+        let g = config.geometry;
+        let timing = config
+            .timing_override
+            .unwrap_or_else(|| g.nand_type.timing());
+        let dies = (0..g.total_dies())
+            .map(|_| Die::new(g.blocks_per_die(), g.pages_per_block))
+            .collect::<Vec<_>>();
+        let channels = (0..g.channels).map(|_| Channel::new()).collect();
+        let tracer = if config.trace_capacity > 0 {
+            Tracer::with_capacity(config.trace_capacity)
+        } else {
+            Tracer::disabled()
+        };
+        let mut dev = Self {
+            geometry: g,
+            timing,
+            endurance: g.nand_type.endurance(),
+            store_data: config.store_data,
+            strict_sequential: config.strict_sequential_program,
+            bad_policy: config.bad_blocks,
+            dies,
+            channels,
+            stats: FlashStats::new(g.total_dies() as usize),
+            tracer,
+            rng: SimRng::new(config.bad_blocks.seed ^ 0x5EED),
+            sequence: 0,
+        };
+        for flat in config.bad_blocks.factory_bad_blocks(&g) {
+            let addr = BlockAddr::from_flat(&g, flat);
+            dev.block_mut(addr).mark_bad(BlockHealth::FactoryBad);
+        }
+        dev
+    }
+
+    /// Convenience constructor with default config for `geometry`.
+    pub fn with_geometry(geometry: FlashGeometry) -> Self {
+        Self::new(DeviceConfig::new(geometry))
+    }
+
+    /// The timing profile in effect.
+    pub fn timing(&self) -> &TimingProfile {
+        &self.timing
+    }
+
+    /// The P/E endurance per block.
+    pub fn endurance(&self) -> u64 {
+        self.endurance
+    }
+
+    /// Access the command trace.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the command trace (e.g. to clear it between phases).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    fn die_index(&self, die: DieAddr) -> usize {
+        die.flat(&self.geometry) as usize
+    }
+
+    fn block_local_index(&self, b: &BlockAddr) -> u32 {
+        b.plane * self.geometry.blocks_per_plane + b.block
+    }
+
+    fn block_ref(&self, addr: BlockAddr) -> &Block {
+        let die = &self.dies[self.die_index(addr.die_addr())];
+        die.block(self.block_local_index(&addr))
+    }
+
+    fn block_mut(&mut self, addr: BlockAddr) -> &mut Block {
+        let die_idx = self.die_index(addr.die_addr());
+        let local = self.block_local_index(&addr);
+        self.dies[die_idx].block_mut(local)
+    }
+
+    /// Bookkeeping summary of a block.
+    pub fn block_info(&self, addr: BlockAddr) -> FlashResult<BlockInfo> {
+        self.check_block_addr(addr)?;
+        let b = self.block_ref(addr);
+        Ok(BlockInfo {
+            erase_count: b.erase_count(),
+            valid_pages: b.valid_pages(),
+            invalid_pages: b.invalid_pages(),
+            free_pages: b.free_pages(),
+            next_program_page: b.next_program_page(),
+            usable: b.is_usable(),
+        })
+    }
+
+    /// State of an individual page.
+    pub fn page_state(&self, ppa: Ppa) -> FlashResult<PageState> {
+        self.check_ppa(ppa)?;
+        Ok(self.block_ref(ppa.block_addr()).page(ppa.page).state)
+    }
+
+    /// OOB metadata of a page without timing effects (model inspection only;
+    /// use [`NativeFlashInterface::read_oob`] inside simulations).
+    pub fn peek_oob(&self, ppa: Ppa) -> FlashResult<Oob> {
+        self.check_ppa(ppa)?;
+        Ok(self.block_ref(ppa.block_addr()).page(ppa.page).oob)
+    }
+
+    /// The instant until which a die is busy (used by schedulers/emulator).
+    pub fn die_busy_until(&self, die: DieAddr) -> SimInstant {
+        self.dies[self.die_index(die)].busy_until()
+    }
+
+    /// Accumulated busy time of a die.
+    pub fn die_busy_time(&self, die: DieAddr) -> u64 {
+        self.dies[self.die_index(die)].busy_time()
+    }
+
+    /// Maximum erase count over all blocks (wear headline number).
+    pub fn max_erase_count(&self) -> u64 {
+        self.iter_blocks().map(|(_, b)| b.erase_count()).max().unwrap_or(0)
+    }
+
+    /// Mean erase count over all blocks.
+    pub fn mean_erase_count(&self) -> f64 {
+        let total_blocks = self.geometry.total_blocks();
+        if total_blocks == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.iter_blocks().map(|(_, b)| b.erase_count()).sum();
+        sum as f64 / total_blocks as f64
+    }
+
+    fn iter_blocks(&self) -> impl Iterator<Item = (BlockAddr, &Block)> + '_ {
+        let g = self.geometry;
+        (0..g.total_blocks()).map(move |flat| {
+            let addr = BlockAddr::from_flat(&g, flat);
+            (addr, self.block_ref(addr))
+        })
+    }
+
+    fn check_ppa(&self, ppa: Ppa) -> FlashResult<()> {
+        if ppa.is_valid(&self.geometry) {
+            Ok(())
+        } else {
+            Err(FlashError::InvalidAddress {
+                what: format!("{ppa:?}"),
+            })
+        }
+    }
+
+    fn check_block_addr(&self, b: BlockAddr) -> FlashResult<()> {
+        if b.is_valid(&self.geometry) {
+            Ok(())
+        } else {
+            Err(FlashError::InvalidAddress {
+                what: format!("{b:?}"),
+            })
+        }
+    }
+
+    fn check_usable(&self, b: BlockAddr) -> FlashResult<()> {
+        if self.block_ref(b).is_usable() {
+            Ok(())
+        } else {
+            Err(FlashError::BadBlock(b))
+        }
+    }
+
+    fn next_sequence(&mut self) -> u64 {
+        self.sequence += 1;
+        self.sequence
+    }
+
+    fn trace(&mut self, entry: TraceEntry) {
+        self.tracer.record(entry);
+    }
+}
+
+impl NativeFlashInterface for NandDevice {
+    fn geometry(&self) -> &FlashGeometry {
+        &self.geometry
+    }
+
+    fn identify(&self) -> DeviceIdentification {
+        DeviceIdentification {
+            model: format!(
+                "noftl-sim {} {}ch x {}die",
+                self.geometry.nand_type.name(),
+                self.geometry.channels,
+                self.geometry.dies_per_channel
+            ),
+            geometry: self.geometry,
+            endurance: self.endurance,
+            max_queue_per_die: 16,
+            supports_copyback: true,
+            supports_multiplane: self.geometry.planes_per_die > 1,
+        }
+    }
+
+    fn read_page(
+        &mut self,
+        now: SimInstant,
+        ppa: Ppa,
+        buf: &mut [u8],
+    ) -> FlashResult<(Oob, OpCompletion)> {
+        self.check_ppa(ppa)?;
+        let block_addr = ppa.block_addr();
+        self.check_usable(block_addr)?;
+        if buf.len() != self.geometry.page_size as usize {
+            return Err(FlashError::BufferSizeMismatch {
+                expected: self.geometry.page_size as usize,
+                actual: buf.len(),
+            });
+        }
+        {
+            let page = self.block_ref(block_addr).page(ppa.page);
+            if page.state == PageState::Free {
+                return Err(FlashError::ReadOfUnwrittenPage(ppa));
+            }
+            if let Some(data) = &page.data {
+                buf.copy_from_slice(data);
+            } else {
+                buf.fill(0);
+            }
+        }
+        let oob = self.block_ref(block_addr).page(ppa.page).oob;
+
+        // Timing: array read on the die, then transfer over the channel.
+        let die_idx = self.die_index(ppa.die_addr());
+        let issue = now + self.timing.command_overhead;
+        let (array_start, array_end) = self.dies[die_idx].occupy(issue, self.timing.read_page);
+        let xfer = self
+            .timing
+            .transfer((self.geometry.page_size + self.geometry.oob_size) as u64);
+        let (_, done) = self.channels[ppa.channel as usize].occupy(array_end, xfer);
+        let completion = OpCompletion {
+            started_at: array_start,
+            completed_at: done,
+        };
+
+        self.stats.reads += 1;
+        self.stats.bytes_read += self.geometry.page_size as u64;
+        self.stats.read_latency.record(completion.latency_from(now));
+        self.stats.per_die_ops[die_idx] += 1;
+        self.trace(TraceEntry {
+            kind: OpKind::Read,
+            issued_at: now,
+            completed_at: done,
+            ppa: Some(ppa),
+            block: None,
+            lpn: oob.has_lpn().then_some(oob.lpn),
+        });
+        Ok((oob, completion))
+    }
+
+    fn read_oob(&mut self, now: SimInstant, ppa: Ppa) -> FlashResult<(Oob, OpCompletion)> {
+        self.check_ppa(ppa)?;
+        let block_addr = ppa.block_addr();
+        self.check_usable(block_addr)?;
+        let page = self.block_ref(block_addr).page(ppa.page);
+        if page.state == PageState::Free {
+            return Err(FlashError::ReadOfUnwrittenPage(ppa));
+        }
+        let oob = page.oob;
+
+        let die_idx = self.die_index(ppa.die_addr());
+        let issue = now + self.timing.command_overhead;
+        let (start, array_end) = self.dies[die_idx].occupy(issue, self.timing.read_page);
+        let xfer = self.timing.transfer(self.geometry.oob_size as u64);
+        let (_, done) = self.channels[ppa.channel as usize].occupy(array_end, xfer);
+        let completion = OpCompletion {
+            started_at: start,
+            completed_at: done,
+        };
+
+        self.stats.reads += 1;
+        self.stats.read_latency.record(completion.latency_from(now));
+        self.stats.per_die_ops[die_idx] += 1;
+        self.trace(TraceEntry {
+            kind: OpKind::ReadOob,
+            issued_at: now,
+            completed_at: done,
+            ppa: Some(ppa),
+            block: None,
+            lpn: oob.has_lpn().then_some(oob.lpn),
+        });
+        Ok((oob, completion))
+    }
+
+    fn program_page(
+        &mut self,
+        now: SimInstant,
+        ppa: Ppa,
+        data: &[u8],
+        oob: Oob,
+    ) -> FlashResult<OpCompletion> {
+        self.check_ppa(ppa)?;
+        let block_addr = ppa.block_addr();
+        self.check_usable(block_addr)?;
+        if data.len() != self.geometry.page_size as usize {
+            return Err(FlashError::BufferSizeMismatch {
+                expected: self.geometry.page_size as usize,
+                actual: data.len(),
+            });
+        }
+        {
+            let block = self.block_ref(block_addr);
+            let page = block.page(ppa.page);
+            if page.state != PageState::Free {
+                return Err(FlashError::ProgramOnDirtyPage(ppa));
+            }
+            if self.strict_sequential && ppa.page != block.next_program_page() {
+                return Err(FlashError::NonSequentialProgram {
+                    attempted: ppa,
+                    expected_page: block.next_program_page(),
+                });
+            }
+        }
+
+        let stored = if self.store_data {
+            Some(data.to_vec().into_boxed_slice())
+        } else {
+            None
+        };
+        let mut oob = oob;
+        if oob.sequence == 0 {
+            oob.sequence = self.next_sequence();
+        }
+        self.block_mut(block_addr).record_program(ppa.page, stored, oob);
+
+        // Timing: transfer over the channel, then array program on the die.
+        let die_idx = self.die_index(ppa.die_addr());
+        let issue = now + self.timing.command_overhead;
+        let xfer = self
+            .timing
+            .transfer((self.geometry.page_size + self.geometry.oob_size) as u64);
+        let (xfer_start, xfer_end) = self.channels[ppa.channel as usize].occupy(issue, xfer);
+        let (_, done) = self.dies[die_idx].occupy(xfer_end, self.timing.program_page);
+        let completion = OpCompletion {
+            started_at: xfer_start,
+            completed_at: done,
+        };
+
+        self.stats.programs += 1;
+        self.stats.bytes_written += self.geometry.page_size as u64;
+        self.stats
+            .program_latency
+            .record(completion.latency_from(now));
+        self.stats.per_die_ops[die_idx] += 1;
+        self.trace(TraceEntry {
+            kind: OpKind::Program,
+            issued_at: now,
+            completed_at: done,
+            ppa: Some(ppa),
+            block: None,
+            lpn: oob.has_lpn().then_some(oob.lpn),
+        });
+        Ok(completion)
+    }
+
+    fn erase_block(&mut self, now: SimInstant, block: BlockAddr) -> FlashResult<OpCompletion> {
+        self.check_block_addr(block)?;
+        self.check_usable(block)?;
+
+        // Wear: erasing past the endurance limit may kill the block.
+        let erase_count = self.block_ref(block).erase_count();
+        let wears_out = self
+            .bad_policy
+            .wears_out(&mut self.rng, erase_count + 1, self.endurance);
+
+        self.block_mut(block).erase();
+        if wears_out {
+            self.block_mut(block).mark_bad(BlockHealth::GrownBad);
+        }
+
+        let die_idx = self.die_index(block.die_addr());
+        let issue = now + self.timing.command_overhead;
+        let (start, done) = self.dies[die_idx].occupy(issue, self.timing.erase_block);
+        let completion = OpCompletion {
+            started_at: start,
+            completed_at: done,
+        };
+
+        self.stats.erases += 1;
+        self.stats.erase_latency.record(completion.latency_from(now));
+        self.stats.per_die_ops[die_idx] += 1;
+        self.trace(TraceEntry {
+            kind: OpKind::Erase,
+            issued_at: now,
+            completed_at: done,
+            ppa: None,
+            block: Some(block),
+            lpn: None,
+        });
+
+        if wears_out {
+            return Err(FlashError::WornOut(block));
+        }
+        Ok(completion)
+    }
+
+    fn copyback(
+        &mut self,
+        now: SimInstant,
+        src: Ppa,
+        dst: Ppa,
+        new_oob: Option<Oob>,
+    ) -> FlashResult<OpCompletion> {
+        self.check_ppa(src)?;
+        self.check_ppa(dst)?;
+        self.check_usable(src.block_addr())?;
+        self.check_usable(dst.block_addr())?;
+        // ONFI copyback keeps the data inside the plane's page register.
+        if src.channel != dst.channel || src.die != dst.die || src.plane != dst.plane {
+            return Err(FlashError::CopybackPlaneMismatch { src, dst });
+        }
+        let (data, src_oob) = {
+            let page = self.block_ref(src.block_addr()).page(src.page);
+            if page.state == PageState::Free {
+                return Err(FlashError::ReadOfUnwrittenPage(src));
+            }
+            (page.data.clone(), page.oob)
+        };
+        {
+            let block = self.block_ref(dst.block_addr());
+            let page = block.page(dst.page);
+            if page.state != PageState::Free {
+                return Err(FlashError::ProgramOnDirtyPage(dst));
+            }
+            if self.strict_sequential && dst.page != block.next_program_page() {
+                return Err(FlashError::NonSequentialProgram {
+                    attempted: dst,
+                    expected_page: block.next_program_page(),
+                });
+            }
+        }
+        let mut oob = new_oob.unwrap_or(src_oob);
+        if oob.sequence == 0 {
+            oob.sequence = self.next_sequence();
+        }
+        self.block_mut(dst.block_addr())
+            .record_program(dst.page, data, oob);
+
+        // Timing: array read + array program on the die, no channel transfer.
+        let die_idx = self.die_index(src.die_addr());
+        let issue = now + self.timing.command_overhead;
+        let (start, done) = self.dies[die_idx]
+            .occupy(issue, self.timing.read_page + self.timing.program_page);
+        let completion = OpCompletion {
+            started_at: start,
+            completed_at: done,
+        };
+
+        self.stats.copybacks += 1;
+        self.stats
+            .copyback_latency
+            .record(completion.latency_from(now));
+        self.stats.per_die_ops[die_idx] += 1;
+        self.trace(TraceEntry {
+            kind: OpKind::Copyback,
+            issued_at: now,
+            completed_at: done,
+            ppa: Some(dst),
+            block: None,
+            lpn: oob.has_lpn().then_some(oob.lpn),
+        });
+        Ok(completion)
+    }
+
+    fn invalidate_page(&mut self, ppa: Ppa) -> FlashResult<()> {
+        self.check_ppa(ppa)?;
+        self.block_mut(ppa.block_addr()).invalidate_page(ppa.page);
+        Ok(())
+    }
+
+    fn stats(&self) -> &FlashStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::FlashGeometry;
+
+    fn tiny_device() -> NandDevice {
+        NandDevice::with_geometry(FlashGeometry::tiny())
+    }
+
+    fn page_of(dev: &NandDevice, byte: u8) -> Vec<u8> {
+        vec![byte; dev.geometry().page_size as usize]
+    }
+
+    #[test]
+    fn program_then_read_roundtrips_data_and_oob() {
+        let mut dev = tiny_device();
+        let ppa = Ppa::new(0, 0, 0, 0, 0);
+        let data = page_of(&dev, 0xAB);
+        dev.program_page(0, ppa, &data, Oob::data(42, 0)).unwrap();
+        let mut buf = page_of(&dev, 0);
+        let (oob, _) = dev.read_page(1000, ppa, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(oob.lpn, 42);
+        assert!(oob.sequence > 0, "device assigns sequence numbers");
+    }
+
+    #[test]
+    fn read_of_unwritten_page_is_an_error() {
+        let mut dev = tiny_device();
+        let mut buf = page_of(&dev, 0);
+        let err = dev.read_page(0, Ppa::new(0, 0, 0, 0, 0), &mut buf).unwrap_err();
+        assert!(matches!(err, FlashError::ReadOfUnwrittenPage(_)));
+    }
+
+    #[test]
+    fn program_requires_sequential_pages() {
+        let mut dev = tiny_device();
+        let data = page_of(&dev, 1);
+        let err = dev
+            .program_page(0, Ppa::new(0, 0, 0, 0, 3), &data, Oob::data(1, 0))
+            .unwrap_err();
+        assert!(matches!(err, FlashError::NonSequentialProgram { .. }));
+        // Programming page 0 then page 1 works.
+        dev.program_page(0, Ppa::new(0, 0, 0, 0, 0), &data, Oob::data(1, 0))
+            .unwrap();
+        dev.program_page(0, Ppa::new(0, 0, 0, 0, 1), &data, Oob::data(2, 0))
+            .unwrap();
+    }
+
+    #[test]
+    fn reprogram_without_erase_is_an_error() {
+        let mut dev = tiny_device();
+        let data = page_of(&dev, 1);
+        let ppa = Ppa::new(0, 0, 0, 0, 0);
+        dev.program_page(0, ppa, &data, Oob::data(1, 0)).unwrap();
+        let err = dev.program_page(0, ppa, &data, Oob::data(1, 0)).unwrap_err();
+        assert!(matches!(
+            err,
+            FlashError::ProgramOnDirtyPage(_) | FlashError::NonSequentialProgram { .. }
+        ));
+    }
+
+    #[test]
+    fn erase_resets_block_and_allows_reprogram() {
+        let mut dev = tiny_device();
+        let data = page_of(&dev, 7);
+        let block = BlockAddr::new(0, 0, 0, 0);
+        for p in 0..dev.geometry().pages_per_block {
+            dev.program_page(0, block.page(p), &data, Oob::data(p as u64, 0))
+                .unwrap();
+        }
+        assert!(dev.block_info(block).unwrap().free_pages == 0);
+        dev.erase_block(0, block).unwrap();
+        let info = dev.block_info(block).unwrap();
+        assert_eq!(info.free_pages, dev.geometry().pages_per_block);
+        assert_eq!(info.erase_count, 1);
+        dev.program_page(0, block.page(0), &data, Oob::data(0, 0))
+            .unwrap();
+    }
+
+    #[test]
+    fn buffer_size_is_checked() {
+        let mut dev = tiny_device();
+        let err = dev
+            .program_page(0, Ppa::new(0, 0, 0, 0, 0), &[0u8; 10], Oob::default())
+            .unwrap_err();
+        assert!(matches!(err, FlashError::BufferSizeMismatch { .. }));
+        // Write a page properly, then read with a wrong-size buffer.
+        let data = page_of(&dev, 2);
+        dev.program_page(0, Ppa::new(0, 0, 0, 0, 0), &data, Oob::data(0, 0))
+            .unwrap();
+        let mut small = [0u8; 10];
+        let err = dev.read_page(0, Ppa::new(0, 0, 0, 0, 0), &mut small).unwrap_err();
+        assert!(matches!(err, FlashError::BufferSizeMismatch { .. }));
+    }
+
+    #[test]
+    fn invalid_addresses_are_rejected() {
+        let mut dev = tiny_device();
+        let data = page_of(&dev, 0);
+        assert!(matches!(
+            dev.program_page(0, Ppa::new(5, 0, 0, 0, 0), &data, Oob::default()),
+            Err(FlashError::InvalidAddress { .. })
+        ));
+        assert!(matches!(
+            dev.erase_block(0, BlockAddr::new(0, 0, 0, 99)),
+            Err(FlashError::InvalidAddress { .. })
+        ));
+    }
+
+    #[test]
+    fn copyback_copies_within_plane_without_channel_transfer() {
+        let mut dev = tiny_device();
+        let data = page_of(&dev, 0x5A);
+        let src = Ppa::new(0, 0, 0, 0, 0);
+        let dst = Ppa::new(0, 0, 0, 1, 0);
+        dev.program_page(0, src, &data, Oob::data(9, 0)).unwrap();
+        let before_bytes = dev.stats().bytes_written;
+        dev.copyback(0, src, dst, None).unwrap();
+        assert_eq!(dev.stats().copybacks, 1);
+        // Copyback moves no user data over the channel.
+        assert_eq!(dev.stats().bytes_written, before_bytes);
+        let mut buf = page_of(&dev, 0);
+        let (oob, _) = dev.read_page(0, dst, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(oob.lpn, 9);
+    }
+
+    #[test]
+    fn copyback_rejects_cross_die() {
+        let g = FlashGeometry::small();
+        let mut dev = NandDevice::with_geometry(g);
+        let data = vec![1u8; g.page_size as usize];
+        let src = Ppa::new(0, 0, 0, 0, 0);
+        let dst = Ppa::new(1, 0, 0, 0, 0);
+        dev.program_page(0, src, &data, Oob::data(1, 0)).unwrap();
+        let err = dev.copyback(0, src, dst, None).unwrap_err();
+        assert!(matches!(err, FlashError::CopybackPlaneMismatch { .. }));
+    }
+
+    #[test]
+    fn invalidate_page_updates_block_info() {
+        let mut dev = tiny_device();
+        let data = page_of(&dev, 3);
+        let ppa = Ppa::new(0, 0, 0, 0, 0);
+        dev.program_page(0, ppa, &data, Oob::data(1, 0)).unwrap();
+        dev.invalidate_page(ppa).unwrap();
+        let info = dev.block_info(ppa.block_addr()).unwrap();
+        assert_eq!(info.valid_pages, 0);
+        assert_eq!(info.invalid_pages, 1);
+    }
+
+    #[test]
+    fn stats_count_commands() {
+        let mut dev = tiny_device();
+        let data = page_of(&dev, 1);
+        let b0 = BlockAddr::new(0, 0, 0, 0);
+        dev.program_page(0, b0.page(0), &data, Oob::data(1, 0)).unwrap();
+        dev.program_page(0, b0.page(1), &data, Oob::data(2, 0)).unwrap();
+        let mut buf = page_of(&dev, 0);
+        dev.read_page(0, b0.page(0), &mut buf).unwrap();
+        dev.copyback(0, b0.page(0), BlockAddr::new(0, 0, 0, 1).page(0), None)
+            .unwrap();
+        dev.erase_block(0, b0).unwrap();
+        let s = dev.stats();
+        assert_eq!(s.programs, 2);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.copybacks, 1);
+        assert_eq!(s.erases, 1);
+        assert_eq!(s.total_ops(), 5);
+    }
+
+    #[test]
+    fn parallel_dies_overlap_but_same_die_serialises() {
+        let g = FlashGeometry::small();
+        let mut dev = NandDevice::with_geometry(g);
+        let data = vec![1u8; g.page_size as usize];
+        // Two programs to different dies issued at t=0: array phases overlap.
+        let a = dev
+            .program_page(0, Ppa::new(0, 0, 0, 0, 0), &data, Oob::data(1, 0))
+            .unwrap();
+        let b = dev
+            .program_page(0, Ppa::new(1, 0, 0, 0, 0), &data, Oob::data(2, 0))
+            .unwrap();
+        // Two programs to the same die serialise on the die.
+        let c = dev
+            .program_page(0, Ppa::new(0, 1, 0, 0, 0), &data, Oob::data(3, 0))
+            .unwrap();
+        let d = dev
+            .program_page(0, Ppa::new(0, 1, 0, 0, 1), &data, Oob::data(4, 0))
+            .unwrap();
+        // Different channels: b should not be delayed by a.
+        assert!(b.completed_at <= a.completed_at + dev.timing().program_page);
+        // Same die: d cannot finish before c.
+        assert!(d.completed_at > c.completed_at);
+        // Same-die latency difference should be at least one program time.
+        assert!(d.completed_at - c.completed_at >= dev.timing().program_page);
+    }
+
+    #[test]
+    fn wear_out_grows_bad_block() {
+        let g = FlashGeometry::tiny();
+        let mut cfg = DeviceConfig::new(g);
+        cfg.bad_blocks = BadBlockPolicy {
+            factory_bad_fraction: 0.0,
+            wear_out_failure_prob: 1.0,
+            seed: 1,
+        };
+        let mut dev = NandDevice::new(cfg);
+        // Shrink endurance artificially by erasing past the SLC limit would
+        // take 100k iterations; instead check the policy path via the device's
+        // own endurance field by erasing a block repeatedly up to just past a
+        // tiny synthetic endurance.
+        dev.endurance = 3;
+        let b = BlockAddr::new(0, 0, 0, 0);
+        for _ in 0..3 {
+            dev.erase_block(0, b).unwrap();
+        }
+        let err = dev.erase_block(0, b).unwrap_err();
+        assert!(matches!(err, FlashError::WornOut(_)));
+        assert!(!dev.block_info(b).unwrap().usable);
+        // Subsequent operations on the dead block are rejected.
+        assert!(matches!(
+            dev.erase_block(0, b),
+            Err(FlashError::BadBlock(_))
+        ));
+    }
+
+    #[test]
+    fn factory_bad_blocks_are_unusable() {
+        let g = FlashGeometry::small();
+        let mut cfg = DeviceConfig::new(g);
+        cfg.bad_blocks = BadBlockPolicy {
+            factory_bad_fraction: 0.05,
+            wear_out_failure_prob: 0.0,
+            seed: 99,
+        };
+        let dev = NandDevice::new(cfg);
+        let bad_count = (0..g.total_blocks())
+            .filter(|&f| !dev.block_info(BlockAddr::from_flat(&g, f)).unwrap().usable)
+            .count();
+        assert!(bad_count > 0, "expected some factory bad blocks");
+    }
+
+    #[test]
+    fn metadata_only_mode_skips_data_storage() {
+        let g = FlashGeometry::tiny();
+        let mut dev = NandDevice::new(DeviceConfig::metadata_only(g));
+        let data = vec![0xEE; g.page_size as usize];
+        let ppa = Ppa::new(0, 0, 0, 0, 0);
+        dev.program_page(0, ppa, &data, Oob::data(5, 0)).unwrap();
+        let mut buf = vec![0xFF; g.page_size as usize];
+        let (oob, _) = dev.read_page(0, ppa, &mut buf).unwrap();
+        assert_eq!(oob.lpn, 5);
+        // Data is not retained in metadata-only mode; buffer is zero-filled.
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn tracer_records_when_enabled() {
+        let g = FlashGeometry::tiny();
+        let mut cfg = DeviceConfig::new(g);
+        cfg.trace_capacity = 16;
+        let mut dev = NandDevice::new(cfg);
+        let data = vec![1u8; g.page_size as usize];
+        dev.program_page(0, Ppa::new(0, 0, 0, 0, 0), &data, Oob::data(1, 0))
+            .unwrap();
+        dev.erase_block(0, BlockAddr::new(0, 0, 0, 1)).unwrap();
+        assert_eq!(dev.tracer().entries().len(), 2);
+        assert_eq!(dev.tracer().entries()[0].kind, OpKind::Program);
+        assert_eq!(dev.tracer().entries()[1].kind, OpKind::Erase);
+    }
+
+    #[test]
+    fn identify_reports_architecture() {
+        let dev = NandDevice::with_geometry(FlashGeometry::openssd_like());
+        let id = dev.identify();
+        assert_eq!(id.geometry.total_dies(), 8);
+        assert!(id.supports_copyback);
+        assert!(id.endurance > 0);
+        assert!(id.model.contains("SLC"));
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut dev = tiny_device();
+        let data = page_of(&dev, 1);
+        dev.program_page(0, Ppa::new(0, 0, 0, 0, 0), &data, Oob::data(1, 0))
+            .unwrap();
+        assert_eq!(dev.stats().programs, 1);
+        dev.reset_stats();
+        assert_eq!(dev.stats().programs, 0);
+        assert_eq!(dev.stats().total_ops(), 0);
+    }
+
+    #[test]
+    fn wear_accounting_helpers() {
+        let mut dev = tiny_device();
+        let b0 = BlockAddr::new(0, 0, 0, 0);
+        let b1 = BlockAddr::new(0, 0, 0, 1);
+        dev.erase_block(0, b0).unwrap();
+        dev.erase_block(0, b0).unwrap();
+        dev.erase_block(0, b1).unwrap();
+        assert_eq!(dev.max_erase_count(), 2);
+        let mean = dev.mean_erase_count();
+        assert!(mean > 0.0 && mean < 1.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # nand-flash
+//!
+//! A NAND Flash device model exposing the **native Flash interface** described
+//! in the NoFTL paper (EDBT 2015, §3): `PAGE READ`, `PAGE PROGRAM`,
+//! `COPYBACK PROGRAM`, `BLOCK ERASE`, page metadata (OOB) handling and an
+//! `IDENTIFY` command that reports the internal architecture (channels, LUNs,
+//! planes, blocks, pages, NAND type).
+//!
+//! The model plays the role of the raw NAND array on the OpenSSD board: it
+//! enforces real NAND constraints (erase-before-program, sequential page
+//! programming inside a block, whole-block erases, plane-local copyback),
+//! tracks wear and grown bad blocks, and computes operation latencies from a
+//! per-die / per-channel occupancy model so that Flash parallelism (the
+//! subject of §3.2 of the paper) is observable.
+//!
+//! The higher layers built on top of this crate are the `ftl` crate
+//! (on-device FTL baselines behind a legacy block interface) and `noftl-core`
+//! (the DBMS-integrated Flash management of the paper).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod addr;
+pub mod bad_block;
+pub mod block;
+pub mod device;
+pub mod die;
+pub mod error;
+pub mod geometry;
+pub mod interface;
+pub mod nand_type;
+pub mod oob;
+pub mod page;
+pub mod stats;
+pub mod timing;
+pub mod trace;
+
+pub use addr::{BlockAddr, DieAddr, Ppa};
+pub use device::{DeviceConfig, NandDevice};
+pub use error::{FlashError, FlashResult};
+pub use geometry::FlashGeometry;
+pub use interface::{DeviceIdentification, NativeFlashInterface, OpCompletion, OpKind};
+pub use nand_type::{NandType, TimingProfile};
+pub use oob::{Oob, PageKind};
+pub use page::PageState;
+pub use stats::FlashStats;
+pub use trace::{TraceEntry, Tracer};

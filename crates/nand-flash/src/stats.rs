@@ -1,0 +1,163 @@
+//! Command counters and latency statistics of the NAND device.
+//!
+//! Figure 3 of the paper is a table of absolute and relative COPYBACK / ERASE
+//! counts; these counters are the source of those numbers.
+
+use serde::{Deserialize, Serialize};
+use sim_utils::histogram::Histogram;
+
+/// Per-command counters plus latency histograms.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlashStats {
+    /// Number of PAGE READ commands.
+    pub reads: u64,
+    /// Number of PAGE PROGRAM commands.
+    pub programs: u64,
+    /// Number of BLOCK ERASE commands.
+    pub erases: u64,
+    /// Number of COPYBACK PROGRAM commands.
+    pub copybacks: u64,
+    /// Bytes transferred from the device to the host.
+    pub bytes_read: u64,
+    /// Bytes transferred from the host to the device.
+    pub bytes_written: u64,
+    /// Latency histogram of read commands (ns).
+    pub read_latency: Histogram,
+    /// Latency histogram of program commands (ns).
+    pub program_latency: Histogram,
+    /// Latency histogram of erase commands (ns).
+    pub erase_latency: Histogram,
+    /// Latency histogram of copyback commands (ns).
+    pub copyback_latency: Histogram,
+    /// Per-die array-operation counts (index = flat die index).
+    pub per_die_ops: Vec<u64>,
+}
+
+impl FlashStats {
+    /// Create zeroed statistics for a device with `dies` dies.
+    pub fn new(dies: usize) -> Self {
+        Self {
+            per_die_ops: vec![0; dies],
+            ..Default::default()
+        }
+    }
+
+    /// Total number of native Flash commands issued.
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.programs + self.erases + self.copybacks
+    }
+
+    /// Total page-program operations including copybacks (each copyback
+    /// programs one page internally) — the write-wear measure.
+    pub fn total_page_writes(&self) -> u64 {
+        self.programs + self.copybacks
+    }
+
+    /// Reset all counters and histograms.
+    pub fn clear(&mut self) {
+        let dies = self.per_die_ops.len();
+        *self = FlashStats::new(dies);
+    }
+
+    /// Merge counters from another stats object (histograms included).
+    pub fn merge(&mut self, other: &FlashStats) {
+        self.reads += other.reads;
+        self.programs += other.programs;
+        self.erases += other.erases;
+        self.copybacks += other.copybacks;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.read_latency.merge(&other.read_latency);
+        self.program_latency.merge(&other.program_latency);
+        self.erase_latency.merge(&other.erase_latency);
+        self.copyback_latency.merge(&other.copyback_latency);
+        if self.per_die_ops.len() < other.per_die_ops.len() {
+            self.per_die_ops.resize(other.per_die_ops.len(), 0);
+        }
+        for (a, b) in self.per_die_ops.iter_mut().zip(other.per_die_ops.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Coefficient of variation of per-die operation counts — a quick measure
+    /// of how evenly work spreads over the Flash parallel units.
+    pub fn die_balance_cv(&self) -> f64 {
+        let n = self.per_die_ops.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mean = self.per_die_ops.iter().sum::<u64>() as f64 / n as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .per_die_ops
+            .iter()
+            .map(|&x| {
+                let d = x as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let mut s = FlashStats::new(2);
+        s.reads = 10;
+        s.programs = 5;
+        s.erases = 2;
+        s.copybacks = 3;
+        assert_eq!(s.total_ops(), 20);
+        assert_eq!(s.total_page_writes(), 8);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = FlashStats::new(2);
+        a.reads = 1;
+        a.per_die_ops[0] = 4;
+        let mut b = FlashStats::new(2);
+        b.reads = 2;
+        b.erases = 7;
+        b.per_die_ops[1] = 6;
+        a.merge(&b);
+        assert_eq!(a.reads, 3);
+        assert_eq!(a.erases, 7);
+        assert_eq!(a.per_die_ops, vec![4, 6]);
+    }
+
+    #[test]
+    fn clear_zeroes_everything() {
+        let mut s = FlashStats::new(3);
+        s.programs = 9;
+        s.per_die_ops[2] = 5;
+        s.program_latency.record(100);
+        s.clear();
+        assert_eq!(s.programs, 0);
+        assert_eq!(s.per_die_ops, vec![0, 0, 0]);
+        assert_eq!(s.program_latency.count(), 0);
+    }
+
+    #[test]
+    fn balance_cv_detects_imbalance() {
+        let mut balanced = FlashStats::new(4);
+        balanced.per_die_ops = vec![100, 100, 100, 100];
+        let mut skewed = FlashStats::new(4);
+        skewed.per_die_ops = vec![400, 0, 0, 0];
+        assert!(balanced.die_balance_cv() < 0.01);
+        assert!(skewed.die_balance_cv() > 1.0);
+    }
+
+    #[test]
+    fn empty_cv_is_zero() {
+        assert_eq!(FlashStats::new(0).die_balance_cv(), 0.0);
+        assert_eq!(FlashStats::new(4).die_balance_cv(), 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Channel occupancy model.
+//!
+//! Array operations occupy a *die*; data transfers occupy the *channel* the
+//! die hangs off.  Modelling the two separately is what lets several dies on
+//! the same channel overlap their array operations while serialising their
+//! transfers — the behaviour that makes "commodity Flash SSDs with 8–10 chips
+//! able to execute up to 160 concurrent I/Os" (paper §3.2).
+
+use sim_utils::time::{SimDuration, SimInstant};
+
+/// Tracks occupancy of one Flash channel (bus).
+#[derive(Debug, Clone, Default)]
+pub struct Channel {
+    busy_until: SimInstant,
+    busy_time: SimDuration,
+    transfers: u64,
+}
+
+impl Channel {
+    /// Create an idle channel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The instant until which the channel is occupied.
+    pub fn busy_until(&self) -> SimInstant {
+        self.busy_until
+    }
+
+    /// Total accumulated transfer time.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// Number of transfers performed.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Reserve the channel for a transfer of length `duration` starting no
+    /// earlier than `earliest_start`. Returns `(start, end)`.
+    pub fn occupy(
+        &mut self,
+        earliest_start: SimInstant,
+        duration: SimDuration,
+    ) -> (SimInstant, SimInstant) {
+        let start = self.busy_until.max(earliest_start);
+        let end = start + duration;
+        self.busy_until = end;
+        self.busy_time += duration;
+        self.transfers += 1;
+        (start, end)
+    }
+
+    /// Channel utilisation over `[0, horizon]`.
+    pub fn utilisation(&self, horizon: SimInstant) -> f64 {
+        if horizon == 0 {
+            0.0
+        } else {
+            (self.busy_time as f64 / horizon as f64).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_serialises_transfers() {
+        let mut ch = Channel::new();
+        assert_eq!(ch.occupy(0, 10), (0, 10));
+        assert_eq!(ch.occupy(5, 10), (10, 20));
+        assert_eq!(ch.occupy(100, 10), (100, 110));
+        assert_eq!(ch.transfers(), 3);
+        assert_eq!(ch.busy_time(), 30);
+    }
+
+    #[test]
+    fn utilisation_bounds() {
+        let mut ch = Channel::new();
+        ch.occupy(0, 50);
+        assert!((ch.utilisation(100) - 0.5).abs() < 1e-12);
+        assert_eq!(ch.utilisation(0), 0.0);
+    }
+}

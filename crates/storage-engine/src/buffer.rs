@@ -1,0 +1,425 @@
+//! Buffer pool with clock eviction, dirty tracking and pin counts.
+//!
+//! The buffer manager is deliberately close to Shore-MT's in spirit: fixed
+//! frame count, clock (second-chance) replacement, explicit dirty tracking so
+//! the background db-writers ([`crate::flusher`]) can flush asynchronously,
+//! and synchronous write-back only as a last resort when a victim frame is
+//! dirty and no clean frame exists — the situation whose cost the Flash-aware
+//! flusher assignment is designed to avoid.
+
+use std::collections::HashMap;
+
+use nand_flash::{FlashError, FlashResult};
+use sim_utils::time::SimInstant;
+
+use crate::backend::StorageBackend;
+use crate::page::PageId;
+
+/// Buffer pool statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Page requests served from the pool.
+    pub hits: u64,
+    /// Page requests that had to read from the backend.
+    pub misses: u64,
+    /// Frames reclaimed by the clock hand.
+    pub evictions: u64,
+    /// Evictions that had to write back a dirty page synchronously
+    /// (foreground write stalls).
+    pub dirty_evictions: u64,
+    /// Pages written back by the background flushers.
+    pub flushed_by_writers: u64,
+}
+
+#[derive(Debug)]
+struct Frame {
+    page_id: PageId,
+    data: Vec<u8>,
+    dirty: bool,
+    pins: u32,
+    referenced: bool,
+}
+
+/// A fixed-capacity buffer pool of database pages.
+pub struct BufferPool {
+    capacity: usize,
+    page_size: usize,
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    clock_hand: usize,
+    stats: BufferStats,
+}
+
+impl BufferPool {
+    /// Create a pool of `capacity` frames of `page_size` bytes.
+    pub fn new(capacity: usize, page_size: usize) -> Self {
+        assert!(capacity >= 2, "buffer pool needs at least two frames");
+        Self {
+            capacity,
+            page_size,
+            frames: Vec::with_capacity(capacity),
+            map: HashMap::with_capacity(capacity),
+            clock_hand: 0,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Pool statistics.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Number of resident pages.
+    pub fn resident(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of dirty resident pages.
+    pub fn dirty_count(&self) -> usize {
+        self.frames.iter().filter(|f| f.dirty).count()
+    }
+
+    /// Fraction of frames that are dirty.
+    pub fn dirty_fraction(&self) -> f64 {
+        self.dirty_count() as f64 / self.capacity as f64
+    }
+
+    /// Page ids of all dirty resident pages.
+    pub fn dirty_pages(&self) -> Vec<PageId> {
+        self.frames
+            .iter()
+            .filter(|f| f.dirty)
+            .map(|f| f.page_id)
+            .collect()
+    }
+
+    /// Whether `page_id` is resident.
+    pub fn contains(&self, page_id: PageId) -> bool {
+        self.map.contains_key(&page_id)
+    }
+
+    /// Whether `page_id` is resident and dirty.
+    pub fn is_dirty(&self, page_id: PageId) -> bool {
+        self.map
+            .get(&page_id)
+            .map(|&i| self.frames[i].dirty)
+            .unwrap_or(false)
+    }
+
+    /// Borrow the raw bytes of a resident page (used by flushers).
+    pub fn page_bytes(&self, page_id: PageId) -> Option<&[u8]> {
+        self.map.get(&page_id).map(|&i| self.frames[i].data.as_slice())
+    }
+
+    /// Mark a resident page clean (after a flusher wrote it out).
+    pub fn mark_clean(&mut self, page_id: PageId) {
+        if let Some(&i) = self.map.get(&page_id) {
+            if self.frames[i].dirty {
+                self.frames[i].dirty = false;
+                self.stats.flushed_by_writers += 1;
+            }
+        }
+    }
+
+    /// Find a victim frame index using the clock algorithm. Pinned frames are
+    /// never chosen. Returns `None` when every frame is pinned.
+    fn find_victim(&mut self) -> Option<usize> {
+        if self.frames.len() < self.capacity {
+            // Grow: fresh frame slot.
+            self.frames.push(Frame {
+                page_id: u64::MAX,
+                data: vec![0u8; self.page_size],
+                dirty: false,
+                pins: 0,
+                referenced: false,
+            });
+            return Some(self.frames.len() - 1);
+        }
+        for _ in 0..(2 * self.capacity) {
+            let i = self.clock_hand;
+            self.clock_hand = (self.clock_hand + 1) % self.capacity;
+            let frame = &mut self.frames[i];
+            if frame.pins > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            return Some(i);
+        }
+        None
+    }
+
+    /// Ensure `page_id` is resident, reading it from `backend` on a miss.
+    /// Returns the frame index and the virtual time after any I/O.
+    fn fetch(
+        &mut self,
+        backend: &mut dyn StorageBackend,
+        now: SimInstant,
+        page_id: PageId,
+        read_from_backend: bool,
+    ) -> FlashResult<(usize, SimInstant)> {
+        if let Some(&i) = self.map.get(&page_id) {
+            self.frames[i].referenced = true;
+            self.stats.hits += 1;
+            return Ok((i, now));
+        }
+        self.stats.misses += 1;
+        let mut t = now;
+        let victim = self.find_victim().ok_or(FlashError::OutOfSpareBlocks)?;
+        // Write back a dirty victim synchronously (foreground stall).
+        if self.frames[victim].page_id != u64::MAX {
+            if self.frames[victim].dirty {
+                let old_id = self.frames[victim].page_id;
+                let data = std::mem::take(&mut self.frames[victim].data);
+                let c = backend.write_page(t, old_id, &data)?;
+                t = t.max(c.completed_at);
+                self.frames[victim].data = data;
+                self.stats.dirty_evictions += 1;
+            }
+            self.map.remove(&self.frames[victim].page_id);
+            self.stats.evictions += 1;
+        }
+        // Load the new page.
+        if read_from_backend {
+            let mut data = std::mem::take(&mut self.frames[victim].data);
+            let c = backend.read_page(t, page_id, &mut data)?;
+            t = t.max(c.completed_at);
+            self.frames[victim].data = data;
+        } else {
+            self.frames[victim].data.fill(0);
+        }
+        self.frames[victim].page_id = page_id;
+        self.frames[victim].dirty = false;
+        self.frames[victim].referenced = true;
+        self.frames[victim].pins = 0;
+        self.map.insert(page_id, victim);
+        Ok((victim, t))
+    }
+
+    /// Read-access a page through a closure. Returns the closure result and
+    /// the virtual time after any backend I/O.
+    pub fn with_page<R>(
+        &mut self,
+        backend: &mut dyn StorageBackend,
+        now: SimInstant,
+        page_id: PageId,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> FlashResult<(R, SimInstant)> {
+        let (i, t) = self.fetch(backend, now, page_id, true)?;
+        self.frames[i].pins += 1;
+        let r = f(&self.frames[i].data);
+        self.frames[i].pins -= 1;
+        Ok((r, t))
+    }
+
+    /// Write-access a page through a closure (marks it dirty).
+    pub fn with_page_mut<R>(
+        &mut self,
+        backend: &mut dyn StorageBackend,
+        now: SimInstant,
+        page_id: PageId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> FlashResult<(R, SimInstant)> {
+        let (i, t) = self.fetch(backend, now, page_id, true)?;
+        self.frames[i].pins += 1;
+        let r = f(&mut self.frames[i].data);
+        self.frames[i].pins -= 1;
+        self.frames[i].dirty = true;
+        Ok((r, t))
+    }
+
+    /// Create/overwrite a page in the pool *without* reading it from the
+    /// backend first (freshly allocated pages).
+    pub fn new_page<R>(
+        &mut self,
+        backend: &mut dyn StorageBackend,
+        now: SimInstant,
+        page_id: PageId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> FlashResult<(R, SimInstant)> {
+        let (i, t) = self.fetch(backend, now, page_id, false)?;
+        self.frames[i].pins += 1;
+        let r = f(&mut self.frames[i].data);
+        self.frames[i].pins -= 1;
+        self.frames[i].dirty = true;
+        Ok((r, t))
+    }
+
+    /// Pin a resident page (prevents eviction). Returns `false` if the page
+    /// is not resident.
+    pub fn pin(&mut self, page_id: PageId) -> bool {
+        if let Some(&i) = self.map.get(&page_id) {
+            self.frames[i].pins += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Unpin a resident page.
+    pub fn unpin(&mut self, page_id: PageId) {
+        if let Some(&i) = self.map.get(&page_id) {
+            let frame = &mut self.frames[i];
+            frame.pins = frame.pins.saturating_sub(1);
+        }
+    }
+
+    /// Drop a page from the pool without writing it back (used when the page
+    /// was freed by the free-space manager — its content is dead anyway).
+    pub fn discard(&mut self, page_id: PageId) {
+        if let Some(i) = self.map.remove(&page_id) {
+            self.frames[i].page_id = u64::MAX;
+            self.frames[i].dirty = false;
+            self.frames[i].pins = 0;
+            self.frames[i].referenced = false;
+        }
+    }
+
+    /// Write every dirty page back to the backend (checkpoint / shutdown).
+    /// Returns the time after all writes complete.
+    pub fn flush_all(
+        &mut self,
+        backend: &mut dyn StorageBackend,
+        now: SimInstant,
+    ) -> FlashResult<SimInstant> {
+        let mut t = now;
+        let dirty: Vec<usize> = (0..self.frames.len())
+            .filter(|&i| self.frames[i].dirty)
+            .collect();
+        for i in dirty {
+            let page_id = self.frames[i].page_id;
+            let data = std::mem::take(&mut self.frames[i].data);
+            let c = backend.write_page(t, page_id, &data)?;
+            t = t.max(c.completed_at);
+            self.frames[i].data = data;
+            self.frames[i].dirty = false;
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn setup(frames: usize) -> (BufferPool, MemBackend) {
+        (BufferPool::new(frames, 512), MemBackend::new(512, 256))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let (mut pool, mut backend) = setup(4);
+        backend.write_page(0, 7, &vec![9u8; 512]).unwrap();
+        let (first, _) = pool
+            .with_page(&mut backend, 0, 7, |d| d[0])
+            .unwrap();
+        assert_eq!(first, 9);
+        assert_eq!(pool.stats().misses, 1);
+        let (second, _) = pool.with_page(&mut backend, 0, 7, |d| d[0]).unwrap();
+        assert_eq!(second, 9);
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn writes_mark_dirty_and_flush_all_persists() {
+        let (mut pool, mut backend) = setup(4);
+        pool.new_page(&mut backend, 0, 3, |d| d[0] = 0xAB).unwrap();
+        assert!(pool.is_dirty(3));
+        assert_eq!(pool.dirty_count(), 1);
+        pool.flush_all(&mut backend, 0).unwrap();
+        assert!(!pool.is_dirty(3));
+        let mut buf = vec![0u8; 512];
+        backend.read_page(0, 3, &mut buf).unwrap();
+        assert_eq!(buf[0], 0xAB);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_victims() {
+        let (mut pool, mut backend) = setup(2);
+        pool.new_page(&mut backend, 0, 1, |d| d[0] = 1).unwrap();
+        pool.new_page(&mut backend, 0, 2, |d| d[0] = 2).unwrap();
+        // Touching a third page forces an eviction of a dirty frame.
+        pool.new_page(&mut backend, 0, 3, |d| d[0] = 3).unwrap();
+        assert!(pool.stats().dirty_evictions >= 1);
+        // The evicted page's content must be durable.
+        let evicted: Vec<u64> = [1u64, 2]
+            .iter()
+            .copied()
+            .filter(|p| !pool.contains(*p))
+            .collect();
+        assert_eq!(evicted.len(), 1);
+        let mut buf = vec![0u8; 512];
+        backend.read_page(0, evicted[0], &mut buf).unwrap();
+        assert_eq!(buf[0], evicted[0] as u8);
+    }
+
+    #[test]
+    fn pinned_pages_are_never_evicted() {
+        let (mut pool, mut backend) = setup(2);
+        pool.new_page(&mut backend, 0, 1, |d| d[0] = 1).unwrap();
+        pool.new_page(&mut backend, 0, 2, |d| d[0] = 2).unwrap();
+        assert!(pool.pin(1));
+        assert!(pool.pin(2));
+        // No frame can be evicted: the fetch must fail rather than evict.
+        assert!(pool.with_page(&mut backend, 0, 3, |_| ()).is_err());
+        pool.unpin(1);
+        assert!(pool.with_page(&mut backend, 0, 3, |_| ()).is_ok());
+        assert!(pool.contains(2), "pinned page must survive");
+    }
+
+    #[test]
+    fn mark_clean_tracks_flusher_writes() {
+        let (mut pool, mut backend) = setup(4);
+        pool.new_page(&mut backend, 0, 5, |d| d[0] = 5).unwrap();
+        assert_eq!(pool.dirty_pages(), vec![5]);
+        pool.mark_clean(5);
+        assert_eq!(pool.dirty_count(), 0);
+        assert_eq!(pool.stats().flushed_by_writers, 1);
+        // Marking an already-clean page again does not double count.
+        pool.mark_clean(5);
+        assert_eq!(pool.stats().flushed_by_writers, 1);
+    }
+
+    #[test]
+    fn discard_drops_without_write_back() {
+        let (mut pool, mut backend) = setup(4);
+        pool.new_page(&mut backend, 0, 9, |d| d[0] = 9).unwrap();
+        pool.discard(9);
+        assert!(!pool.contains(9));
+        assert_eq!(pool.dirty_count(), 0);
+        // Nothing was written to the backend for page 9.
+        let mut buf = vec![0u8; 512];
+        backend.read_page(0, 9, &mut buf).unwrap();
+        assert_eq!(buf[0], 0);
+    }
+
+    #[test]
+    fn page_bytes_visible_to_flushers() {
+        let (mut pool, mut backend) = setup(4);
+        pool.new_page(&mut backend, 0, 11, |d| d[0] = 0x44).unwrap();
+        assert_eq!(pool.page_bytes(11).unwrap()[0], 0x44);
+        assert!(pool.page_bytes(999).is_none());
+    }
+
+    #[test]
+    fn dirty_fraction_reflects_state() {
+        let (mut pool, mut backend) = setup(4);
+        assert_eq!(pool.dirty_fraction(), 0.0);
+        pool.new_page(&mut backend, 0, 1, |_| ()).unwrap();
+        pool.new_page(&mut backend, 0, 2, |_| ()).unwrap();
+        assert!((pool.dirty_fraction() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,554 @@
+//! The storage engine facade: wires the buffer pool, free-space manager, WAL,
+//! transactions, db-writers, tables and indexes over a pluggable backend.
+//!
+//! This is the component the workload drivers (TPC-B/C/E/H) talk to.  Every
+//! operation takes and returns virtual time so a driver can interleave many
+//! logical clients deterministically and measure transactional throughput on
+//! the virtual clock — the TPS numbers of the paper's Figures.
+
+use nand_flash::{FlashError, FlashResult};
+use sim_utils::time::SimInstant;
+
+use crate::backend::{BackendCounters, StorageBackend};
+use crate::btree::BTree;
+use crate::buffer::{BufferPool, BufferStats};
+use crate::catalog::Catalog;
+use crate::flusher::{FlusherConfig, FlusherPool, FlusherStats};
+use crate::free_space::FreeSpaceManager;
+use crate::heap::Rid;
+use crate::heap::HeapFile;
+use crate::page::PageId;
+use crate::transaction::{TransactionManager, TxnId};
+use crate::wal::WalManager;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Buffer pool size in frames.
+    pub buffer_frames: usize,
+    /// Background db-writer configuration.
+    pub flushers: FlusherConfig,
+    /// Number of pages reserved at the top of the address space for the WAL.
+    pub log_pages: u64,
+}
+
+impl EngineConfig {
+    /// Reasonable defaults: 1024 frames, 4 global db-writers, 64 log pages.
+    pub fn new() -> Self {
+        Self {
+            buffer_frames: 1024,
+            flushers: FlusherConfig::global(4),
+            log_pages: 64,
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The storage engine.
+pub struct StorageEngine {
+    backend: Box<dyn StorageBackend>,
+    pool: BufferPool,
+    fsm: FreeSpaceManager,
+    wal: WalManager,
+    txns: TransactionManager,
+    flushers: FlusherPool,
+    catalog: Catalog,
+}
+
+impl StorageEngine {
+    /// Create an engine over `backend`.
+    pub fn new(backend: Box<dyn StorageBackend>, config: EngineConfig) -> Self {
+        let page_size = backend.page_size();
+        let total_pages = backend.num_pages();
+        assert!(
+            total_pages > config.log_pages + 16,
+            "backend too small for the requested log segment"
+        );
+        let data_pages = total_pages - config.log_pages;
+        Self {
+            pool: BufferPool::new(config.buffer_frames, page_size),
+            fsm: FreeSpaceManager::new(0, data_pages),
+            wal: WalManager::new(data_pages, config.log_pages, page_size),
+            txns: TransactionManager::new(),
+            flushers: FlusherPool::new(config.flushers),
+            catalog: Catalog::new(),
+            backend,
+        }
+    }
+
+    /// Page size of the underlying backend.
+    pub fn page_size(&self) -> usize {
+        self.backend.page_size()
+    }
+
+    /// Name of the storage stack in use.
+    pub fn backend_name(&self) -> String {
+        self.backend.name()
+    }
+
+    /// Number of physical regions the backend exposes.
+    pub fn regions(&self) -> usize {
+        self.backend.regions()
+    }
+
+    /// Buffer pool statistics.
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.pool.stats()
+    }
+
+    /// Flusher statistics.
+    pub fn flusher_stats(&self) -> FlusherStats {
+        self.flushers.stats()
+    }
+
+    /// Backend I/O counters.
+    pub fn backend_counters(&self) -> BackendCounters {
+        self.backend.counters()
+    }
+
+    /// Borrow the backend (downcasting / detailed statistics in benches).
+    pub fn backend(&self) -> &dyn StorageBackend {
+        self.backend.as_ref()
+    }
+
+    /// Mutably borrow the backend.
+    pub fn backend_mut(&mut self) -> &mut dyn StorageBackend {
+        self.backend.as_mut()
+    }
+
+    /// Number of committed transactions.
+    pub fn committed(&self) -> u64 {
+        self.txns.committed()
+    }
+
+    /// Number of WAL forces (group commits).
+    pub fn log_forces(&self) -> u64 {
+        self.wal.forces()
+    }
+
+    // -- transactions -------------------------------------------------------
+
+    /// Begin a transaction.
+    pub fn begin(&mut self) -> TxnId {
+        self.txns.begin(&mut self.wal)
+    }
+
+    /// Commit a transaction (forces the WAL). Returns the completion time.
+    pub fn commit(&mut self, txn: TxnId, now: SimInstant) -> FlashResult<SimInstant> {
+        self.txns
+            .commit(txn, &mut self.wal, self.backend.as_mut(), now)
+    }
+
+    /// Abort a transaction.
+    pub fn abort(&mut self, txn: TxnId) {
+        self.txns.abort(txn, &mut self.wal);
+    }
+
+    // -- DDL ----------------------------------------------------------------
+
+    /// Create a heap table. Returns `false` if the name is taken.
+    pub fn create_table(&mut self, name: &str) -> bool {
+        self.catalog.add_table(HeapFile::new(name))
+    }
+
+    /// Create a B+-tree index. Returns `false` if the name is taken.
+    pub fn create_index(&mut self, name: &str, now: SimInstant) -> FlashResult<bool> {
+        if self.catalog.index(name).is_some() {
+            return Ok(false);
+        }
+        let (tree, _) = BTree::create(&mut self.pool, self.backend.as_mut(), &mut self.fsm, now)?;
+        Ok(self.catalog.add_index(name, tree))
+    }
+
+    /// Drop a table: free all its pages (dead-page hints to the backend).
+    pub fn drop_table(&mut self, name: &str, now: SimInstant) -> FlashResult<bool> {
+        let Some(table) = self.catalog.drop_table(name) else {
+            return Ok(false);
+        };
+        for &page in table.pages() {
+            self.free_page(page, now)?;
+        }
+        Ok(true)
+    }
+
+    /// Free one page: tell the free-space manager, drop it from the pool and
+    /// hint the backend that the content is dead.
+    pub fn free_page(&mut self, page: PageId, now: SimInstant) -> FlashResult<()> {
+        self.fsm.free(page);
+        self.pool.discard(page);
+        self.backend.free_page_hint(now, page)
+    }
+
+    // -- DML ----------------------------------------------------------------
+
+    /// Insert a record into `table`.
+    pub fn insert(
+        &mut self,
+        table: &str,
+        txn: TxnId,
+        now: SimInstant,
+        record: &[u8],
+    ) -> FlashResult<(Rid, SimInstant)> {
+        let heap = self
+            .catalog
+            .table_mut(table)
+            .ok_or_else(|| FlashError::InvalidAddress {
+                what: format!("unknown table {table}"),
+            })?;
+        heap.insert(
+            &mut self.pool,
+            self.backend.as_mut(),
+            &mut self.fsm,
+            &mut self.wal,
+            txn,
+            now,
+            record,
+        )
+    }
+
+    /// Read a record by RID.
+    pub fn read(
+        &mut self,
+        table: &str,
+        now: SimInstant,
+        rid: Rid,
+    ) -> FlashResult<(Option<Vec<u8>>, SimInstant)> {
+        let heap = self
+            .catalog
+            .table(table)
+            .ok_or_else(|| FlashError::InvalidAddress {
+                what: format!("unknown table {table}"),
+            })?
+            .clone();
+        heap.get(&mut self.pool, self.backend.as_mut(), now, rid)
+    }
+
+    /// Update a record by RID (the record may move; the new RID is returned).
+    pub fn update(
+        &mut self,
+        table: &str,
+        txn: TxnId,
+        now: SimInstant,
+        rid: Rid,
+        record: &[u8],
+    ) -> FlashResult<(Rid, SimInstant)> {
+        let heap = self
+            .catalog
+            .table_mut(table)
+            .ok_or_else(|| FlashError::InvalidAddress {
+                what: format!("unknown table {table}"),
+            })?;
+        heap.update(
+            &mut self.pool,
+            self.backend.as_mut(),
+            &mut self.fsm,
+            &mut self.wal,
+            txn,
+            now,
+            rid,
+            record,
+        )
+    }
+
+    /// Delete a record by RID.
+    pub fn delete(
+        &mut self,
+        table: &str,
+        txn: TxnId,
+        now: SimInstant,
+        rid: Rid,
+    ) -> FlashResult<(bool, SimInstant)> {
+        let heap = self
+            .catalog
+            .table_mut(table)
+            .ok_or_else(|| FlashError::InvalidAddress {
+                what: format!("unknown table {table}"),
+            })?;
+        heap.delete(
+            &mut self.pool,
+            self.backend.as_mut(),
+            &mut self.wal,
+            txn,
+            now,
+            rid,
+        )
+    }
+
+    /// Scan a whole table.
+    pub fn scan(
+        &mut self,
+        table: &str,
+        now: SimInstant,
+        visit: impl FnMut(Rid, &[u8]),
+    ) -> FlashResult<(u64, SimInstant)> {
+        let heap = self
+            .catalog
+            .table(table)
+            .ok_or_else(|| FlashError::InvalidAddress {
+                what: format!("unknown table {table}"),
+            })?
+            .clone();
+        heap.scan(&mut self.pool, self.backend.as_mut(), now, visit)
+    }
+
+    // -- index access -------------------------------------------------------
+
+    /// Insert into an index.
+    pub fn index_insert(
+        &mut self,
+        index: &str,
+        now: SimInstant,
+        key: u64,
+        value: u64,
+    ) -> FlashResult<(Option<u64>, SimInstant)> {
+        let tree = self
+            .catalog
+            .index_mut(index)
+            .ok_or_else(|| FlashError::InvalidAddress {
+                what: format!("unknown index {index}"),
+            })?;
+        tree.insert(
+            &mut self.pool,
+            self.backend.as_mut(),
+            &mut self.fsm,
+            now,
+            key,
+            value,
+        )
+    }
+
+    /// Look up a key in an index.
+    pub fn index_get(
+        &mut self,
+        index: &str,
+        now: SimInstant,
+        key: u64,
+    ) -> FlashResult<(Option<u64>, SimInstant)> {
+        let tree = self
+            .catalog
+            .index(index)
+            .ok_or_else(|| FlashError::InvalidAddress {
+                what: format!("unknown index {index}"),
+            })?
+            .clone();
+        tree.get(&mut self.pool, self.backend.as_mut(), now, key)
+    }
+
+    /// Range scan `[lo, hi]` in an index.
+    pub fn index_range(
+        &mut self,
+        index: &str,
+        now: SimInstant,
+        lo: u64,
+        hi: u64,
+        visit: impl FnMut(u64, u64),
+    ) -> FlashResult<(u64, SimInstant)> {
+        let tree = self
+            .catalog
+            .index(index)
+            .ok_or_else(|| FlashError::InvalidAddress {
+                what: format!("unknown index {index}"),
+            })?
+            .clone();
+        tree.range(&mut self.pool, self.backend.as_mut(), now, lo, hi, visit)
+    }
+
+    // -- background work ----------------------------------------------------
+
+    /// Let the db-writers run if the dirty-page watermark is exceeded.
+    /// Returns the time after the flush cycle (or `now` if nothing ran).
+    pub fn maybe_flush(&mut self, now: SimInstant) -> FlashResult<SimInstant> {
+        if self.flushers.should_flush(&self.pool) {
+            self.flushers
+                .run_cycle(&mut self.pool, self.backend.as_mut(), now)
+        } else {
+            Ok(now)
+        }
+    }
+
+    /// Force a full flush of every dirty page plus a WAL force (checkpoint).
+    pub fn checkpoint(&mut self, now: SimInstant) -> FlashResult<SimInstant> {
+        let t = self.wal.flush(self.backend.as_mut(), now)?;
+        let t = self.pool.flush_all(self.backend.as_mut(), t)?;
+        self.wal.append(crate::wal::LogRecord::Checkpoint);
+        self.wal.flush(self.backend.as_mut(), t)
+    }
+
+    /// Dirty fraction of the buffer pool (drivers use this to decide when to
+    /// trigger [`StorageEngine::maybe_flush`]).
+    pub fn dirty_fraction(&self) -> f64 {
+        self.pool.dirty_fraction()
+    }
+
+    /// Borrow the WAL (recovery tests).
+    pub fn wal(&self) -> &WalManager {
+        &self.wal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{MemBackend, NoFtlBackend};
+    use nand_flash::FlashGeometry;
+    use noftl_core::{NoFtl, NoFtlConfig};
+
+    fn mem_engine() -> StorageEngine {
+        let backend = MemBackend::new(4096, 4096);
+        let mut cfg = EngineConfig::new();
+        cfg.buffer_frames = 64;
+        StorageEngine::new(Box::new(backend), cfg)
+    }
+
+    fn noftl_engine() -> StorageEngine {
+        let noftl = NoFtl::new(NoFtlConfig::new(FlashGeometry::small()));
+        let mut cfg = EngineConfig::new();
+        cfg.buffer_frames = 64;
+        cfg.flushers = FlusherConfig::die_wise(4);
+        StorageEngine::new(Box::new(NoFtlBackend::new(noftl)), cfg)
+    }
+
+    #[test]
+    fn create_insert_read_commit() {
+        let mut e = mem_engine();
+        assert!(e.create_table("accounts"));
+        assert!(!e.create_table("accounts"));
+        let txn = e.begin();
+        let (rid, t) = e.insert("accounts", txn, 0, b"acct-1").unwrap();
+        let t = e.commit(txn, t).unwrap();
+        let (val, _) = e.read("accounts", t, rid).unwrap();
+        assert_eq!(val.unwrap(), b"acct-1");
+        assert_eq!(e.committed(), 1);
+        assert!(e.log_forces() >= 1);
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let mut e = mem_engine();
+        let txn = e.begin();
+        assert!(e.insert("nope", txn, 0, b"x").is_err());
+        assert!(e.read("nope", 0, Rid { page: 0, slot: 0 }).is_err());
+    }
+
+    #[test]
+    fn update_and_delete_roundtrip() {
+        let mut e = mem_engine();
+        e.create_table("t");
+        let txn = e.begin();
+        let (rid, _) = e.insert("t", txn, 0, b"v1").unwrap();
+        let (rid, _) = e.update("t", txn, 0, rid, b"v2").unwrap();
+        let (val, _) = e.read("t", 0, rid).unwrap();
+        assert_eq!(val.unwrap(), b"v2");
+        let (deleted, _) = e.delete("t", txn, 0, rid).unwrap();
+        assert!(deleted);
+        let (gone, _) = e.read("t", 0, rid).unwrap();
+        assert!(gone.is_none());
+    }
+
+    #[test]
+    fn index_operations_through_engine() {
+        let mut e = mem_engine();
+        e.create_index("pk", 0).unwrap();
+        assert!(!e.create_index("pk", 0).unwrap());
+        for k in 0..200u64 {
+            e.index_insert("pk", 0, k, k * 3).unwrap();
+        }
+        let (v, _) = e.index_get("pk", 0, 77).unwrap();
+        assert_eq!(v, Some(231));
+        let mut count = 0;
+        e.index_range("pk", 0, 10, 19, |_, _| count += 1).unwrap();
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn flushers_run_on_dirty_watermark() {
+        let mut e = mem_engine();
+        e.create_table("t");
+        let txn = e.begin();
+        // Dirty lots of pages with large records.
+        let rec = vec![1u8; 2000];
+        let mut now = 0;
+        for _ in 0..80 {
+            let (_, t) = e.insert("t", txn, now, &rec).unwrap();
+            now = t;
+        }
+        assert!(e.dirty_fraction() > 0.0);
+        let before = e.flusher_stats().cycles;
+        // Force the watermark by checking: with 64 frames and ~40 pages dirty
+        // the 50% watermark should have been crossed.
+        let t = e.maybe_flush(now).unwrap();
+        let _ = t;
+        assert!(
+            e.flusher_stats().cycles > before || e.dirty_fraction() < 0.5,
+            "flush cycle should have run once the watermark was crossed"
+        );
+    }
+
+    #[test]
+    fn checkpoint_makes_everything_durable() {
+        let mut e = mem_engine();
+        e.create_table("t");
+        let txn = e.begin();
+        let (rid, t) = e.insert("t", txn, 0, b"durable").unwrap();
+        let t = e.checkpoint(t).unwrap();
+        assert_eq!(e.dirty_fraction(), 0.0);
+        // Data must be readable through a fresh read (backend has it).
+        let (val, _) = e.read("t", t, rid).unwrap();
+        assert_eq!(val.unwrap(), b"durable");
+    }
+
+    #[test]
+    fn drop_table_sends_dead_page_hints_to_noftl() {
+        let mut e = noftl_engine();
+        e.create_table("temp");
+        let txn = e.begin();
+        let rec = vec![9u8; 1000];
+        let mut now = 0;
+        for _ in 0..30 {
+            let (_, t) = e.insert("temp", txn, now, &rec).unwrap();
+            now = t;
+        }
+        let now = e.checkpoint(now).unwrap();
+        e.drop_table("temp", now).unwrap();
+        // The NoFTL backend must have received dead-page hints.
+        let counters_name = e.backend_name();
+        assert_eq!(counters_name, "noftl");
+        // Downcast via the known concrete type is not possible through the
+        // trait object; the hint count is visible indirectly: freed pages are
+        // reusable without GC copying them, which the integration tests and
+        // the GC-overhead bench verify quantitatively.
+        assert!(e.backend_counters().host_writes > 0);
+    }
+
+    #[test]
+    fn end_to_end_on_noftl_backend() {
+        let mut e = noftl_engine();
+        e.create_table("orders");
+        e.create_index("orders_pk", 0).unwrap();
+        let mut now = 0;
+        let mut rids = Vec::new();
+        for i in 0..200u64 {
+            let txn = e.begin();
+            let rec = format!("order-{i}");
+            let (rid, t) = e.insert("orders", txn, now, rec.as_bytes()).unwrap();
+            let (_, t) = e.index_insert("orders_pk", t, i, rid.page).unwrap();
+            now = e.commit(txn, t).unwrap();
+            now = e.maybe_flush(now).unwrap();
+            rids.push((i, rid, rec));
+        }
+        for (i, rid, rec) in &rids {
+            let (val, t) = e.read("orders", now, *rid).unwrap();
+            assert_eq!(val.unwrap(), rec.as_bytes());
+            let (page, t2) = e.index_get("orders_pk", t, *i).unwrap();
+            assert_eq!(page, Some(rid.page));
+            now = t2;
+        }
+        assert_eq!(e.committed(), 200);
+        assert!(e.backend_counters().host_writes > 0);
+    }
+}

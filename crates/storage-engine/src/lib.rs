@@ -1,0 +1,43 @@
+//! # storage-engine
+//!
+//! A Shore-MT-like storage engine: the DBMS substrate the paper integrates
+//! NoFTL into (§3.3).  It provides slotted pages, a buffer pool with
+//! background db-writers, a free-space manager, ARIES-style write-ahead
+//! logging, transactions, heap files and B+-tree indexes — and, crucially,
+//! a pluggable [`backend::StorageBackend`] with three concrete stacks:
+//!
+//! * **Cooked/raw block device** — an FTL-based SSD behind the legacy block
+//!   interface ([`backend::BlockDeviceBackend`], Figure 1.a/1.b);
+//! * **NoFTL native Flash** — DBMS-integrated Flash management
+//!   ([`backend::NoFtlBackend`], Figure 1.c);
+//! * **In-memory** — zero-latency backend used to record page-level traces
+//!   (the paper's Figure 3 methodology).
+//!
+//! The db-writer (background flusher) subsystem supports both the
+//! conventional *global* page assignment and the paper's *Flash-aware
+//! (die-wise)* assignment (§3.2), which is what the Figure 4 experiment
+//! varies.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backend;
+pub mod btree;
+pub mod buffer;
+pub mod catalog;
+pub mod engine;
+pub mod flusher;
+pub mod free_space;
+pub mod heap;
+pub mod page;
+pub mod transaction;
+pub mod wal;
+
+pub use backend::{BlockDeviceBackend, MemBackend, NoFtlBackend, StorageBackend};
+pub use buffer::BufferPool;
+pub use engine::{EngineConfig, StorageEngine};
+pub use flusher::{FlusherConfig, FlusherStats};
+pub use heap::{HeapFile, Rid};
+pub use page::{PageId, SlottedPage};
+pub use transaction::{TxnId, TxnState};
+pub use wal::{LogRecord, Lsn, WalManager};

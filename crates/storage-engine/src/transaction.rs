@@ -1,0 +1,134 @@
+//! Transaction manager: begin / commit / abort with WAL integration.
+//!
+//! Concurrency control is not the subject of the paper (its experiments vary
+//! the storage stack, not the isolation level), so transactions here are
+//! redo-logged units of work without lock management: the workload drivers
+//! interleave transactions cooperatively, and correctness of the storage
+//! stack underneath is what the tests check.
+
+use nand_flash::FlashResult;
+use sim_utils::time::SimInstant;
+
+use crate::backend::StorageBackend;
+use crate::wal::{LogRecord, WalManager};
+
+/// Transaction identifier.
+pub type TxnId = u64;
+
+/// Lifecycle state of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// Running.
+    Active,
+    /// Successfully committed (log forced).
+    Committed,
+    /// Rolled back.
+    Aborted,
+}
+
+/// Book-keeping for transactions.
+#[derive(Debug, Default)]
+pub struct TransactionManager {
+    next_txn: TxnId,
+    active: Vec<TxnId>,
+    committed: u64,
+    aborted: u64,
+}
+
+impl TransactionManager {
+    /// Create an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a new transaction, logging its Begin record.
+    pub fn begin(&mut self, wal: &mut WalManager) -> TxnId {
+        self.next_txn += 1;
+        let txn = self.next_txn;
+        self.active.push(txn);
+        wal.append(LogRecord::Begin { txn });
+        txn
+    }
+
+    /// Commit: append the Commit record and force the log (group commit is
+    /// modelled by the WAL buffering everything since the last force).
+    /// Returns the virtual time after the log force.
+    pub fn commit(
+        &mut self,
+        txn: TxnId,
+        wal: &mut WalManager,
+        backend: &mut dyn StorageBackend,
+        now: SimInstant,
+    ) -> FlashResult<SimInstant> {
+        wal.append(LogRecord::Commit { txn });
+        let t = wal.flush(backend, now)?;
+        self.active.retain(|&t2| t2 != txn);
+        self.committed += 1;
+        Ok(t)
+    }
+
+    /// Abort: append the Abort record (no force needed).
+    pub fn abort(&mut self, txn: TxnId, wal: &mut WalManager) {
+        wal.append(LogRecord::Abort { txn });
+        self.active.retain(|&t2| t2 != txn);
+        self.aborted += 1;
+    }
+
+    /// Number of transactions currently active.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Number of committed transactions.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Number of aborted transactions.
+    pub fn aborted(&self) -> u64 {
+        self.aborted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    #[test]
+    fn begin_commit_cycle() {
+        let mut backend = MemBackend::new(4096, 64);
+        let mut wal = WalManager::new(32, 8, 4096);
+        let mut tm = TransactionManager::new();
+        let t1 = tm.begin(&mut wal);
+        let t2 = tm.begin(&mut wal);
+        assert_ne!(t1, t2);
+        assert_eq!(tm.active_count(), 2);
+        tm.commit(t1, &mut wal, &mut backend, 0).unwrap();
+        assert_eq!(tm.active_count(), 1);
+        assert_eq!(tm.committed(), 1);
+        // Commit forced the log.
+        assert_eq!(wal.flushed_lsn(), wal.current_lsn());
+    }
+
+    #[test]
+    fn abort_does_not_force() {
+        let mut wal = WalManager::new(0, 4, 4096);
+        let mut tm = TransactionManager::new();
+        let t = tm.begin(&mut wal);
+        tm.abort(t, &mut wal);
+        assert_eq!(tm.aborted(), 1);
+        assert_eq!(tm.active_count(), 0);
+        assert_eq!(wal.flushed_lsn(), 0, "abort must not force the log");
+    }
+
+    #[test]
+    fn commit_advances_virtual_time() {
+        let mut backend = MemBackend::new(4096, 64);
+        let mut wal = WalManager::new(32, 8, 4096);
+        let mut tm = TransactionManager::new();
+        let t = tm.begin(&mut wal);
+        let end = tm.commit(t, &mut wal, &mut backend, 1000).unwrap();
+        assert!(end >= 1000);
+    }
+}

@@ -1,0 +1,228 @@
+//! The benchmark driver: interleaves logical clients on the virtual clock
+//! and reports transactional throughput (TPS) and response times — the
+//! numbers shown on the paper's Figure 4 axes.
+
+use nand_flash::FlashResult;
+use sim_utils::histogram::Histogram;
+use sim_utils::time::SimInstant;
+use storage_engine::StorageEngine;
+
+use crate::workload::{TxnKind, Workload};
+
+/// Driver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverConfig {
+    /// Number of logical clients ("read processes" in the paper's Figure 4
+    /// captions) interleaved by the driver.
+    pub clients: usize,
+    /// Number of transactions to execute in the measured phase.
+    pub transactions: u64,
+    /// Number of warm-up transactions executed (and discarded) first.
+    pub warmup_transactions: u64,
+    /// When `true`, a background flush cycle stalls *every* client until it
+    /// completes — the memory-pressure regime of the paper's experiments,
+    /// where the buffer pool is far smaller than the database and foreground
+    /// threads block on frame allocation whenever the db-writers fall behind.
+    /// When `false`, only the client whose commit triggered the cycle pays
+    /// for it.
+    pub stall_all_on_flush: bool,
+}
+
+impl DriverConfig {
+    /// `clients` clients, `transactions` measured transactions, 10 % warm-up.
+    pub fn new(clients: usize, transactions: u64) -> Self {
+        Self {
+            clients: clients.max(1),
+            transactions,
+            warmup_transactions: transactions / 10,
+            stall_all_on_flush: false,
+        }
+    }
+
+    /// Same, but with flush cycles stalling all clients (write-heavy,
+    /// buffer-constrained experiments such as Figure 4).
+    pub fn write_pressure(clients: usize, transactions: u64) -> Self {
+        Self {
+            stall_all_on_flush: true,
+            ..Self::new(clients, transactions)
+        }
+    }
+}
+
+/// Result of a driver run.
+#[derive(Debug, Clone)]
+pub struct DriverReport {
+    /// Workload name.
+    pub workload: String,
+    /// Storage stack name.
+    pub backend: String,
+    /// Transactions committed in the measured phase.
+    pub transactions: u64,
+    /// Virtual duration of the measured phase (ns).
+    pub duration_ns: u64,
+    /// Transactions per (virtual) second.
+    pub tps: f64,
+    /// Response-time histogram (ns).
+    pub response_time: Histogram,
+    /// Read-only transactions among the measured ones.
+    pub read_only: u64,
+}
+
+impl DriverReport {
+    /// Mean response time in milliseconds.
+    pub fn mean_response_ms(&self) -> f64 {
+        self.response_time.mean() / 1e6
+    }
+}
+
+/// The benchmark driver.
+pub struct BenchmarkDriver {
+    config: DriverConfig,
+}
+
+impl BenchmarkDriver {
+    /// Create a driver.
+    pub fn new(config: DriverConfig) -> Self {
+        Self { config }
+    }
+
+    /// Run `workload` against `engine` (which must already be set up) and
+    /// report TPS over the measured phase.
+    ///
+    /// Clients are interleaved: on every step the driver picks the client
+    /// whose virtual clock is furthest behind, runs one transaction on its
+    /// timeline, then lets the background flushers run if the dirty watermark
+    /// was crossed.  This keeps all client timelines close together (bounded
+    /// drift), which is what makes per-die queueing contention meaningful.
+    pub fn run(
+        &self,
+        engine: &mut StorageEngine,
+        workload: &mut dyn Workload,
+        start: SimInstant,
+    ) -> FlashResult<DriverReport> {
+        let clients = self.config.clients;
+        let mut client_time = vec![start; clients];
+
+        // Warm-up phase (not measured).
+        for _ in 0..self.config.warmup_transactions {
+            let client = Self::laggard(&client_time);
+            let now = client_time[client];
+            let (end, _) = workload.run_transaction(engine, client, now)?;
+            client_time[client] = end;
+            let flush_end = engine.maybe_flush(end)?;
+            if flush_end > end {
+                Self::charge_flush(&mut client_time, client, flush_end, self.config.stall_all_on_flush);
+            }
+        }
+
+        let measure_start = *client_time.iter().max().expect("at least one client");
+        for t in client_time.iter_mut() {
+            *t = (*t).max(measure_start);
+        }
+
+        let mut response_time = Histogram::new();
+        let mut read_only = 0u64;
+        for _ in 0..self.config.transactions {
+            let client = Self::laggard(&client_time);
+            let now = client_time[client];
+            let (end, kind) = workload.run_transaction(engine, client, now)?;
+            response_time.record(end.saturating_sub(now));
+            if kind == TxnKind::ReadOnly {
+                read_only += 1;
+            }
+            client_time[client] = end;
+            // Background db-writers run when the dirty watermark is crossed;
+            // under write pressure they stall every client (no clean frames),
+            // otherwise only the triggering client pays.
+            let flush_end = engine.maybe_flush(end)?;
+            if flush_end > end {
+                Self::charge_flush(&mut client_time, client, flush_end, self.config.stall_all_on_flush);
+            }
+        }
+
+        let measure_end = *client_time.iter().max().expect("at least one client");
+        let duration_ns = measure_end.saturating_sub(measure_start).max(1);
+        let tps = self.config.transactions as f64 / (duration_ns as f64 / 1e9);
+        Ok(DriverReport {
+            workload: workload.name().to_string(),
+            backend: engine.backend_name(),
+            transactions: self.config.transactions,
+            duration_ns,
+            tps,
+            response_time,
+            read_only,
+        })
+    }
+
+    fn charge_flush(
+        times: &mut [SimInstant],
+        triggering_client: usize,
+        flush_end: SimInstant,
+        stall_all: bool,
+    ) {
+        if stall_all {
+            for t in times.iter_mut() {
+                *t = (*t).max(flush_end);
+            }
+        } else {
+            times[triggering_client] = times[triggering_client].max(flush_end);
+        }
+    }
+
+    fn laggard(times: &[SimInstant]) -> usize {
+        times
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .expect("non-empty client list")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcb::{TpcB, TpcBConfig};
+    use storage_engine::{backend::MemBackend, EngineConfig, StorageEngine};
+
+    fn engine() -> StorageEngine {
+        let mut cfg = EngineConfig::new();
+        cfg.buffer_frames = 256;
+        StorageEngine::new(Box::new(MemBackend::new(4096, 16_384)), cfg)
+    }
+
+    fn tiny_tpcb() -> TpcB {
+        TpcB::new(TpcBConfig {
+            scale_factor: 2,
+            tellers_per_branch: 5,
+            accounts_per_branch: 50,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn driver_reports_tps_on_mem_backend() {
+        let mut e = engine();
+        let mut w = tiny_tpcb();
+        let start = w.setup(&mut e, 0).unwrap();
+        let driver = BenchmarkDriver::new(DriverConfig::new(4, 100));
+        let report = driver.run(&mut e, &mut w, start).unwrap();
+        assert_eq!(report.transactions, 100);
+        assert_eq!(report.workload, "tpcb");
+        assert_eq!(report.backend, "mem");
+        assert!(report.tps > 0.0);
+        assert_eq!(report.response_time.count(), 100);
+    }
+
+    #[test]
+    fn laggard_selects_minimum() {
+        assert_eq!(BenchmarkDriver::laggard(&[5, 2, 9]), 1);
+        assert_eq!(BenchmarkDriver::laggard(&[1]), 0);
+    }
+
+    #[test]
+    fn client_count_must_be_at_least_one() {
+        let cfg = DriverConfig::new(0, 10);
+        assert_eq!(cfg.clients, 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! # workloads
+//!
+//! TPC-style workload drivers for the NoFTL storage stack (§3.3 / §4 of the
+//! paper evaluate live TPC-B, TPC-C, TPC-E and TPC-H runs under Shore-MT):
+//!
+//! * [`tpcb`] — TPC-B: the update-heavy banking benchmark (account / teller /
+//!   branch updates plus a history append);
+//! * [`tpcc`] — TPC-C: order-entry OLTP with the standard five-transaction
+//!   mix and NURand skew;
+//! * [`tpce`] — TPC-E (simplified): a read-heavier brokerage mix;
+//! * [`tpch`] — TPC-H (simplified): scan-heavy analytical queries;
+//! * [`driver`] — the benchmark driver: N logical clients interleaved on the
+//!   virtual clock, TPS and response-time reporting;
+//! * [`trace`] — page-level trace recording and replay (the paper's Figure 3
+//!   is an *off-line trace-driven* comparison of GC overhead).
+//!
+//! The drivers are self-contained reimplementations: schemas are scaled down
+//! (configurable rows per table) so simulated devices stay RAM-sized, while
+//! the *access patterns* — read/write mix, skew, records touched per
+//! transaction — follow the TPC specifications closely enough to reproduce
+//! the paper's relative results.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod driver;
+pub mod rid_codec;
+pub mod tpcb;
+pub mod tpcc;
+pub mod tpce;
+pub mod tpch;
+pub mod trace;
+pub mod workload;
+
+pub use driver::{BenchmarkDriver, DriverConfig, DriverReport};
+pub use tpcb::{TpcB, TpcBConfig};
+pub use tpcc::{TpcC, TpcCConfig};
+pub use tpce::{TpcE, TpcEConfig};
+pub use tpch::{TpcH, TpcHConfig, TpcHReport};
+pub use trace::{PageTrace, TraceOp, TraceReplayReport};
+pub use workload::Workload;

@@ -1,0 +1,41 @@
+//! Encoding of record identifiers into `u64` index values.
+//!
+//! The storage engine's B+-tree stores `u64` values; the workload drivers
+//! keep primary-key indexes of the form `key → RID`, so RIDs are packed into
+//! a single word: the page id in the upper 48 bits, the slot in the lower 16.
+
+use storage_engine::heap::Rid;
+
+/// Pack a RID into a `u64`.
+pub fn rid_to_u64(rid: Rid) -> u64 {
+    debug_assert!(rid.page < (1 << 48), "page id exceeds 48 bits");
+    (rid.page << 16) | rid.slot as u64
+}
+
+/// Unpack a RID from a `u64`.
+pub fn u64_to_rid(value: u64) -> Rid {
+    Rid {
+        page: value >> 16,
+        slot: (value & 0xFFFF) as u16,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for (page, slot) in [(0u64, 0u16), (1, 1), (123_456, 65_535), (1 << 40, 7)] {
+            let rid = Rid { page, slot };
+            assert_eq!(u64_to_rid(rid_to_u64(rid)), rid);
+        }
+    }
+
+    #[test]
+    fn distinct_rids_distinct_codes() {
+        let a = rid_to_u64(Rid { page: 1, slot: 2 });
+        let b = rid_to_u64(Rid { page: 2, slot: 1 });
+        assert_ne!(a, b);
+    }
+}

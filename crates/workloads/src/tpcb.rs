@@ -1,0 +1,299 @@
+//! TPC-B: the classic update-heavy banking benchmark.
+//!
+//! Each transaction updates one account, one teller and one branch balance
+//! and appends a history record — four writes and three index lookups per
+//! transaction, uniformly distributed over the accounts.  The paper runs
+//! TPC-B at SF 350/500; here the scale factor sets the number of branches and
+//! the rows per branch are configurable so the database fits the simulated
+//! device.
+
+use nand_flash::FlashResult;
+use sim_utils::rng::SimRng;
+use sim_utils::time::SimInstant;
+use storage_engine::StorageEngine;
+
+use crate::rid_codec::{rid_to_u64, u64_to_rid};
+use crate::workload::{TxnKind, Workload};
+
+/// TPC-B configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TpcBConfig {
+    /// Scale factor = number of branches.
+    pub scale_factor: u64,
+    /// Tellers per branch (TPC-B specifies 10).
+    pub tellers_per_branch: u64,
+    /// Accounts per branch (TPC-B specifies 100 000; scaled down by default).
+    pub accounts_per_branch: u64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl TpcBConfig {
+    /// A configuration that keeps the database around `scale_factor × 1 000`
+    /// accounts — small enough for RAM-backed devices, large enough to exceed
+    /// any reasonable buffer pool.
+    pub fn scaled(scale_factor: u64) -> Self {
+        Self {
+            scale_factor: scale_factor.max(1),
+            tellers_per_branch: 10,
+            accounts_per_branch: 1_000,
+            seed: 0xB_0B,
+        }
+    }
+
+    /// Total number of accounts.
+    pub fn accounts(&self) -> u64 {
+        self.scale_factor * self.accounts_per_branch
+    }
+
+    /// Total number of tellers.
+    pub fn tellers(&self) -> u64 {
+        self.scale_factor * self.tellers_per_branch
+    }
+}
+
+/// The TPC-B workload driver.
+pub struct TpcB {
+    config: TpcBConfig,
+    rng: SimRng,
+    history_counter: u64,
+}
+
+/// Fixed-size row images (sizes follow the TPC-B minimum row sizes).
+fn account_row(id: u64, branch: u64, balance: i64) -> Vec<u8> {
+    let mut row = vec![0u8; 100];
+    row[..8].copy_from_slice(&id.to_le_bytes());
+    row[8..16].copy_from_slice(&branch.to_le_bytes());
+    row[16..24].copy_from_slice(&balance.to_le_bytes());
+    row
+}
+
+fn teller_row(id: u64, branch: u64, balance: i64) -> Vec<u8> {
+    account_row(id, branch, balance)
+}
+
+fn branch_row(id: u64, balance: i64) -> Vec<u8> {
+    let mut row = vec![0u8; 100];
+    row[..8].copy_from_slice(&id.to_le_bytes());
+    row[8..16].copy_from_slice(&balance.to_le_bytes());
+    row
+}
+
+fn history_row(account: u64, teller: u64, branch: u64, delta: i64, seq: u64) -> Vec<u8> {
+    let mut row = vec![0u8; 50];
+    row[..8].copy_from_slice(&account.to_le_bytes());
+    row[8..16].copy_from_slice(&teller.to_le_bytes());
+    row[16..24].copy_from_slice(&branch.to_le_bytes());
+    row[24..32].copy_from_slice(&delta.to_le_bytes());
+    row[32..40].copy_from_slice(&seq.to_le_bytes());
+    row
+}
+
+/// Read the balance field out of an account/teller/branch row.
+pub fn row_balance(row: &[u8]) -> i64 {
+    i64::from_le_bytes(row[16..24].try_into().expect("row too short"))
+}
+
+impl TpcB {
+    /// Create the workload from a configuration.
+    pub fn new(config: TpcBConfig) -> Self {
+        Self {
+            rng: SimRng::new(config.seed),
+            config,
+            history_counter: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> TpcBConfig {
+        self.config
+    }
+}
+
+impl Workload for TpcB {
+    fn name(&self) -> &'static str {
+        "tpcb"
+    }
+
+    fn setup(&mut self, engine: &mut StorageEngine, now: SimInstant) -> FlashResult<SimInstant> {
+        let mut t = now;
+        for table in ["branch", "teller", "account", "history"] {
+            engine.create_table(table);
+        }
+        for index in ["branch_pk", "teller_pk", "account_pk"] {
+            engine.create_index(index, t)?;
+        }
+        let txn = engine.begin();
+        for b in 0..self.config.scale_factor {
+            let (rid, t2) = engine.insert("branch", txn, t, &branch_row(b, 0))?;
+            let (_, t3) = engine.index_insert("branch_pk", t2, b, rid_to_u64(rid))?;
+            t = t3;
+        }
+        for teller in 0..self.config.tellers() {
+            let branch = teller / self.config.tellers_per_branch;
+            let (rid, t2) = engine.insert("teller", txn, t, &teller_row(teller, branch, 0))?;
+            let (_, t3) = engine.index_insert("teller_pk", t2, teller, rid_to_u64(rid))?;
+            t = t3;
+        }
+        for account in 0..self.config.accounts() {
+            let branch = account / self.config.accounts_per_branch;
+            let (rid, t2) = engine.insert("account", txn, t, &account_row(account, branch, 0))?;
+            let (_, t3) = engine.index_insert("account_pk", t2, account, rid_to_u64(rid))?;
+            t = t3;
+            // Keep the load phase from overflowing the buffer pool.
+            if account % 512 == 0 {
+                t = engine.maybe_flush(t)?;
+            }
+        }
+        t = engine.commit(txn, t)?;
+        t = engine.checkpoint(t)?;
+        Ok(t)
+    }
+
+    fn run_transaction(
+        &mut self,
+        engine: &mut StorageEngine,
+        _client: usize,
+        now: SimInstant,
+    ) -> FlashResult<(SimInstant, TxnKind)> {
+        let account = self.rng.range(0, self.config.accounts());
+        let branch = account / self.config.accounts_per_branch;
+        let teller = branch * self.config.tellers_per_branch
+            + self.rng.range(0, self.config.tellers_per_branch);
+        let delta = self.rng.range(0, 2_000_000) as i64 - 1_000_000;
+
+        let txn = engine.begin();
+        let mut t = now;
+
+        // Account: index lookup, read, update balance.
+        let (acct_ref, t2) = engine.index_get("account_pk", t, account)?;
+        t = t2;
+        let acct_rid = u64_to_rid(acct_ref.expect("account must exist"));
+        let (row, t2) = engine.read("account", t, acct_rid)?;
+        t = t2;
+        let mut row = row.expect("account row present");
+        let balance = row_balance(&row) + delta;
+        row[16..24].copy_from_slice(&balance.to_le_bytes());
+        let (_, t2) = engine.update("account", txn, t, acct_rid, &row)?;
+        t = t2;
+
+        // Teller.
+        let (teller_ref, t2) = engine.index_get("teller_pk", t, teller)?;
+        t = t2;
+        let teller_rid = u64_to_rid(teller_ref.expect("teller must exist"));
+        let (row, t2) = engine.read("teller", t, teller_rid)?;
+        t = t2;
+        let mut row = row.expect("teller row present");
+        let tbal = row_balance(&row) + delta;
+        row[16..24].copy_from_slice(&tbal.to_le_bytes());
+        let (_, t2) = engine.update("teller", txn, t, teller_rid, &row)?;
+        t = t2;
+
+        // Branch.
+        let (branch_ref, t2) = engine.index_get("branch_pk", t, branch)?;
+        t = t2;
+        let branch_rid = u64_to_rid(branch_ref.expect("branch must exist"));
+        let (row, t2) = engine.read("branch", t, branch_rid)?;
+        t = t2;
+        let mut row = row.expect("branch row present");
+        let bbal = i64::from_le_bytes(row[8..16].try_into().unwrap()) + delta;
+        row[8..16].copy_from_slice(&bbal.to_le_bytes());
+        let (_, t2) = engine.update("branch", txn, t, branch_rid, &row)?;
+        t = t2;
+
+        // History append.
+        self.history_counter += 1;
+        let (_, t2) = engine.insert(
+            "history",
+            txn,
+            t,
+            &history_row(account, teller, branch, delta, self.history_counter),
+        )?;
+        t = t2;
+
+        let t = engine.commit(txn, t)?;
+        Ok((t, TxnKind::ReadWrite))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage_engine::{backend::MemBackend, EngineConfig, StorageEngine};
+
+    fn engine() -> StorageEngine {
+        let mut cfg = EngineConfig::new();
+        cfg.buffer_frames = 256;
+        StorageEngine::new(Box::new(MemBackend::new(4096, 16_384)), cfg)
+    }
+
+    fn tiny_config() -> TpcBConfig {
+        TpcBConfig {
+            scale_factor: 2,
+            tellers_per_branch: 5,
+            accounts_per_branch: 50,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn setup_loads_all_tables() {
+        let mut e = engine();
+        let mut w = TpcB::new(tiny_config());
+        w.setup(&mut e, 0).unwrap();
+        let (branches, _) = e.scan("branch", 0, |_, _| {}).unwrap();
+        let (tellers, _) = e.scan("teller", 0, |_, _| {}).unwrap();
+        let (accounts, _) = e.scan("account", 0, |_, _| {}).unwrap();
+        assert_eq!(branches, 2);
+        assert_eq!(tellers, 10);
+        assert_eq!(accounts, 100);
+    }
+
+    #[test]
+    fn transactions_commit_and_append_history() {
+        let mut e = engine();
+        let mut w = TpcB::new(tiny_config());
+        let mut now = w.setup(&mut e, 0).unwrap();
+        let committed_before = e.committed();
+        for client in 0..3 {
+            let (t, kind) = w.run_transaction(&mut e, client, now).unwrap();
+            assert_eq!(kind, TxnKind::ReadWrite);
+            assert!(t >= now);
+            now = t;
+        }
+        assert_eq!(e.committed(), committed_before + 3);
+        let (history, _) = e.scan("history", now, |_, _| {}).unwrap();
+        assert_eq!(history, 3);
+    }
+
+    #[test]
+    fn balances_change_by_the_applied_delta() {
+        // Sum of all branch balances must equal the sum of all deltas applied
+        // (the TPC-B consistency condition).
+        let mut e = engine();
+        let mut w = TpcB::new(tiny_config());
+        let mut now = w.setup(&mut e, 0).unwrap();
+        for _ in 0..20 {
+            let (t, _) = w.run_transaction(&mut e, 0, now).unwrap();
+            now = t;
+        }
+        let mut branch_total = 0i64;
+        e.scan("branch", now, |_, row| {
+            branch_total += i64::from_le_bytes(row[8..16].try_into().unwrap());
+        })
+        .unwrap();
+        let mut history_total = 0i64;
+        e.scan("history", now, |_, row| {
+            history_total += i64::from_le_bytes(row[24..32].try_into().unwrap());
+        })
+        .unwrap();
+        assert_eq!(branch_total, history_total);
+    }
+
+    #[test]
+    fn row_sizes_match_spec_minimums() {
+        assert_eq!(account_row(1, 1, 0).len(), 100);
+        assert_eq!(branch_row(1, 0).len(), 100);
+        assert_eq!(history_row(1, 1, 1, 5, 1).len(), 50);
+    }
+}

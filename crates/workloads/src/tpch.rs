@@ -1,0 +1,242 @@
+//! TPC-H (simplified): scan-heavy analytical queries.
+//!
+//! The paper lists TPC-H among the workloads the demonstration can run.  For
+//! the storage stack what matters is the access shape — large sequential
+//! scans with selective predicates over `lineitem` and `orders` — so this
+//! driver loads those two tables and runs three representative queries:
+//!
+//! * **Q1-like**: full scan of `lineitem` with aggregation;
+//! * **Q6-like**: full scan of `lineitem` with a selective filter;
+//! * **Q3-like**: scan of `orders` plus lookups into `lineitem`.
+
+use nand_flash::FlashResult;
+use sim_utils::rng::SimRng;
+use sim_utils::time::SimInstant;
+use storage_engine::StorageEngine;
+
+use crate::workload::{TxnKind, Workload};
+
+/// TPC-H configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TpcHConfig {
+    /// Number of orders (lineitems ≈ 4× orders).
+    pub orders: u64,
+    /// Average lineitems per order.
+    pub lineitems_per_order: u64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl TpcHConfig {
+    /// A scaled configuration with `orders` orders.
+    pub fn scaled(orders: u64) -> Self {
+        Self {
+            orders: orders.max(1),
+            lineitems_per_order: 4,
+            seed: 0x44,
+        }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self::scaled(200)
+    }
+}
+
+/// Per-query timing report.
+#[derive(Debug, Clone, Default)]
+pub struct TpcHReport {
+    /// Virtual latency of the Q1-like query (ns).
+    pub q1_ns: u64,
+    /// Rows aggregated by Q1.
+    pub q1_rows: u64,
+    /// Virtual latency of the Q6-like query (ns).
+    pub q6_ns: u64,
+    /// Rows matching Q6's predicate.
+    pub q6_rows: u64,
+    /// Virtual latency of the Q3-like query (ns).
+    pub q3_ns: u64,
+    /// Rows produced by Q3.
+    pub q3_rows: u64,
+}
+
+/// The TPC-H workload driver.
+pub struct TpcH {
+    config: TpcHConfig,
+    rng: SimRng,
+    query_cursor: u64,
+}
+
+fn lineitem_row(order: u64, line: u64, quantity: u64, price: u64) -> Vec<u8> {
+    let mut r = vec![0u8; 120];
+    r[..8].copy_from_slice(&order.to_le_bytes());
+    r[8..16].copy_from_slice(&line.to_le_bytes());
+    r[16..24].copy_from_slice(&quantity.to_le_bytes());
+    r[24..32].copy_from_slice(&price.to_le_bytes());
+    r
+}
+
+fn order_row(order: u64, customer: u64) -> Vec<u8> {
+    let mut r = vec![0u8; 110];
+    r[..8].copy_from_slice(&order.to_le_bytes());
+    r[8..16].copy_from_slice(&customer.to_le_bytes());
+    r
+}
+
+impl TpcH {
+    /// Create the workload.
+    pub fn new(config: TpcHConfig) -> Self {
+        Self {
+            rng: SimRng::new(config.seed),
+            config,
+            query_cursor: 0,
+        }
+    }
+
+    /// Q1-like: scan `lineitem`, aggregate quantity and price.
+    pub fn q1(&self, engine: &mut StorageEngine, now: SimInstant) -> FlashResult<(u64, u64, SimInstant)> {
+        let mut rows = 0u64;
+        let mut total_qty = 0u64;
+        let (_, t) = engine.scan("lineitem", now, |_, row| {
+            rows += 1;
+            total_qty += u64::from_le_bytes(row[16..24].try_into().unwrap());
+        })?;
+        Ok((rows, total_qty, t))
+    }
+
+    /// Q6-like: scan `lineitem`, count rows with quantity below a threshold.
+    pub fn q6(&self, engine: &mut StorageEngine, now: SimInstant) -> FlashResult<(u64, SimInstant)> {
+        let mut matching = 0u64;
+        let (_, t) = engine.scan("lineitem", now, |_, row| {
+            let qty = u64::from_le_bytes(row[16..24].try_into().unwrap());
+            if qty < 10 {
+                matching += 1;
+            }
+        })?;
+        Ok((matching, t))
+    }
+
+    /// Q3-like: scan `orders` for one customer segment and count their
+    /// lineitems.
+    pub fn q3(&self, engine: &mut StorageEngine, now: SimInstant) -> FlashResult<(u64, SimInstant)> {
+        let segment = self.query_cursor % 10;
+        let mut matching_orders = Vec::new();
+        let (_, t) = engine.scan("orders", now, |_, row| {
+            let customer = u64::from_le_bytes(row[8..16].try_into().unwrap());
+            if customer % 10 == segment {
+                matching_orders.push(u64::from_le_bytes(row[..8].try_into().unwrap()));
+            }
+        })?;
+        let mut rows = 0u64;
+        let orders: std::collections::HashSet<u64> = matching_orders.into_iter().collect();
+        let (_, t) = engine.scan("lineitem", t, |_, row| {
+            let order = u64::from_le_bytes(row[..8].try_into().unwrap());
+            if orders.contains(&order) {
+                rows += 1;
+            }
+        })?;
+        Ok((rows, t))
+    }
+
+    /// Run all three queries once, returning per-query timings.
+    pub fn run_queries(
+        &mut self,
+        engine: &mut StorageEngine,
+        now: SimInstant,
+    ) -> FlashResult<(TpcHReport, SimInstant)> {
+        let mut report = TpcHReport::default();
+        let (rows, _qty, t1) = self.q1(engine, now)?;
+        report.q1_rows = rows;
+        report.q1_ns = t1.saturating_sub(now);
+        let (matching, t2) = self.q6(engine, t1)?;
+        report.q6_rows = matching;
+        report.q6_ns = t2.saturating_sub(t1);
+        let (q3_rows, t3) = self.q3(engine, t2)?;
+        report.q3_rows = q3_rows;
+        report.q3_ns = t3.saturating_sub(t2);
+        self.query_cursor += 1;
+        Ok((report, t3))
+    }
+}
+
+impl Workload for TpcH {
+    fn name(&self) -> &'static str {
+        "tpch"
+    }
+
+    fn setup(&mut self, engine: &mut StorageEngine, now: SimInstant) -> FlashResult<SimInstant> {
+        let mut t = now;
+        engine.create_table("orders");
+        engine.create_table("lineitem");
+        let txn = engine.begin();
+        for o in 0..self.config.orders {
+            let customer = self.rng.range(0, self.config.orders / 10 + 1);
+            let (_, t2) = engine.insert("orders", txn, t, &order_row(o, customer))?;
+            t = t2;
+            let lines = 1 + self.rng.range(0, self.config.lineitems_per_order * 2);
+            for l in 0..lines {
+                let qty = self.rng.range(1, 51);
+                let price = self.rng.range(100, 10_000);
+                let (_, t2) = engine.insert("lineitem", txn, t, &lineitem_row(o, l, qty, price))?;
+                t = t2;
+            }
+            if o % 128 == 0 {
+                t = engine.maybe_flush(t)?;
+            }
+        }
+        t = engine.commit(txn, t)?;
+        t = engine.checkpoint(t)?;
+        Ok(t)
+    }
+
+    fn run_transaction(
+        &mut self,
+        engine: &mut StorageEngine,
+        _client: usize,
+        now: SimInstant,
+    ) -> FlashResult<(SimInstant, TxnKind)> {
+        // One "transaction" = one analytical query, rotating Q1 → Q6 → Q3.
+        let t = match self.query_cursor % 3 {
+            0 => self.q1(engine, now)?.2,
+            1 => self.q6(engine, now)?.1,
+            _ => self.q3(engine, now)?.1,
+        };
+        self.query_cursor += 1;
+        Ok((t, TxnKind::ReadOnly))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage_engine::{backend::MemBackend, EngineConfig, StorageEngine};
+
+    fn engine() -> StorageEngine {
+        let mut cfg = EngineConfig::new();
+        cfg.buffer_frames = 256;
+        StorageEngine::new(Box::new(MemBackend::new(4096, 16_384)), cfg)
+    }
+
+    #[test]
+    fn load_and_query() {
+        let mut e = engine();
+        let mut w = TpcH::new(TpcHConfig::tiny());
+        let now = w.setup(&mut e, 0).unwrap();
+        let (report, _) = w.run_queries(&mut e, now).unwrap();
+        assert!(report.q1_rows >= 200, "lineitem should have >= 1 row per order");
+        assert!(report.q6_rows <= report.q1_rows);
+        assert!(report.q1_ns > 0 || e.backend_name() == "mem");
+    }
+
+    #[test]
+    fn workload_trait_rotates_queries() {
+        let mut e = engine();
+        let mut w = TpcH::new(TpcHConfig::tiny());
+        let mut now = w.setup(&mut e, 0).unwrap();
+        for _ in 0..3 {
+            let (t, kind) = w.run_transaction(&mut e, 0, now).unwrap();
+            assert_eq!(kind, TxnKind::ReadOnly);
+            now = t;
+        }
+    }
+}

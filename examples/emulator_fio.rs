@@ -1,0 +1,59 @@
+//! Stress the Flash emulator with FIO-style synthetic jobs on different
+//! device profiles — Demo Scenario 1 of the paper (emulator accuracy and
+//! reconfigurability, utilisation of Flash parallelism).
+//!
+//! Run with: `cargo run --release --example emulator_fio`
+
+use noftl::flash_emulator::{run_fio, DeviceProfile, EmulatedSsd, FioJob};
+use noftl::ftl::page_ftl::{PageFtl, PageFtlConfig};
+
+fn run_profile(profile: &DeviceProfile, job: &FioJob) {
+    let mut cfg = PageFtlConfig::new(profile.geometry);
+    cfg.op_ratio = 0.10;
+    let mut ssd = EmulatedSsd::new(PageFtl::new(cfg), profile.host_link);
+    let report = run_fio(&mut ssd, job, 0);
+    println!(
+        "{:<22} {:<18} QD{:<3} {:>10.0} IOPS {:>9.2} MiB/s   mean {:>8.1} µs   p99 {:>8.1} µs",
+        profile.name,
+        report.job,
+        job.queue_depth,
+        report.iops,
+        report.throughput_mib_s,
+        report.mean_latency_ns() / 1e3,
+        report
+            .write_latency
+            .percentile(0.99)
+            .max(report.read_latency.percentile(0.99)) as f64
+            / 1e3,
+    );
+}
+
+fn main() {
+    println!("FIO-style synthetic jobs on emulated Flash devices\n");
+    let mut write_job = FioJob::random_write(4_000);
+    write_job.working_set = 0.4;
+    write_job.prefill = false;
+    let mut read_job = FioJob::random_read(4_000);
+    read_job.working_set = 0.2;
+    let mut mixed = FioJob::oltp_mix(4_000, 16);
+    mixed.working_set = 0.2;
+
+    for profile in [
+        DeviceProfile::openssd(),
+        DeviceProfile::openssd_native(),
+        DeviceProfile::commodity_mlc(),
+        DeviceProfile::commodity_tlc(),
+    ] {
+        run_profile(&profile, &write_job);
+        run_profile(&profile, &read_job);
+        run_profile(&profile, &mixed);
+        println!();
+    }
+
+    println!("parallelism: the same random-write job with growing queue depth (SLC, 8 dies)");
+    for qd in [1u32, 2, 4, 8, 16, 32] {
+        let mut job = write_job.clone();
+        job.queue_depth = qd;
+        run_profile(&DeviceProfile::openssd_native(), &job);
+    }
+}

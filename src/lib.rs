@@ -1,0 +1,44 @@
+//! # NoFTL — databases on native Flash storage
+//!
+//! Umbrella crate re-exporting the full NoFTL reproduction stack.
+//!
+//! This workspace reproduces the system described in *"NoFTL for Real:
+//! Databases on Real Native Flash Storage"* (EDBT 2015): a DBMS storage engine
+//! that operates directly on native NAND Flash, integrating address
+//! translation, out-of-place updates, garbage collection, wear leveling and
+//! bad-block management into the database itself, instead of hiding them
+//! behind an on-device Flash Translation Layer (FTL).
+//!
+//! The individual crates:
+//!
+//! * [`nand_flash`] — NAND Flash device model (geometry, native command set,
+//!   timing, wear, bad blocks).
+//! * [`flash_emulator`] — real-time (virtual-clock) Flash emulator with
+//!   channel/die parallelism, block-device and native front-ends.
+//! * [`ftl`] — on-device FTL baselines: pure page mapping, DFTL, FASTer.
+//! * [`noftl_core`] — the paper's contribution: DBMS-integrated Flash
+//!   management (host-side mapping, GC, WL, bad blocks, regions).
+//! * [`storage_engine`] — Shore-MT-like storage manager: buffer pool,
+//!   db-writers, WAL, transactions, heap files and B+-trees.
+//! * [`workloads`] — TPC-B/C/E/H drivers, benchmark driver and traces.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use flash_emulator;
+pub use ftl;
+pub use nand_flash;
+pub use noftl_core;
+pub use sim_utils;
+pub use storage_engine;
+pub use workloads;
+
+/// Crate version of the umbrella package.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_nonempty() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Shape assertions for the paper's experiments: these integration tests run
+//! miniature versions of the benchmark-harness experiments and assert the
+//! *relative ordering* the paper reports (not absolute numbers).
+
+use noftl::ftl::faster::{FasterConfig, FasterFtl};
+use noftl::nand_flash::FlashGeometry;
+use noftl::noftl_core::{NoFtl, NoFtlConfig};
+use noftl::sim_utils::dist::Zipf;
+use noftl::sim_utils::rng::SimRng;
+use noftl::workloads::{PageTrace, TraceOp};
+
+/// Synthetic OLTP-shaped page trace: fill once, then skewed overwrites.
+fn oltp_trace(pages: u64, overwrites: u64) -> PageTrace {
+    let mut rng = SimRng::new(0xEDB7);
+    let zipf = Zipf::new(pages, 0.8);
+    let mut ops: Vec<TraceOp> = (0..pages).map(TraceOp::Write).collect();
+    for _ in 0..overwrites {
+        ops.push(TraceOp::Write(zipf.sample(&mut rng)));
+    }
+    PageTrace {
+        ops,
+        max_page: pages - 1,
+    }
+}
+
+#[test]
+fn figure3_shape_faster_does_more_gc_work_than_noftl() {
+    let geometry = FlashGeometry::small();
+    let trace = oltp_trace(5200, 9000);
+
+    let mut faster = FasterFtl::new(FasterConfig::new(geometry));
+    let faster_report = trace.replay_on_ftl(&mut faster).unwrap();
+
+    let mut noftl = NoFtl::new(NoFtlConfig::new(geometry));
+    let noftl_report = trace.replay_on_noftl(&mut noftl).unwrap();
+
+    assert!(faster_report.erases > 0 && noftl_report.erases > 0, "both schemes must GC");
+    assert!(
+        faster_report.gc_page_copies as f64 >= 1.3 * noftl_report.gc_page_copies as f64,
+        "FASTer should relocate clearly more pages ({} vs {})",
+        faster_report.gc_page_copies,
+        noftl_report.gc_page_copies
+    );
+    assert!(
+        faster_report.erases as f64 >= 1.3 * noftl_report.erases as f64,
+        "FASTer should erase clearly more blocks ({} vs {})",
+        faster_report.erases,
+        noftl_report.erases
+    );
+    // §5: fewer erases => proportionally longer device lifetime.
+    assert!(faster_report.write_amplification > noftl_report.write_amplification);
+}
+
+#[test]
+fn headline_shape_noftl_faster_than_ftl_stack_on_random_writes() {
+    // The latency/throughput advantage in its simplest form: the same page
+    // write stream completes sooner on NoFTL than behind the FASTer FTL.
+    let geometry = FlashGeometry::small();
+    let trace = oltp_trace(5200, 6000);
+
+    let mut faster = FasterFtl::new(FasterConfig::new(geometry));
+    let faster_report = trace.replay_on_ftl(&mut faster).unwrap();
+
+    let mut noftl = NoFtl::new(NoFtlConfig::new(geometry));
+    let noftl_report = trace.replay_on_noftl(&mut noftl).unwrap();
+
+    assert!(
+        faster_report.duration_ns as f64 > 1.2 * noftl_report.duration_ns as f64,
+        "NoFTL should complete the stream clearly faster ({} vs {} ns)",
+        noftl_report.duration_ns,
+        faster_report.duration_ns
+    );
+}
+
+#[test]
+fn figure4_shape_die_wise_flushers_scale_better() {
+    use noftl::noftl_core::FlusherAssignment;
+    use noftl::storage_engine::{
+        backend::NoFtlBackend, buffer::BufferPool, flusher::{FlusherConfig, FlusherPool},
+    };
+
+    // One flush cycle of 256 dirty pages with 8 writers over 8 dies: the
+    // die-wise association must finish clearly sooner than the global one.
+    let run = |assignment: FlusherAssignment| -> u64 {
+        let geometry = FlashGeometry::with_dies(8, 1024, 32, 4096);
+        let noftl = NoFtl::new(NoFtlConfig::new(geometry));
+        let mut backend = NoFtlBackend::new(noftl);
+        let mut pool = BufferPool::new(512, 4096);
+        for p in 0..256u64 {
+            pool.new_page(&mut backend, 0, p, |d| d[0] = p as u8).unwrap();
+        }
+        let mut flushers = FlusherPool::new(FlusherConfig {
+            writers: 8,
+            assignment,
+            dirty_high_watermark: 0.1,
+            dirty_low_watermark: 0.0,
+        });
+        flushers.run_cycle(&mut pool, &mut backend, 0).unwrap()
+    };
+    let global = run(FlusherAssignment::Global);
+    let die_wise = run(FlusherAssignment::DieWise);
+    assert!(
+        global as f64 > die_wise as f64 * 1.2,
+        "global cycle {global} ns should be clearly slower than die-wise {die_wise} ns"
+    );
+}
+
+#[test]
+fn dftl_shape_small_cache_slower_than_page_mapping() {
+    use noftl::ftl::dftl::{Dftl, DftlConfig};
+    use noftl::ftl::page_ftl::{PageFtl, PageFtlConfig};
+
+    let geometry = FlashGeometry::small();
+    let trace = oltp_trace(5000, 4000);
+
+    let mut page_cfg = PageFtlConfig::new(geometry);
+    page_cfg.op_ratio = 0.10;
+    let mut page_ftl = PageFtl::new(page_cfg);
+    let page_report = trace.replay_on_ftl(&mut page_ftl).unwrap();
+
+    let mut dftl_cfg = DftlConfig::new(geometry);
+    dftl_cfg.cmt_entries = 64;
+    let mut dftl = Dftl::new(dftl_cfg);
+    let dftl_report = trace.replay_on_ftl(&mut dftl).unwrap();
+
+    assert!(
+        dftl_report.duration_ns > page_report.duration_ns,
+        "DFTL with a tiny CMT must be slower ({} vs {})",
+        dftl_report.duration_ns,
+        page_report.duration_ns
+    );
+}

@@ -1,0 +1,224 @@
+//! Property-based tests on the core invariants of the Flash-management
+//! layers: read-your-writes for every scheme, no lost updates across GC,
+//! B+-tree equivalence to a model, slotted-page round-trips.
+
+use proptest::prelude::*;
+
+use noftl::ftl::dftl::{Dftl, DftlConfig};
+use noftl::ftl::faster::FasterFtl;
+use noftl::ftl::page_ftl::{PageFtl, PageFtlConfig};
+use noftl::ftl::Ftl;
+use noftl::nand_flash::FlashGeometry;
+use noftl::noftl_core::{NoFtl, NoFtlConfig};
+use noftl::storage_engine::page::SlottedPage;
+
+/// An abstract workload step applied to a logical-page store.
+#[derive(Debug, Clone)]
+enum Step {
+    Write(u64, u8),
+    Trim(u64),
+    Read(u64),
+}
+
+fn step_strategy(lpns: u64) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => (0..lpns, any::<u8>()).prop_map(|(l, b)| Step::Write(l, b)),
+        1 => (0..lpns).prop_map(Step::Trim),
+        2 => (0..lpns).prop_map(Step::Read),
+    ]
+}
+
+/// Apply the steps to an implementation and to a simple model, checking that
+/// every read agrees with the model.
+fn check_against_model<F>(steps: &[Step], page_size: usize, mut write: F)
+where
+    F: FnMut(&Step) -> Option<Option<u8>>,
+{
+    let mut model: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+    for step in steps {
+        match step {
+            Step::Write(l, b) => {
+                model.insert(*l, *b);
+                write(step);
+            }
+            Step::Trim(l) => {
+                model.remove(l);
+                write(step);
+            }
+            Step::Read(l) => {
+                let got = write(step).expect("read step must return a value");
+                assert_eq!(
+                    got,
+                    model.get(l).copied(),
+                    "read of lpn {l} disagrees with model (page_size {page_size})"
+                );
+            }
+        }
+    }
+}
+
+fn run_steps_on_ftl(ftl: &mut dyn Ftl, steps: &[Step]) {
+    let page_size = 512usize;
+    let lpns = ftl.logical_pages();
+    let mut now = 0;
+    let mut buf = vec![0u8; page_size];
+    check_against_model(steps, page_size, |step| match step {
+        Step::Write(l, b) => {
+            let data = vec![*b; page_size];
+            now = ftl.write(now, l % lpns, &data).unwrap().completed_at;
+            None
+        }
+        Step::Trim(l) => {
+            ftl.trim(now, l % lpns).unwrap();
+            None
+        }
+        Step::Read(l) => match ftl.read(now, l % lpns, &mut buf) {
+            Ok(c) => {
+                now = c.completed_at;
+                Some(Some(buf[0]))
+            }
+            Err(_) => Some(None),
+        },
+    });
+}
+
+fn tiny_geometry() -> FlashGeometry {
+    FlashGeometry {
+        channels: 1,
+        dies_per_channel: 2,
+        planes_per_die: 1,
+        blocks_per_plane: 16,
+        pages_per_block: 8,
+        page_size: 512,
+        oob_size: 16,
+        nand_type: noftl::nand_flash::NandType::Slc,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn page_ftl_never_loses_updates(steps in prop::collection::vec(step_strategy(40), 1..200)) {
+        let mut cfg = PageFtlConfig::new(tiny_geometry());
+        cfg.op_ratio = 0.3;
+        let mut ftl = PageFtl::new(cfg);
+        run_steps_on_ftl(&mut ftl, &steps);
+    }
+
+    #[test]
+    fn dftl_never_loses_updates(steps in prop::collection::vec(step_strategy(40), 1..200)) {
+        let mut cfg = DftlConfig::new(tiny_geometry());
+        cfg.op_ratio = 0.3;
+        cfg.cmt_entries = 8; // tiny cache => constant evictions
+        let mut ftl = Dftl::new(cfg);
+        run_steps_on_ftl(&mut ftl, &steps);
+    }
+
+    #[test]
+    fn faster_never_loses_updates(steps in prop::collection::vec(step_strategy(40), 1..200)) {
+        let mut ftl = FasterFtl::with_geometry(tiny_geometry());
+        run_steps_on_ftl(&mut ftl, &steps);
+    }
+
+    #[test]
+    fn noftl_never_loses_updates(steps in prop::collection::vec(step_strategy(40), 1..200)) {
+        let mut cfg = NoFtlConfig::new(tiny_geometry());
+        cfg.op_ratio = 0.3;
+        let mut noftl = NoFtl::new(cfg);
+        let page_size = 512usize;
+        let lpns = noftl.logical_pages();
+        let mut now = 0;
+        let mut buf = vec![0u8; page_size];
+        check_against_model(&steps, page_size, |step| match step {
+            Step::Write(l, b) => {
+                let data = vec![*b; page_size];
+                now = noftl.write(now, l % lpns, &data).unwrap().completed_at;
+                None
+            }
+            Step::Trim(l) => {
+                noftl.mark_dead(l % lpns).unwrap();
+                None
+            }
+            Step::Read(l) => match noftl.read(now, l % lpns, &mut buf) {
+                Ok(c) => {
+                    now = c.completed_at;
+                    Some(Some(buf[0]))
+                }
+                Err(_) => Some(None),
+            },
+        });
+    }
+
+    #[test]
+    fn slotted_page_roundtrips(records in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..120), 1..20)) {
+        let mut page = SlottedPage::new(7, 4096);
+        let mut stored = Vec::new();
+        for r in &records {
+            if let Some(slot) = page.insert(r) {
+                stored.push((slot, r.clone()));
+            }
+        }
+        let bytes = page.to_bytes();
+        prop_assert_eq!(bytes.len(), 4096);
+        let decoded = SlottedPage::from_bytes(&bytes);
+        for (slot, expected) in &stored {
+            prop_assert_eq!(decoded.get(*slot).unwrap(), expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn erase_counts_only_grow(writes in prop::collection::vec(0u64..60, 50..300)) {
+        // Wear (erase counts) must be monotonically non-decreasing no matter
+        // the write pattern.
+        use noftl::nand_flash::NativeFlashInterface;
+        let mut cfg = PageFtlConfig::new(tiny_geometry());
+        cfg.op_ratio = 0.3;
+        let mut ftl = PageFtl::new(cfg);
+        let lpns = ftl.logical_pages();
+        let page = vec![1u8; 512];
+        let mut last_erases = 0;
+        let mut now = 0;
+        for w in writes {
+            now = ftl.write(now, w % lpns, &page).unwrap().completed_at;
+            let erases = ftl.device().stats().erases;
+            prop_assert!(erases >= last_erases);
+            last_erases = erases;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn btree_matches_btreemap(ops in prop::collection::vec((0u64..500, any::<u64>(), any::<bool>()), 1..400)) {
+        use noftl::storage_engine::{backend::MemBackend, btree::BTree, buffer::BufferPool, free_space::FreeSpaceManager};
+        let mut pool = BufferPool::new(64, 4096);
+        let mut backend = MemBackend::new(4096, 8192);
+        let mut fsm = FreeSpaceManager::new(0, 8000);
+        let (mut tree, _) = BTree::create(&mut pool, &mut backend, &mut fsm, 0).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        for (key, value, remove) in ops {
+            if remove {
+                let expected = model.remove(&key);
+                let (got, _) = tree.remove(&mut pool, &mut backend, 0, key).unwrap();
+                prop_assert_eq!(got, expected);
+            } else {
+                let expected = model.insert(key, value);
+                let (got, _) = tree.insert(&mut pool, &mut backend, &mut fsm, 0, key, value).unwrap();
+                prop_assert_eq!(got, expected);
+            }
+        }
+        prop_assert_eq!(tree.len() as usize, model.len());
+        for (&k, &v) in &model {
+            let (got, _) = tree.get(&mut pool, &mut backend, 0, k).unwrap();
+            prop_assert_eq!(got, Some(v));
+        }
+        // Ordered iteration agrees with the model.
+        let mut scanned = Vec::new();
+        tree.range(&mut pool, &mut backend, 0, 0, u64::MAX, |k, v| scanned.push((k, v))).unwrap();
+        let expected: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(scanned, expected);
+    }
+}
