@@ -55,6 +55,46 @@ fn bench_buffer(c: &mut Criterion) {
         })
     });
 
+    // The flusher-tick query: every db-writer wakeup asks for the dirty
+    // fraction and the dirty page list of a large pool.
+    c.bench_function("buffer/dirty_count_tick", |b| {
+        let mut pool = BufferPool::new(4096, 512);
+        let mut backend = MemBackend::new(512, 8192);
+        for p in 0..4096u64 {
+            if p % 2 == 0 {
+                pool.new_page(&mut backend, 0, p, |d| d[0] = 1).unwrap();
+            } else {
+                pool.with_page(&mut backend, 0, p, |_| ()).unwrap();
+            }
+        }
+        b.iter(|| black_box((pool.dirty_count(), pool.dirty_fraction())))
+    });
+
+    c.bench_function("buffer/dirty_pages_collect", |b| {
+        let mut pool = BufferPool::new(4096, 512);
+        let mut backend = MemBackend::new(512, 8192);
+        for p in 0..4096u64 {
+            if p % 8 == 0 {
+                pool.new_page(&mut backend, 0, p, |d| d[0] = 1).unwrap();
+            } else {
+                pool.with_page(&mut backend, 0, p, |_| ()).unwrap();
+            }
+        }
+        b.iter(|| black_box(pool.dirty_pages().len()))
+    });
+
+    // Repeated new_page on resident pages (fresh-page allocation reuse).
+    c.bench_function("buffer/new_page_resident", |b| {
+        let mut pool = BufferPool::new(256, 4096);
+        let mut backend = MemBackend::new(4096, 4096);
+        let mut rng = SimRng::new(9);
+        b.iter(|| {
+            let p = rng.range(0, 256);
+            let (v, _) = pool.new_page(&mut backend, 0, p, |d| d[0]).unwrap();
+            black_box(v)
+        })
+    });
+
     c.bench_function("flusher/partition_die_wise_vs_global", |b| {
         let backend = MemBackend::new(4096, 65536);
         let dirty: Vec<u64> = (0..4096).collect();

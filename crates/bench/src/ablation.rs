@@ -10,7 +10,7 @@
 //!    amplification.
 
 use ftl::faster::{FasterConfig, FasterFtl};
-use nand_flash::{FlashGeometry, NativeFlashInterface};
+use nand_flash::FlashGeometry;
 use noftl_core::gc::GcPolicy;
 use noftl_core::{NoFtl, NoFtlConfig};
 use sim_utils::dist::Zipf;

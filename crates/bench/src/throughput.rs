@@ -123,10 +123,8 @@ mod tests {
 
     #[test]
     fn noftl_beats_faster_on_tpcb_quick() {
-        let rows = vec![
-            run_stack(Benchmark::TpcB, Stack::Faster, Scale::Quick),
-            run_stack(Benchmark::TpcB, Stack::NoFtl, Scale::Quick),
-        ];
+        let rows = [run_stack(Benchmark::TpcB, Stack::Faster, Scale::Quick),
+            run_stack(Benchmark::TpcB, Stack::NoFtl, Scale::Quick)];
         let faster = rows.iter().find(|r| r.stack == "ftl-faster").unwrap().tps;
         let noftl = rows.iter().find(|r| r.stack == "noftl").unwrap().tps;
         assert!(

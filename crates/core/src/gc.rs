@@ -58,7 +58,7 @@ pub fn select_victim(
                         info.invalid_pages as f64 / wear_penalty
                     }
                 };
-                if best.map_or(true, |(_, s)| score > s) {
+                if best.is_none_or(|(_, s)| score > s) {
                     best = Some((addr, score));
                 }
             }

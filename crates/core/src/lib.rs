@@ -22,6 +22,29 @@
 //! The crate depends only on the `nand-flash` device model; the Shore-MT-like
 //! storage engine (`storage-engine` crate) plugs it in as one of its storage
 //! back ends.
+//!
+//! ## Hot-path data structures
+//!
+//! The §3.1 resource argument — the *host* can afford dense per-page tables
+//! where an SSD controller cannot — is applied literally to every per-page
+//! code path in this crate.  Nothing on a write, GC-relocation or flusher
+//! path hashes or scans:
+//!
+//! * [`mapping::HostMappingTable`] keeps **both** directions as dense arrays:
+//!   logical→physical indexed by LPN, physical→logical indexed by flat
+//!   physical page ([`sim_utils::flatmap::FlatMap`]).  GC's "which LPN lives
+//!   here?" is one indexed load.
+//! * [`regions::RegionManager`] precomputes a `die_flat → RegionId` table, so
+//!   `region_of_die` / `region_of_block` are one load instead of a scan over
+//!   the region lists; free blocks are queued **per die**, so opening a fresh
+//!   block in a multi-die region pops the next die's queue instead of
+//!   scanning a region-wide list.
+//! * Sparse-keyed hot structures elsewhere in the stack (buffer-pool resident
+//!   table, DFTL's CMT directory) use [`sim_utils::intmap::IntMap`], an
+//!   open-addressing integer table with Fibonacci hashing — no SipHash.
+//!
+//! The before/after numbers for each structure are recorded in
+//! `BENCH_pr1.json` at the repository root.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

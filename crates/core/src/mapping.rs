@@ -5,26 +5,43 @@
 //! granularity — but host memory can.  NoFTL therefore keeps the full
 //! page-level table in DBMS memory, avoiding both DFTL's translation-page
 //! traffic and FASTer's merge overhead.
+//!
+//! Both directions of the table are *dense arrays*: logical→physical indexed
+//! by LPN, physical→logical indexed by flat physical page.  Every update,
+//! lookup, and GC reverse resolution is a single array access — no hashing
+//! anywhere on the per-page path.
 
-use std::collections::HashMap;
+use sim_utils::flatmap::FlatMap;
 
 /// Sentinel meaning "unmapped".
 const UNMAPPED: u64 = u64::MAX;
 
-/// Dense logical→physical page table with reverse lookup, held entirely in
-/// host memory.
+/// Dense logical→physical page table with an equally dense reverse table,
+/// held entirely in host memory.
 #[derive(Debug, Clone)]
 pub struct HostMappingTable {
     forward: Vec<u64>,
-    reverse: HashMap<u64, u64>,
+    /// Physical flat page → LPN, indexed directly by physical page.
+    reverse: FlatMap,
 }
 
 impl HostMappingTable {
-    /// Create a table for `logical_pages` pages, all unmapped.
+    /// Create a table for `logical_pages` pages, all unmapped.  The reverse
+    /// table grows on demand; use [`Self::with_physical_pages`] when the
+    /// physical page count is known up front.
     pub fn new(logical_pages: u64) -> Self {
         Self {
             forward: vec![UNMAPPED; logical_pages as usize],
-            reverse: HashMap::new(),
+            reverse: FlatMap::new(),
+        }
+    }
+
+    /// Create a table with the reverse direction pre-sized for
+    /// `physical_pages` flat page indices (no growth during operation).
+    pub fn with_physical_pages(logical_pages: u64, physical_pages: u64) -> Self {
+        Self {
+            forward: vec![UNMAPPED; logical_pages as usize],
+            reverse: FlatMap::with_index_capacity(physical_pages as usize),
         }
     }
 
@@ -34,35 +51,37 @@ impl HostMappingTable {
     }
 
     /// Resolve `lpn` to its physical page (flat index), if mapped.
+    #[inline]
     pub fn get(&self, lpn: u64) -> Option<u64> {
         let v = *self.forward.get(lpn as usize)?;
         (v != UNMAPPED).then_some(v)
     }
 
     /// Which logical page lives at physical page `ppa`, if any.
+    #[inline]
     pub fn reverse(&self, ppa: u64) -> Option<u64> {
-        self.reverse.get(&ppa).copied()
+        self.reverse.get(ppa)
     }
 
     /// Map `lpn` → `ppa`; returns the superseded physical page, if any.
+    #[inline]
     pub fn update(&mut self, lpn: u64, ppa: u64) -> Option<u64> {
-        let old = self.forward[lpn as usize];
-        self.forward[lpn as usize] = ppa;
+        let old = core::mem::replace(&mut self.forward[lpn as usize], ppa);
         if old != UNMAPPED {
-            self.reverse.remove(&old);
+            self.reverse.remove(old);
         }
         self.reverse.insert(ppa, lpn);
         (old != UNMAPPED).then_some(old)
     }
 
     /// Drop the mapping of `lpn`; returns its physical page, if any.
+    #[inline]
     pub fn unmap(&mut self, lpn: u64) -> Option<u64> {
-        let old = self.forward[lpn as usize];
+        let old = core::mem::replace(&mut self.forward[lpn as usize], UNMAPPED);
         if old == UNMAPPED {
             return None;
         }
-        self.forward[lpn as usize] = UNMAPPED;
-        self.reverse.remove(&old);
+        self.reverse.remove(old);
         Some(old)
     }
 
@@ -71,11 +90,13 @@ impl HostMappingTable {
         self.reverse.len()
     }
 
-    /// Approximate host-memory footprint of the table in bytes — the resource
-    /// argument of §3.1 (a 10 GB drive at 4 KiB pages needs ~20 MB of host
-    /// RAM, trivial for a DBMS host, impossible for many SSD controllers).
+    /// Host-memory footprint of the table in bytes — the resource argument of
+    /// §3.1 (a 10 GB drive at 4 KiB pages needs ~20 MB of host RAM for the
+    /// forward direction, trivial for a DBMS host, impossible for many SSD
+    /// controllers).  Both directions are flat `u64` arrays now, so the
+    /// footprint is exact rather than a hash-table estimate.
     pub fn memory_bytes(&self) -> usize {
-        self.forward.len() * 8 + self.reverse.len() * 24
+        self.forward.len() * 8 + self.reverse.memory_bytes()
     }
 }
 
@@ -104,5 +125,30 @@ mod tests {
         assert!(large.memory_bytes() > small.memory_bytes());
         // ~8 bytes per logical page for the dense array.
         assert!(large.memory_bytes() >= 800_000);
+    }
+
+    #[test]
+    fn presized_reverse_behaves_identically() {
+        let mut lazy = HostMappingTable::new(64);
+        let mut sized = HostMappingTable::with_physical_pages(64, 256);
+        for lpn in 0..64u64 {
+            assert_eq!(lazy.update(lpn, 200 + lpn), sized.update(lpn, 200 + lpn));
+        }
+        for ppa in 0..256u64 {
+            assert_eq!(lazy.reverse(ppa), sized.reverse(ppa));
+        }
+        assert_eq!(lazy.mapped(), sized.mapped());
+    }
+
+    #[test]
+    fn reverse_tracks_gc_style_relocation() {
+        let mut t = HostMappingTable::new(16);
+        t.update(5, 40);
+        // GC moves the physical page: update must clear the stale reverse
+        // entry so no physical page resolves to two LPNs.
+        t.update(5, 41);
+        assert_eq!(t.reverse(40), None);
+        assert_eq!(t.reverse(41), Some(5));
+        assert_eq!(t.mapped(), 1);
     }
 }

@@ -66,7 +66,7 @@ impl NoFtl {
         assert!(logical_pages > 0, "no logical capacity left after OP");
         Self {
             device,
-            map: HostMappingTable::new(logical_pages),
+            map: HostMappingTable::with_physical_pages(logical_pages, geometry.total_pages()),
             regions: RegionManager::new(geometry, config.striping),
             bad_blocks: BadBlockManager::new(),
             wear: WearLeveler::new(config.wear_leveling_threshold),

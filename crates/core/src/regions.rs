@@ -44,14 +44,25 @@ pub enum FlusherAssignment {
 
 /// Per-region block pools and active write blocks, plus the
 /// logical-page → region striping function.
+///
+/// All placement queries are backed by dense lookup tables: `region_of_die`
+/// is one indexed load into a `die_flat → RegionId` table (the seed version
+/// ran a nested `position(..contains(..))` scan), and free blocks are kept in
+/// *per-die* queues so multi-die regions round-robin by popping the next
+/// die's queue instead of scanning a region-wide list.
 #[derive(Debug, Clone)]
 pub struct RegionManager {
     geometry: FlashGeometry,
     striping: StripingMode,
     /// Dies belonging to each region.
     region_dies: Vec<Vec<DieAddr>>,
-    /// Free (erased) blocks per region.
+    /// Dense lookup table: flat die index → region.
+    die_to_region: Vec<RegionId>,
+    /// Free (erased) blocks per *die* (indexed by flat die index).
     free: Vec<VecDeque<BlockAddr>>,
+    /// Free-block count per region, maintained incrementally so the
+    /// per-write watermark check stays O(1).
+    free_count: Vec<usize>,
     /// Active block and next page offset per region.
     active: Vec<Option<(BlockAddr, u32)>>,
     /// Round-robin cursor over each region's dies for block selection.
@@ -59,7 +70,9 @@ pub struct RegionManager {
 }
 
 impl RegionManager {
-    /// Build a region manager covering all blocks of `geometry`.
+    /// Build a region manager covering all blocks of `geometry`.  Runs in one
+    /// pass over the dies plus one pass over the blocks (the seed version
+    /// re-resolved every block's region by scanning the die lists).
     pub fn new(geometry: FlashGeometry, striping: StripingMode) -> Self {
         let total_dies = geometry.total_dies() as usize;
         let regions = match striping {
@@ -68,6 +81,7 @@ impl RegionManager {
             StripingMode::Single => 1,
         };
         let mut region_dies: Vec<Vec<DieAddr>> = vec![Vec::new(); regions];
+        let mut die_to_region: Vec<RegionId> = Vec::with_capacity(total_dies);
         for die_flat in 0..total_dies {
             let die = DieAddr::from_flat(&geometry, die_flat as u64);
             let region = match striping {
@@ -76,28 +90,31 @@ impl RegionManager {
                 StripingMode::Single => 0,
             };
             region_dies[region].push(die);
+            die_to_region.push(region);
         }
-        let mut free: Vec<VecDeque<BlockAddr>> = vec![VecDeque::new(); regions];
+        // Flat block indices are die-contiguous, so each die's blocks form one
+        // run: fill the per-die free queues directly, in flat order.
+        let blocks_per_die = geometry.blocks_per_die() as usize;
+        let mut free: Vec<VecDeque<BlockAddr>> = (0..total_dies)
+            .map(|_| VecDeque::with_capacity(blocks_per_die))
+            .collect();
+        let mut free_count = vec![0usize; regions];
         for flat in 0..geometry.total_blocks() {
             let addr = BlockAddr::from_flat(&geometry, flat);
-            let region = Self::region_of_die_static(&region_dies, addr.die_addr());
-            free[region].push_back(addr);
+            let die = flat as usize / blocks_per_die;
+            free[die].push_back(addr);
+            free_count[die_to_region[die]] += 1;
         }
         Self {
             geometry,
             striping,
             region_dies,
+            die_to_region,
             free,
+            free_count,
             active: vec![None; regions],
             die_cursor: vec![0; regions],
         }
-    }
-
-    fn region_of_die_static(region_dies: &[Vec<DieAddr>], die: DieAddr) -> RegionId {
-        region_dies
-            .iter()
-            .position(|dies| dies.contains(&die))
-            .expect("die not assigned to any region")
     }
 
     /// Number of regions.
@@ -116,34 +133,43 @@ impl RegionManager {
     }
 
     /// Region a logical page is striped to.
+    #[inline]
     pub fn region_of_lpn(&self, lpn: u64) -> RegionId {
         (lpn % self.regions() as u64) as usize
     }
 
-    /// Region a physical die belongs to.
+    /// Region a physical die belongs to — a single table load.
+    #[inline]
     pub fn region_of_die(&self, die: DieAddr) -> RegionId {
-        Self::region_of_die_static(&self.region_dies, die)
+        self.die_to_region[die.flat(&self.geometry) as usize]
     }
 
     /// Region a physical block belongs to.
+    #[inline]
     pub fn region_of_block(&self, block: BlockAddr) -> RegionId {
         self.region_of_die(block.die_addr())
     }
 
-    /// Number of free blocks in `region`.
+    #[inline]
+    fn die_index(&self, die: DieAddr) -> usize {
+        die.flat(&self.geometry) as usize
+    }
+
+    /// Number of free blocks in `region` — O(1), maintained incrementally.
     pub fn free_blocks_in(&self, region: RegionId) -> usize {
-        self.free[region].len()
+        self.free_count[region]
     }
 
     /// Total free blocks across regions.
     pub fn total_free_blocks(&self) -> usize {
-        self.free.iter().map(|q| q.len()).sum()
+        self.free_count.iter().sum()
     }
 
-    /// Return an erased block to its region's pool.
+    /// Return an erased block to its die's pool.
     pub fn release_block(&mut self, block: BlockAddr) {
-        let region = self.region_of_block(block);
-        self.free[region].push_back(block);
+        let die = self.die_index(block.die_addr());
+        self.free[die].push_back(block);
+        self.free_count[self.die_to_region[die]] += 1;
     }
 
     /// Permanently remove a block (grown bad).
@@ -154,7 +180,10 @@ impl RegionManager {
                 self.active[region] = None;
             }
         }
-        self.free[region].retain(|&b| b != block);
+        let die = self.die_index(block.die_addr());
+        let before = self.free[die].len();
+        self.free[die].retain(|&b| b != block);
+        self.free_count[region] -= before - self.free[die].len();
     }
 
     /// Whether `block` is the active block of its region.
@@ -165,45 +194,48 @@ impl RegionManager {
 
     /// Whether `block` sits in a free pool.
     pub fn is_free(&self, block: BlockAddr) -> bool {
-        let region = self.region_of_block(block);
-        self.free[region].contains(&block)
+        let die = self.die_index(block.die_addr());
+        self.free[die].contains(&block)
     }
 
     /// Allocate the next physical page in `region`, opening a new active
     /// block when needed (round-robin over the region's dies).  Returns
     /// `None` when the region has no space left — GC must run.
+    #[inline]
     pub fn allocate_page_in(&mut self, region: RegionId) -> Option<Ppa> {
         let pages_per_block = self.geometry.pages_per_block;
-        loop {
-            match self.active[region] {
-                Some((addr, next)) if next < pages_per_block => {
-                    self.active[region] = Some((addr, next + 1));
-                    return Some(addr.page(next));
-                }
-                _ => {
-                    // Prefer a block on the next die of the region (striping
-                    // inside multi-die regions); fall back to any free block.
-                    let fresh = self.take_free_block_round_robin(region)?;
-                    self.active[region] = Some((fresh, 0));
-                }
+        if let Some((addr, next)) = self.active[region] {
+            if next < pages_per_block {
+                self.active[region] = Some((addr, next + 1));
+                return Some(addr.page(next));
             }
         }
+        // Open a fresh block on the region's next die (striping inside
+        // multi-die regions); fall back to any die of the region with blocks.
+        let fresh = self.take_free_block_round_robin(region)?;
+        self.active[region] = Some((fresh, 1));
+        Some(fresh.page(0))
     }
 
     fn take_free_block_round_robin(&mut self, region: RegionId) -> Option<BlockAddr> {
         let dies = &self.region_dies[region];
-        if dies.len() <= 1 {
-            return self.free[region].pop_front();
+        if dies.len() == 1 {
+            let die = self.die_index(dies[0]);
+            let block = self.free[die].pop_front()?;
+            self.free_count[region] -= 1;
+            return Some(block);
         }
         let start = self.die_cursor[region];
         for i in 0..dies.len() {
-            let die = dies[(start + i) % dies.len()];
-            if let Some(pos) = self.free[region].iter().position(|b| b.die_addr() == die) {
-                self.die_cursor[region] = (start + i + 1) % dies.len();
-                return self.free[region].remove(pos);
+            let which = (start + i) % dies.len();
+            let die = self.die_index(self.region_dies[region][which]);
+            if let Some(block) = self.free[die].pop_front() {
+                self.die_cursor[region] = (which + 1) % self.region_dies[region].len();
+                self.free_count[region] -= 1;
+                return Some(block);
             }
         }
-        self.free[region].pop_front()
+        None
     }
 
     /// Regions owned by flusher `flusher_id` out of `flushers` under the given
@@ -356,6 +388,110 @@ mod tests {
             let owned = rm.regions_for_flusher(FlusherAssignment::DieWise, f, flushers);
             assert!(owned.contains(&rm.region_of_lpn(lpn)));
         }
+    }
+
+    #[test]
+    fn channel_wise_assigns_every_die_to_its_channel_region() {
+        let g = FlashGeometry::small(); // 2 channels x 2 dies
+        let rm = RegionManager::new(g, StripingMode::ChannelWise);
+        for die_flat in 0..g.total_dies() as u64 {
+            let die = DieAddr::from_flat(&g, die_flat);
+            assert_eq!(rm.region_of_die(die), die.channel as usize);
+            assert!(rm.dies_of(die.channel as usize).contains(&die));
+        }
+    }
+
+    #[test]
+    fn single_mode_assigns_every_die_to_region_zero() {
+        let g = FlashGeometry::with_dies(8, 512, 32, 4096);
+        let rm = RegionManager::new(g, StripingMode::Single);
+        for die_flat in 0..g.total_dies() as u64 {
+            let die = DieAddr::from_flat(&g, die_flat);
+            assert_eq!(rm.region_of_die(die), 0);
+        }
+        assert_eq!(rm.dies_of(0).len(), g.total_dies() as usize);
+        assert_eq!(rm.total_free_blocks() as u64, g.total_blocks());
+    }
+
+    #[test]
+    fn region_of_lpn_invariants_across_striping_modes() {
+        let g = FlashGeometry::small();
+        for striping in [
+            StripingMode::DieWise,
+            StripingMode::ChannelWise,
+            StripingMode::Single,
+        ] {
+            let rm = RegionManager::new(g, striping);
+            for lpn in 0..500u64 {
+                let r = rm.region_of_lpn(lpn);
+                assert!(r < rm.regions(), "{striping:?}: region out of range");
+                // Striding by the region count stays in the same region —
+                // the invariant the db-writer partitioning relies on.
+                assert_eq!(rm.region_of_lpn(lpn + rm.regions() as u64), r);
+            }
+            // Consecutive logical pages land on consecutive regions.
+            for lpn in 0..rm.regions() as u64 {
+                assert_eq!(rm.region_of_lpn(lpn), lpn as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn region_of_block_matches_every_block() {
+        // The dense die table must agree with the per-block die derivation
+        // for every block in every mode.
+        let g = FlashGeometry::small();
+        for striping in [
+            StripingMode::DieWise,
+            StripingMode::ChannelWise,
+            StripingMode::Single,
+        ] {
+            let rm = RegionManager::new(g, striping);
+            for flat in 0..g.total_blocks() {
+                let block = BlockAddr::from_flat(&g, flat);
+                let region = rm.region_of_block(block);
+                assert!(rm.dies_of(region).contains(&block.die_addr()));
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_region_recovers_after_release() {
+        let g = FlashGeometry::tiny(); // 1 die, 8 blocks x 8 pages
+        let mut rm = RegionManager::new(g, StripingMode::DieWise);
+        let mut blocks = std::collections::HashSet::new();
+        while let Some(ppa) = rm.allocate_page_in(0) {
+            blocks.insert(ppa.block_addr());
+        }
+        assert_eq!(rm.free_blocks_in(0), 0);
+        assert_eq!(blocks.len() as u64, g.total_blocks());
+        // Refill: releasing erased blocks makes allocation succeed again,
+        // and the refilled pool serves exactly the released capacity.
+        let released: Vec<BlockAddr> = blocks.iter().copied().take(2).collect();
+        for &b in &released {
+            rm.release_block(b);
+        }
+        assert_eq!(rm.free_blocks_in(0), 2);
+        let mut refilled = 0;
+        while rm.allocate_page_in(0).is_some() {
+            refilled += 1;
+        }
+        assert_eq!(refilled, 2 * g.pages_per_block);
+        assert_eq!(rm.free_blocks_in(0), 0);
+    }
+
+    #[test]
+    fn channel_wise_exhaustion_drains_all_dies_of_the_region() {
+        let g = FlashGeometry::small(); // 2 channels x 2 dies
+        let mut rm = RegionManager::new(g, StripingMode::ChannelWise);
+        let pages_in_region = g.pages_per_die() * 2;
+        let mut allocated = 0u64;
+        while rm.allocate_page_in(0).is_some() {
+            allocated += 1;
+        }
+        assert_eq!(allocated, pages_in_region);
+        // Region 1 is untouched by region 0's exhaustion.
+        assert_eq!(rm.free_blocks_in(1) as u64, g.total_blocks() / 2);
     }
 
     #[test]

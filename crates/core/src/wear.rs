@@ -81,7 +81,7 @@ impl WearLeveler {
                     if info.valid_pages == 0 {
                         continue;
                     }
-                    if min.map_or(true, |(_, e)| info.erase_count < e) {
+                    if min.is_none_or(|(_, e)| info.erase_count < e) {
                         min = Some((addr, info.erase_count));
                     }
                 }

@@ -8,13 +8,12 @@
 //! overhead behind the paper's observation that DFTL can be up to **3.7×
 //! slower** than pure page-level mapping under TPC-C/-B (§3.1).
 
-use std::collections::HashMap;
-
 use nand_flash::{
     BlockAddr, DeviceConfig, FlashError, FlashGeometry, FlashResult, FlashStats, NandDevice,
     NativeFlashInterface, Oob, OpCompletion, PageKind, PageState, Ppa,
 };
 use serde::{Deserialize, Serialize};
+use sim_utils::flatmap::FlatMap;
 use sim_utils::time::SimInstant;
 
 use crate::alloc::BlockPools;
@@ -65,8 +64,9 @@ pub struct Dftl {
     global_map: PageMap,
     /// GTD: translation-virtual-page → flat PPA of the translation page.
     gtd: Vec<Option<u64>>,
-    /// Reverse map for translation pages (flat PPA → tvpn) used by GC.
-    translation_reverse: HashMap<u64, u64>,
+    /// Dense reverse table for translation pages (flat PPA → tvpn) used by
+    /// GC — directly indexed by physical page, like the data-page maps.
+    translation_reverse: FlatMap,
     cmt: LruCache,
     pools: BlockPools,
     stats: FtlStats,
@@ -91,9 +91,9 @@ impl Dftl {
         let translation_pages = logical_pages.div_ceil(entries_per_tp);
         Self {
             device,
-            global_map: PageMap::new(logical_pages),
+            global_map: PageMap::with_physical_pages(logical_pages, geometry.total_pages()),
             gtd: vec![None; translation_pages as usize],
-            translation_reverse: HashMap::new(),
+            translation_reverse: FlatMap::with_index_capacity(geometry.total_pages() as usize),
             cmt: LruCache::new(config.cmt_entries.max(1)),
             pools: BlockPools::new_all_free(geometry),
             stats: FtlStats::new(),
@@ -160,7 +160,7 @@ impl Dftl {
             t = t.max(c.completed_at);
             self.stats.translation_reads += 1;
             self.device.invalidate_page(Ppa::from_flat(&g, old))?;
-            self.translation_reverse.remove(&old);
+            self.translation_reverse.remove(old);
         }
         let dst = self
             .pools
@@ -260,7 +260,7 @@ impl Dftl {
             if info.invalid_pages == 0 {
                 continue;
             }
-            if best.map_or(true, |(_, inv)| info.invalid_pages > inv) {
+            if best.is_none_or(|(_, inv)| info.invalid_pages > inv) {
                 best = Some((addr, info.invalid_pages));
             }
         }
@@ -310,7 +310,7 @@ impl Dftl {
                 PageKind::Translation => {
                     let tvpn = oob.lpn;
                     self.gtd[tvpn as usize] = Some(dst_flat);
-                    self.translation_reverse.remove(&src_flat);
+                    self.translation_reverse.remove(src_flat);
                     self.translation_reverse.insert(dst_flat, tvpn);
                 }
                 _ => {

@@ -18,13 +18,14 @@
 //! paper measures: under TPC-B/C/E, FASTer performs roughly **2× more
 //! copybacks and erases** than the DBMS-integrated NoFTL scheme.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use nand_flash::{
     BlockAddr, DeviceConfig, FlashError, FlashGeometry, FlashResult, FlashStats, NandDevice,
     NativeFlashInterface, Oob, OpCompletion, PageState, Ppa,
 };
 use serde::{Deserialize, Serialize};
+use sim_utils::flatmap::{FlatBitSet, FlatMap};
 use sim_utils::time::SimInstant;
 
 use crate::stats::FtlStats;
@@ -64,10 +65,10 @@ pub struct FasterFtl {
     device: NandDevice,
     /// Logical block → physical data block.
     block_map: Vec<Option<BlockAddr>>,
-    /// Page-level map of the log area: lpn → flat ppa.
-    log_map: HashMap<u64, u64>,
-    /// Reverse map of the log area: flat ppa → lpn.
-    log_reverse: HashMap<u64, u64>,
+    /// Page-level map of the log area, indexed directly by LPN.
+    log_map: FlatMap,
+    /// Reverse map of the log area, indexed directly by flat PPA.
+    log_reverse: FlatMap,
     /// Sealed log blocks, oldest first.
     sealed_logs: VecDeque<BlockAddr>,
     /// Currently filling log block and its next page offset.
@@ -76,8 +77,8 @@ pub struct FasterFtl {
     free_logs: VecDeque<BlockAddr>,
     /// Erased blocks available as data blocks / merge destinations.
     free_data: VecDeque<BlockAddr>,
-    /// LPNs that already received their second chance.
-    chanced: HashSet<u64>,
+    /// LPNs that already received their second chance (dense bitmap).
+    chanced: FlatBitSet,
     second_chance: bool,
     stats: FtlStats,
     logical_pages: u64,
@@ -119,13 +120,13 @@ impl FasterFtl {
         Self {
             device,
             block_map: vec![None; data_blocks as usize],
-            log_map: HashMap::new(),
-            log_reverse: HashMap::new(),
+            log_map: FlatMap::with_index_capacity(logical_pages as usize),
+            log_reverse: FlatMap::with_index_capacity(geometry.total_pages() as usize),
             sealed_logs: VecDeque::new(),
             active_log: None,
             free_logs,
             free_data,
-            chanced: HashSet::new(),
+            chanced: FlatBitSet::with_index_capacity(logical_pages as usize),
             second_chance: config.second_chance,
             stats: FtlStats::new(),
             logical_pages,
@@ -178,8 +179,8 @@ impl FasterFtl {
     /// Invalidate whatever version of `lpn` is currently live.
     fn invalidate_current(&mut self, lpn: u64) -> FlashResult<()> {
         let g = *self.device.geometry();
-        if let Some(old) = self.log_map.remove(&lpn) {
-            self.log_reverse.remove(&old);
+        if let Some(old) = self.log_map.remove(lpn) {
+            self.log_reverse.remove(old);
             self.device.invalidate_page(Ppa::from_flat(&g, old))?;
             return Ok(());
         }
@@ -229,7 +230,7 @@ impl FasterFtl {
         // Open a log block if needed.
         if self
             .active_log
-            .map_or(true, |(_, next)| next >= g.pages_per_block)
+            .is_none_or(|(_, next)| next >= g.pages_per_block)
         {
             if let Some((full, _)) = self.active_log.take() {
                 self.sealed_logs.push_back(full);
@@ -283,13 +284,13 @@ impl FasterFtl {
             let lpn = lbn * self.pages_per_block + offset as u64;
             let dst = dest.page(offset);
             // Newest version: log area first, then the old data block.
-            if let Some(&log_flat) = self.log_map.get(&lpn) {
+            if let Some(log_flat) = self.log_map.get(lpn) {
                 let src = Ppa::from_flat(&g, log_flat);
                 t = self.relocate(t, src, dst, Oob::data(lpn, 0))?.max(t);
                 self.device.invalidate_page(src)?;
-                self.log_map.remove(&lpn);
-                self.log_reverse.remove(&log_flat);
-                self.chanced.remove(&lpn);
+                self.log_map.remove(lpn);
+                self.log_reverse.remove(log_flat);
+                self.chanced.remove(lpn);
             } else if let Some(old_block) = old_data {
                 let src = old_block.page(offset);
                 if self.device.page_state(src)? == PageState::Valid {
@@ -335,10 +336,10 @@ impl FasterFtl {
             self.block_map[lbn as usize] = Some(victim);
             for offset in 0..g.pages_per_block {
                 let lpn = lbn * self.pages_per_block + offset as u64;
-                if let Some(flat) = self.log_map.remove(&lpn) {
-                    self.log_reverse.remove(&flat);
+                if let Some(flat) = self.log_map.remove(lpn) {
+                    self.log_reverse.remove(flat);
                 }
-                self.chanced.remove(&lpn);
+                self.chanced.remove(lpn);
             }
             if let Some(old_block) = old {
                 let c = self.device.erase_block(t, old_block)?;
@@ -364,21 +365,21 @@ impl FasterFtl {
         for page_idx in 0..g.pages_per_block {
             let src = victim.page(page_idx);
             let flat = src.flat(&g);
-            let Some(&lpn) = self.log_reverse.get(&flat) else {
+            let Some(lpn) = self.log_reverse.get(flat) else {
                 continue; // stale or never-written page
             };
             if self.device.page_state(src)? != PageState::Valid {
                 continue;
             }
-            let give_chance = self.second_chance && !self.chanced.contains(&lpn);
+            let give_chance = self.second_chance && !self.chanced.contains(lpn);
             if give_chance {
                 // Read the survivor out of the victim; it is re-appended to
                 // the log once the victim has been erased (circular log).
                 let mut buf = vec![0u8; self.page_size];
                 let (_, c) = self.device.read_page(t, src, &mut buf)?;
                 t = t.max(c.completed_at);
-                self.log_map.remove(&lpn);
-                self.log_reverse.remove(&flat);
+                self.log_map.remove(lpn);
+                self.log_reverse.remove(flat);
                 survivors.push((lpn, buf));
                 self.chanced.insert(lpn);
             } else {
@@ -412,7 +413,7 @@ impl FasterFtl {
                 return Ok(None);
             }
             let flat = src.flat(&g);
-            let Some(&lpn) = self.log_reverse.get(&flat) else {
+            let Some(lpn) = self.log_reverse.get(flat) else {
                 return Ok(None);
             };
             if self.offset_of(lpn) != page_idx {
@@ -455,7 +456,7 @@ impl Ftl for FasterFtl {
         self.check_lpn(lpn)?;
         self.check_buf(buf.len())?;
         let g = *self.device.geometry();
-        let ppa = if let Some(&flat) = self.log_map.get(&lpn) {
+        let ppa = if let Some(flat) = self.log_map.get(lpn) {
             Ppa::from_flat(&g, flat)
         } else {
             let lbn = self.lbn_of(lpn) as usize;
@@ -482,7 +483,7 @@ impl Ftl for FasterFtl {
         let start = now;
         let mut t = self.ensure_log_space(now)?;
         self.invalidate_current(lpn)?;
-        self.chanced.remove(&lpn);
+        self.chanced.remove(lpn);
         let (_, end) = self.append_to_log(t, lpn, Some(data), None)?;
         t = t.max(end);
         self.stats.host_writes += 1;
@@ -496,7 +497,7 @@ impl Ftl for FasterFtl {
     fn trim(&mut self, _now: SimInstant, lpn: u64) -> FlashResult<()> {
         self.check_lpn(lpn)?;
         self.invalidate_current(lpn)?;
-        self.chanced.remove(&lpn);
+        self.chanced.remove(lpn);
         self.stats.host_trims += 1;
         Ok(())
     }

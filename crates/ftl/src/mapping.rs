@@ -1,29 +1,47 @@
 //! Mapping-table data structures shared by the FTL implementations.
 //!
-//! * [`PageMap`] — a dense logical-page → physical-page table plus the reverse
-//!   map needed by GC to find which logical page a physical page holds.
+//! * [`PageMap`] — a dense logical-page → physical-page table plus an equally
+//!   dense reverse table needed by GC to find which logical page a physical
+//!   page holds.
 //! * [`LruCache`] — the Cached Mapping Table (CMT) used by DFTL: a bounded
 //!   LRU of `lpn → ppa` entries with dirty tracking.
+//!
+//! Both directions of [`PageMap`] and the [`LruCache`] directory are flat
+//! integer structures ([`sim_utils::flatmap::FlatMap`] /
+//! [`sim_utils::intmap::IntMap`]): the FTL baselines must not be artificially
+//! slowed by SipHash lookups the paper's comparisons never charged them for.
 
-use std::collections::HashMap;
+use sim_utils::flatmap::FlatMap;
+use sim_utils::intmap::IntMap;
 
 /// Sentinel meaning "unmapped".
 pub const UNMAPPED: u64 = u64::MAX;
 
 /// Dense page-level mapping table (logical page number → flat physical page
-/// index) with a reverse map for GC.
+/// index) with a dense reverse table for GC.
 #[derive(Debug, Clone)]
 pub struct PageMap {
     forward: Vec<u64>,
-    reverse: HashMap<u64, u64>,
+    /// Physical flat page → LPN, indexed directly by physical page.
+    reverse: FlatMap,
 }
 
 impl PageMap {
-    /// Create a table for `logical_pages` logical pages, all unmapped.
+    /// Create a table for `logical_pages` logical pages, all unmapped.  The
+    /// reverse table grows on demand; see [`Self::with_physical_pages`].
     pub fn new(logical_pages: u64) -> Self {
         Self {
             forward: vec![UNMAPPED; logical_pages as usize],
-            reverse: HashMap::new(),
+            reverse: FlatMap::new(),
+        }
+    }
+
+    /// Create a table with the reverse direction pre-sized for
+    /// `physical_pages` flat page indices.
+    pub fn with_physical_pages(logical_pages: u64, physical_pages: u64) -> Self {
+        Self {
+            forward: vec![UNMAPPED; logical_pages as usize],
+            reverse: FlatMap::with_index_capacity(physical_pages as usize),
         }
     }
 
@@ -33,36 +51,38 @@ impl PageMap {
     }
 
     /// Physical location of `lpn`, or `None` if unmapped.
+    #[inline]
     pub fn get(&self, lpn: u64) -> Option<u64> {
         let v = *self.forward.get(lpn as usize)?;
         (v != UNMAPPED).then_some(v)
     }
 
     /// Which logical page currently lives at physical page `ppa`, if any.
+    #[inline]
     pub fn lookup_reverse(&self, ppa: u64) -> Option<u64> {
-        self.reverse.get(&ppa).copied()
+        self.reverse.get(ppa)
     }
 
     /// Map `lpn` to `ppa`, returning the previous physical location (which the
     /// caller must invalidate on the device), if any.
+    #[inline]
     pub fn update(&mut self, lpn: u64, ppa: u64) -> Option<u64> {
-        let old = self.forward[lpn as usize];
-        self.forward[lpn as usize] = ppa;
+        let old = core::mem::replace(&mut self.forward[lpn as usize], ppa);
         if old != UNMAPPED {
-            self.reverse.remove(&old);
+            self.reverse.remove(old);
         }
         self.reverse.insert(ppa, lpn);
         (old != UNMAPPED).then_some(old)
     }
 
     /// Remove the mapping of `lpn`, returning its physical location, if any.
+    #[inline]
     pub fn unmap(&mut self, lpn: u64) -> Option<u64> {
-        let old = self.forward[lpn as usize];
+        let old = core::mem::replace(&mut self.forward[lpn as usize], UNMAPPED);
         if old == UNMAPPED {
             return None;
         }
-        self.forward[lpn as usize] = UNMAPPED;
-        self.reverse.remove(&old);
+        self.reverse.remove(old);
         Some(old)
     }
 
@@ -83,12 +103,13 @@ pub struct CmtEntry {
 
 /// A bounded LRU cache of `lpn → ppa` mappings (DFTL's CMT).
 ///
-/// Implemented as a `HashMap` plus an intrusive doubly-linked list over a slab
-/// of nodes, giving O(1) lookup, insert, touch and eviction.
+/// Implemented as an open-addressing integer directory plus an intrusive
+/// doubly-linked list over a slab of nodes, giving O(1) lookup, insert,
+/// touch and eviction without SipHash in the loop.
 #[derive(Debug)]
 pub struct LruCache {
     capacity: usize,
-    map: HashMap<u64, usize>,
+    map: IntMap,
     nodes: Vec<Node>,
     free: Vec<usize>,
     head: Option<usize>, // most recently used
@@ -109,7 +130,7 @@ impl LruCache {
         assert!(capacity >= 1, "LRU capacity must be at least 1");
         Self {
             capacity,
-            map: HashMap::with_capacity(capacity),
+            map: IntMap::with_capacity(capacity.min(1 << 20)),
             nodes: Vec::with_capacity(capacity),
             free: Vec::new(),
             head: None,
@@ -165,7 +186,7 @@ impl LruCache {
 
     /// Look up `key`, marking it most-recently-used.
     pub fn get(&mut self, key: u64) -> Option<CmtEntry> {
-        let idx = *self.map.get(&key)?;
+        let idx = self.map.get(key)? as usize;
         self.detach(idx);
         self.push_front(idx);
         Some(self.nodes[idx].entry)
@@ -173,13 +194,14 @@ impl LruCache {
 
     /// Look up `key` without affecting recency.
     pub fn peek(&self, key: u64) -> Option<CmtEntry> {
-        self.map.get(&key).map(|&idx| self.nodes[idx].entry)
+        self.map.get(key).map(|idx| self.nodes[idx as usize].entry)
     }
 
     /// Insert or update `key`. Returns the evicted `(lpn, entry)` if the cache
     /// was full and a victim had to be dropped.
     pub fn insert(&mut self, key: u64, entry: CmtEntry) -> Option<(u64, CmtEntry)> {
-        if let Some(&idx) = self.map.get(&key) {
+        if let Some(idx) = self.map.get(key) {
+            let idx = idx as usize;
             self.nodes[idx].entry = entry;
             self.detach(idx);
             self.push_front(idx);
@@ -207,7 +229,7 @@ impl LruCache {
             });
             self.nodes.len() - 1
         };
-        self.map.insert(key, idx);
+        self.map.insert(key, idx as u64);
         self.push_front(idx);
         evicted
     }
@@ -218,14 +240,14 @@ impl LruCache {
         let key = self.nodes[tail].key;
         let entry = self.nodes[tail].entry;
         self.detach(tail);
-        self.map.remove(&key);
+        self.map.remove(key);
         self.free.push(tail);
         Some((key, entry))
     }
 
     /// Remove `key` if present.
     pub fn remove(&mut self, key: u64) -> Option<CmtEntry> {
-        let idx = self.map.remove(&key)?;
+        let idx = self.map.remove(key)? as usize;
         self.detach(idx);
         self.free.push(idx);
         Some(self.nodes[idx].entry)
@@ -233,8 +255,8 @@ impl LruCache {
 
     /// Mark an existing entry dirty/clean and optionally change its ppa.
     pub fn update_in_place(&mut self, key: u64, ppa: u64, dirty: bool) -> bool {
-        if let Some(&idx) = self.map.get(&key) {
-            self.nodes[idx].entry = CmtEntry { ppa, dirty };
+        if let Some(idx) = self.map.get(key) {
+            self.nodes[idx as usize].entry = CmtEntry { ppa, dirty };
             true
         } else {
             false
@@ -245,7 +267,7 @@ impl LruCache {
     pub fn iter(&self) -> impl Iterator<Item = (u64, CmtEntry)> + '_ {
         self.map
             .iter()
-            .map(move |(&k, &idx)| (k, self.nodes[idx].entry))
+            .map(move |(k, idx)| (k, self.nodes[idx as usize].entry))
     }
 }
 

@@ -136,7 +136,7 @@ impl PageFtl {
             if info.invalid_pages == 0 {
                 continue;
             }
-            if best.map_or(true, |(_, inv)| info.invalid_pages > inv) {
+            if best.is_none_or(|(_, inv)| info.invalid_pages > inv) {
                 best = Some((addr, info.invalid_pages));
             }
         }

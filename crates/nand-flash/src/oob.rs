@@ -10,8 +10,10 @@ use serde::{Deserialize, Serialize};
 /// What kind of content a physical page holds — the host-defined tag stored
 /// in the spare area.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
 pub enum PageKind {
     /// Regular user data page (a database page).
+    #[default]
     Data,
     /// FTL translation page (used by DFTL's cached mapping scheme).
     Translation,
@@ -21,11 +23,6 @@ pub enum PageKind {
     Meta,
 }
 
-impl Default for PageKind {
-    fn default() -> Self {
-        PageKind::Data
-    }
-}
 
 /// Out-of-band metadata record programmed together with a page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -12,18 +12,24 @@
 //! * [`stats`] — small running-statistics helpers (mean / min / max /
 //!   variance) and human-readable formatting of counts, bytes and durations.
 //! * [`time`] — the simulated-time base types (nanosecond ticks).
+//! * [`flatmap`] — dense directly-indexed map/bitset for per-page hot paths.
+//! * [`intmap`] — open-addressing integer hash map (sparse key spaces).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod dist;
+pub mod flatmap;
 pub mod histogram;
+pub mod intmap;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use dist::{NuRand, Zipf};
+pub use flatmap::{FlatBitSet, FlatMap};
 pub use histogram::Histogram;
+pub use intmap::IntMap;
 pub use rng::{SimRng, SplitMix64};
 pub use stats::{fmt_count, fmt_duration_ns, Running};
 pub use time::{SimDuration, SimInstant, MICROS, MILLIS, SECONDS};

@@ -426,9 +426,8 @@ mod tests {
         // write_page_in_region falls back to a plain write.
         b.write_page_in_region(0, 3, 10, &data).unwrap();
         assert_eq!(b.counters().host_writes, 2);
-        assert_eq!(
+        assert!(
             b.device().ftl().device().stats().programs >= 2,
-            true,
             "writes must reach the flash device"
         );
     }

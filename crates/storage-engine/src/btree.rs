@@ -251,7 +251,7 @@ impl BTree {
         Ok((result, t))
     }
 
-    #[allow(clippy::type_complexity)]
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
     fn insert_rec(
         &mut self,
         pool: &mut BufferPool,

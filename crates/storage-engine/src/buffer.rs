@@ -6,10 +6,17 @@
 //! and synchronous write-back only as a last resort when a victim frame is
 //! dirty and no clean frame exists — the situation whose cost the Flash-aware
 //! flusher assignment is designed to avoid.
-
-use std::collections::HashMap;
+//!
+//! Hot-path data structures are flat: page bytes live in one contiguous
+//! arena (`capacity * page_size`), the resident map is an open-addressing
+//! integer table ([`sim_utils::intmap::IntMap`], no SipHash), and dirty state
+//! is a bitmap plus an incremental counter so the flusher's
+//! `dirty_count()` / `dirty_fraction()` ticks are O(1) instead of scanning
+//! every frame.
 
 use nand_flash::{FlashError, FlashResult};
+use sim_utils::flatmap::FlatBitSet;
+use sim_utils::intmap::IntMap;
 use sim_utils::time::SimInstant;
 
 use crate::backend::StorageBackend;
@@ -31,13 +38,35 @@ pub struct BufferStats {
     pub flushed_by_writers: u64,
 }
 
+/// Frame metadata; page bytes live in the pool's arena.
 #[derive(Debug)]
 struct Frame {
     page_id: PageId,
-    data: Vec<u8>,
     dirty: bool,
     pins: u32,
     referenced: bool,
+}
+
+/// Sentinel page id marking a frame that holds no page.
+const NO_PAGE: PageId = u64::MAX;
+
+/// Unpins a frame when dropped, so a panicking access closure cannot leak a
+/// pin and wedge the clock hand forever.
+struct PinGuard<'a> {
+    pins: &'a mut u32,
+}
+
+impl<'a> PinGuard<'a> {
+    fn new(pins: &'a mut u32) -> Self {
+        *pins += 1;
+        Self { pins }
+    }
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        *self.pins -= 1;
+    }
 }
 
 /// A fixed-capacity buffer pool of database pages.
@@ -45,7 +74,12 @@ pub struct BufferPool {
     capacity: usize,
     page_size: usize,
     frames: Vec<Frame>,
-    map: HashMap<PageId, usize>,
+    /// One contiguous allocation holding every frame's bytes.
+    arena: Vec<u8>,
+    /// PageId → frame index.
+    map: IntMap,
+    /// Frame-indexed dirty bitmap; its population count is `dirty_count()`.
+    dirty: FlatBitSet,
     clock_hand: usize,
     stats: BufferStats,
 }
@@ -58,7 +92,9 @@ impl BufferPool {
             capacity,
             page_size,
             frames: Vec::with_capacity(capacity),
-            map: HashMap::with_capacity(capacity),
+            arena: Vec::new(),
+            map: IntMap::with_capacity(capacity),
+            dirty: FlatBitSet::with_index_capacity(capacity),
             clock_hand: 0,
             stats: BufferStats::default(),
         }
@@ -84,48 +120,73 @@ impl BufferPool {
         self.map.len()
     }
 
-    /// Number of dirty resident pages.
+    /// Number of dirty resident pages — O(1), maintained incrementally.
     pub fn dirty_count(&self) -> usize {
-        self.frames.iter().filter(|f| f.dirty).count()
+        self.dirty.len()
     }
 
-    /// Fraction of frames that are dirty.
+    /// Fraction of frames that are dirty — O(1).
     pub fn dirty_fraction(&self) -> f64 {
         self.dirty_count() as f64 / self.capacity as f64
     }
 
-    /// Page ids of all dirty resident pages.
+    /// Page ids of all dirty resident pages (bitmap walk, skips clean words).
     pub fn dirty_pages(&self) -> Vec<PageId> {
-        self.frames
+        self.dirty
             .iter()
-            .filter(|f| f.dirty)
-            .map(|f| f.page_id)
+            .map(|i| self.frames[i as usize].page_id)
             .collect()
     }
 
     /// Whether `page_id` is resident.
     pub fn contains(&self, page_id: PageId) -> bool {
-        self.map.contains_key(&page_id)
+        self.map.contains_key(page_id)
     }
 
     /// Whether `page_id` is resident and dirty.
     pub fn is_dirty(&self, page_id: PageId) -> bool {
         self.map
-            .get(&page_id)
-            .map(|&i| self.frames[i].dirty)
+            .get(page_id)
+            .map(|i| self.frames[i as usize].dirty)
             .unwrap_or(false)
+    }
+
+    #[inline]
+    fn data(&self, frame: usize) -> &[u8] {
+        &self.arena[frame * self.page_size..(frame + 1) * self.page_size]
+    }
+
+    #[inline]
+    fn data_mut(&mut self, frame: usize) -> &mut [u8] {
+        &mut self.arena[frame * self.page_size..(frame + 1) * self.page_size]
+    }
+
+    #[inline]
+    fn set_dirty(&mut self, frame: usize) {
+        if !self.frames[frame].dirty {
+            self.frames[frame].dirty = true;
+            self.dirty.insert(frame as u64);
+        }
+    }
+
+    #[inline]
+    fn set_clean(&mut self, frame: usize) {
+        if self.frames[frame].dirty {
+            self.frames[frame].dirty = false;
+            self.dirty.remove(frame as u64);
+        }
     }
 
     /// Borrow the raw bytes of a resident page (used by flushers).
     pub fn page_bytes(&self, page_id: PageId) -> Option<&[u8]> {
-        self.map.get(&page_id).map(|&i| self.frames[i].data.as_slice())
+        self.map.get(page_id).map(|i| self.data(i as usize))
     }
 
     /// Mark a resident page clean (after a flusher wrote it out).
     pub fn mark_clean(&mut self, page_id: PageId) {
-        if let Some(&i) = self.map.get(&page_id) {
-            if self.frames[i].dirty {
-                self.frames[i].dirty = false;
+        if let Some(i) = self.map.get(page_id) {
+            if self.frames[i as usize].dirty {
+                self.set_clean(i as usize);
                 self.stats.flushed_by_writers += 1;
             }
         }
@@ -135,14 +196,14 @@ impl BufferPool {
     /// never chosen. Returns `None` when every frame is pinned.
     fn find_victim(&mut self) -> Option<usize> {
         if self.frames.len() < self.capacity {
-            // Grow: fresh frame slot.
+            // Grow: fresh frame slot (arena extends by one page).
             self.frames.push(Frame {
-                page_id: u64::MAX,
-                data: vec![0u8; self.page_size],
+                page_id: NO_PAGE,
                 dirty: false,
                 pins: 0,
                 referenced: false,
             });
+            self.arena.resize(self.frames.len() * self.page_size, 0);
             return Some(self.frames.len() - 1);
         }
         for _ in 0..(2 * self.capacity) {
@@ -162,7 +223,10 @@ impl BufferPool {
     }
 
     /// Ensure `page_id` is resident, reading it from `backend` on a miss.
-    /// Returns the frame index and the virtual time after any I/O.
+    /// Returns the frame index and the virtual time after any I/O.  When
+    /// `read_from_backend` is false the frame content is zeroed — including
+    /// on the hit path, so `new_page` on an already-resident page hands out a
+    /// fresh frame rather than the stale bytes.
     fn fetch(
         &mut self,
         backend: &mut dyn StorageBackend,
@@ -170,46 +234,62 @@ impl BufferPool {
         page_id: PageId,
         read_from_backend: bool,
     ) -> FlashResult<(usize, SimInstant)> {
-        if let Some(&i) = self.map.get(&page_id) {
+        if let Some(i) = self.map.get(page_id) {
+            let i = i as usize;
             self.frames[i].referenced = true;
             self.stats.hits += 1;
+            if !read_from_backend {
+                self.data_mut(i).fill(0);
+                self.set_dirty(i);
+            }
             return Ok((i, now));
         }
         self.stats.misses += 1;
         let mut t = now;
         let victim = self.find_victim().ok_or(FlashError::OutOfSpareBlocks)?;
         // Write back a dirty victim synchronously (foreground stall).
-        if self.frames[victim].page_id != u64::MAX {
+        if self.frames[victim].page_id != NO_PAGE {
             if self.frames[victim].dirty {
                 let old_id = self.frames[victim].page_id;
-                let data = std::mem::take(&mut self.frames[victim].data);
-                let c = backend.write_page(t, old_id, &data)?;
+                let range = victim * self.page_size..(victim + 1) * self.page_size;
+                let c = backend.write_page(t, old_id, &self.arena[range])?;
                 t = t.max(c.completed_at);
-                self.frames[victim].data = data;
+                self.set_clean(victim);
                 self.stats.dirty_evictions += 1;
             }
-            self.map.remove(&self.frames[victim].page_id);
+            self.map.remove(self.frames[victim].page_id);
+            // Detach the frame *before* the fallible backend read below: if
+            // the read errors out, a frame still carrying the old page_id
+            // (with no map entry) would later poison the map when this frame
+            // is victimized again — removing another frame's live mapping.
+            self.frames[victim].page_id = NO_PAGE;
             self.stats.evictions += 1;
         }
         // Load the new page.
         if read_from_backend {
-            let mut data = std::mem::take(&mut self.frames[victim].data);
-            let c = backend.read_page(t, page_id, &mut data)?;
+            let range = victim * self.page_size..(victim + 1) * self.page_size;
+            let c = backend.read_page(t, page_id, &mut self.arena[range])?;
             t = t.max(c.completed_at);
-            self.frames[victim].data = data;
         } else {
-            self.frames[victim].data.fill(0);
+            self.data_mut(victim).fill(0);
         }
         self.frames[victim].page_id = page_id;
-        self.frames[victim].dirty = false;
+        self.set_clean(victim);
         self.frames[victim].referenced = true;
         self.frames[victim].pins = 0;
-        self.map.insert(page_id, victim);
+        self.map.insert(page_id, victim as u64);
+        if !read_from_backend {
+            // A fresh (zeroed) page is dirty from the moment it exists, even
+            // if the caller's init closure later panics: a clean all-zero
+            // frame would silently shadow the backend's copy.
+            self.set_dirty(victim);
+        }
         Ok((victim, t))
     }
 
     /// Read-access a page through a closure. Returns the closure result and
-    /// the virtual time after any backend I/O.
+    /// the virtual time after any backend I/O.  The frame stays pinned for
+    /// exactly the closure's duration, even if it panics.
     pub fn with_page<R>(
         &mut self,
         backend: &mut dyn StorageBackend,
@@ -218,13 +298,15 @@ impl BufferPool {
         f: impl FnOnce(&[u8]) -> R,
     ) -> FlashResult<(R, SimInstant)> {
         let (i, t) = self.fetch(backend, now, page_id, true)?;
-        self.frames[i].pins += 1;
-        let r = f(&self.frames[i].data);
-        self.frames[i].pins -= 1;
+        let _pin = PinGuard::new(&mut self.frames[i].pins);
+        let r = f(&self.arena[i * self.page_size..(i + 1) * self.page_size]);
         Ok((r, t))
     }
 
-    /// Write-access a page through a closure (marks it dirty).
+    /// Write-access a page through a closure (marks it dirty).  The dirty
+    /// bit is set *before* the closure runs: a panicking closure may already
+    /// have mutated the frame, and mutated-but-clean bytes would silently
+    /// revert to the backend copy on eviction.
     pub fn with_page_mut<R>(
         &mut self,
         backend: &mut dyn StorageBackend,
@@ -233,15 +315,18 @@ impl BufferPool {
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> FlashResult<(R, SimInstant)> {
         let (i, t) = self.fetch(backend, now, page_id, true)?;
-        self.frames[i].pins += 1;
-        let r = f(&mut self.frames[i].data);
-        self.frames[i].pins -= 1;
-        self.frames[i].dirty = true;
+        self.set_dirty(i);
+        let r = {
+            let _pin = PinGuard::new(&mut self.frames[i].pins);
+            f(&mut self.arena[i * self.page_size..(i + 1) * self.page_size])
+        };
         Ok((r, t))
     }
 
     /// Create/overwrite a page in the pool *without* reading it from the
-    /// backend first (freshly allocated pages).
+    /// backend first (freshly allocated pages).  The frame is zeroed even if
+    /// an old version of the page was resident, and is marked dirty by
+    /// `fetch` before the closure runs (panic-consistent on both paths).
     pub fn new_page<R>(
         &mut self,
         backend: &mut dyn StorageBackend,
@@ -250,18 +335,18 @@ impl BufferPool {
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> FlashResult<(R, SimInstant)> {
         let (i, t) = self.fetch(backend, now, page_id, false)?;
-        self.frames[i].pins += 1;
-        let r = f(&mut self.frames[i].data);
-        self.frames[i].pins -= 1;
-        self.frames[i].dirty = true;
+        let r = {
+            let _pin = PinGuard::new(&mut self.frames[i].pins);
+            f(&mut self.arena[i * self.page_size..(i + 1) * self.page_size])
+        };
         Ok((r, t))
     }
 
     /// Pin a resident page (prevents eviction). Returns `false` if the page
     /// is not resident.
     pub fn pin(&mut self, page_id: PageId) -> bool {
-        if let Some(&i) = self.map.get(&page_id) {
-            self.frames[i].pins += 1;
+        if let Some(i) = self.map.get(page_id) {
+            self.frames[i as usize].pins += 1;
             true
         } else {
             false
@@ -270,8 +355,8 @@ impl BufferPool {
 
     /// Unpin a resident page.
     pub fn unpin(&mut self, page_id: PageId) {
-        if let Some(&i) = self.map.get(&page_id) {
-            let frame = &mut self.frames[i];
+        if let Some(i) = self.map.get(page_id) {
+            let frame = &mut self.frames[i as usize];
             frame.pins = frame.pins.saturating_sub(1);
         }
     }
@@ -279,9 +364,10 @@ impl BufferPool {
     /// Drop a page from the pool without writing it back (used when the page
     /// was freed by the free-space manager — its content is dead anyway).
     pub fn discard(&mut self, page_id: PageId) {
-        if let Some(i) = self.map.remove(&page_id) {
-            self.frames[i].page_id = u64::MAX;
-            self.frames[i].dirty = false;
+        if let Some(i) = self.map.remove(page_id) {
+            let i = i as usize;
+            self.set_clean(i);
+            self.frames[i].page_id = NO_PAGE;
             self.frames[i].pins = 0;
             self.frames[i].referenced = false;
         }
@@ -295,16 +381,13 @@ impl BufferPool {
         now: SimInstant,
     ) -> FlashResult<SimInstant> {
         let mut t = now;
-        let dirty: Vec<usize> = (0..self.frames.len())
-            .filter(|&i| self.frames[i].dirty)
-            .collect();
+        let dirty: Vec<usize> = self.dirty.iter().map(|i| i as usize).collect();
         for i in dirty {
             let page_id = self.frames[i].page_id;
-            let data = std::mem::take(&mut self.frames[i].data);
-            let c = backend.write_page(t, page_id, &data)?;
+            let range = i * self.page_size..(i + 1) * self.page_size;
+            let c = backend.write_page(t, page_id, &self.arena[range])?;
             t = t.max(c.completed_at);
-            self.frames[i].data = data;
-            self.frames[i].dirty = false;
+            self.set_clean(i);
         }
         Ok(t)
     }
@@ -421,5 +504,104 @@ mod tests {
         pool.new_page(&mut backend, 0, 1, |_| ()).unwrap();
         pool.new_page(&mut backend, 0, 2, |_| ()).unwrap();
         assert!((pool.dirty_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_page_on_resident_page_zeroes_stale_bytes() {
+        let (mut pool, mut backend) = setup(4);
+        pool.new_page(&mut backend, 0, 6, |d| d.fill(0x77)).unwrap();
+        // Re-allocating the same page id must present a zeroed frame, not the
+        // stale resident bytes (the seed returned the old content here).
+        let (seen, _) = pool
+            .new_page(&mut backend, 0, 6, |d| (d[0], d[511]))
+            .unwrap();
+        assert_eq!(seen, (0, 0));
+        assert!(pool.is_dirty(6));
+    }
+
+    #[test]
+    fn panicking_closure_does_not_leak_pin() {
+        let (mut pool, mut backend) = setup(2);
+        pool.new_page(&mut backend, 0, 1, |d| d[0] = 1).unwrap();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = pool.with_page(&mut backend, 0, 1, |_| panic!("access failed"));
+        }));
+        assert!(panicked.is_err());
+        // The pin must have been released: filling the pool and evicting
+        // page 1 must succeed rather than error with every frame pinned.
+        pool.new_page(&mut backend, 0, 2, |d| d[0] = 2).unwrap();
+        assert!(pool.with_page(&mut backend, 0, 3, |_| ()).is_ok());
+    }
+
+    #[test]
+    fn panicking_mut_closure_leaves_page_dirty() {
+        let (mut pool, mut backend) = setup(2);
+        pool.new_page(&mut backend, 0, 1, |d| d[0] = 1).unwrap();
+        pool.flush_all(&mut backend, 0).unwrap();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = pool.with_page_mut(&mut backend, 0, 1, |d| {
+                d[0] = 0x7E;
+                panic!("mutated, then died");
+            });
+        }));
+        assert!(panicked.is_err());
+        // The half-applied mutation must not be silently dropped on eviction:
+        // the frame carries it, so it must be marked dirty.
+        assert!(pool.is_dirty(1));
+        let (seen, _) = pool.with_page(&mut backend, 0, 1, |d| d[0]).unwrap();
+        assert_eq!(seen, 0x7E);
+    }
+
+    #[test]
+    fn failed_backend_read_does_not_poison_resident_map() {
+        let (mut pool, mut backend) = setup(3);
+        pool.new_page(&mut backend, 0, 1, |d| d[0] = 1).unwrap();
+        pool.new_page(&mut backend, 0, 2, |d| d[0] = 2).unwrap();
+        pool.new_page(&mut backend, 0, 3, |d| d[0] = 3).unwrap();
+        // Out-of-range page: a victim is evicted, then the backend read
+        // fails, leaving an empty frame behind.
+        assert!(pool.with_page(&mut backend, 0, 9999, |_| ()).is_err());
+        // Reload page 1 (into a different frame) and dirty it, then cycle
+        // pages 2 and 3 so the clock hand victimizes the frame the failed
+        // fetch emptied.  If that frame still carried the stale page id 1,
+        // its eviction would delete page 1's *live* mapping.
+        pool.with_page_mut(&mut backend, 0, 1, |d| d[0] = 0xEE).unwrap();
+        pool.with_page(&mut backend, 0, 2, |_| ()).unwrap();
+        pool.with_page(&mut backend, 0, 3, |_| ()).unwrap();
+        assert!(
+            pool.contains(1),
+            "live mapping of page 1 deleted by a stale-frame eviction"
+        );
+        // No dirty page may exist outside the resident map.
+        for p in pool.dirty_pages() {
+            assert!(pool.contains(p), "dirty orphan page {p} outside the map");
+        }
+        let (seen, _) = pool.with_page(&mut backend, 0, 1, |d| d[0]).unwrap();
+        assert_eq!(seen, 0xEE, "dirty update lost after failed fetch");
+    }
+
+    #[test]
+    fn dirty_tracking_consistent_under_churn() {
+        use sim_utils::rng::SimRng;
+        let (mut pool, mut backend) = setup(8);
+        let mut rng = SimRng::new(21);
+        for _ in 0..4000 {
+            let p = rng.range(0, 32);
+            match rng.range(0, 4) {
+                0 => {
+                    pool.new_page(&mut backend, 0, p, |d| d[0] = p as u8).unwrap();
+                }
+                1 => {
+                    pool.with_page_mut(&mut backend, 0, p, |d| d[0] ^= 1).unwrap();
+                }
+                2 => pool.mark_clean(p),
+                _ => pool.discard(p),
+            }
+            // The incremental counter must always agree with a full scan.
+            let scanned = (0..64u64).filter(|&q| pool.is_dirty(q)).count();
+            assert_eq!(pool.dirty_count(), scanned);
+            assert_eq!(pool.dirty_pages().len(), scanned);
+            assert!(pool.resident() <= 8);
+        }
     }
 }

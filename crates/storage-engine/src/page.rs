@@ -156,10 +156,13 @@ impl SlottedPage {
 
     /// Iterate over `(slot, record)` pairs of live records.
     pub fn iter(&self) -> impl Iterator<Item = (u16, &[u8])> + '_ {
-        self.slots.iter().enumerate().filter_map(|(i, &(off, len))| {
-            (off != DELETED)
-                .then(|| (i as u16, &self.payload[off as usize..off as usize + len as usize]))
-        })
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(off, _))| off != DELETED)
+            .map(|(i, &(off, len))| {
+                (i as u16, &self.payload[off as usize..off as usize + len as usize])
+            })
     }
 
     /// Serialize the page to exactly `page_size` bytes.

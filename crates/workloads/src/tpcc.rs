@@ -409,7 +409,7 @@ impl Workload for TpcC {
                 let (rid, t2) = engine.insert("stock", txn, t, &row(306, key, 50))?;
                 let (_, t3) = engine.index_insert("stock_pk", t2, key, rid_to_u64(rid))?;
                 t = t3;
-                if key % 256 == 0 {
+                if key.is_multiple_of(256) {
                     t = engine.maybe_flush(t)?;
                 }
             }
@@ -494,7 +494,7 @@ mod tests {
         let (orders, _) = e.scan("orders", now, |_, _| {}).unwrap();
         let (lines, _) = e.scan("order_line", now, |_, _| {}).unwrap();
         assert_eq!(orders, 30);
-        assert!(lines >= 30 * 5 && lines <= 30 * 15);
+        assert!((30 * 5..=30 * 15).contains(&lines));
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Minimal criterion-compatible micro-benchmark harness.
+//!
+//! Implements the subset of the criterion API this workspace uses —
+//! `Criterion`, `BenchmarkGroup`, `Bencher::{iter, iter_batched}`,
+//! `criterion_group!` / `criterion_main!` — with real measurements: a warmup
+//! phase, per-sample iteration calibration, and median/mean ns-per-iteration
+//! reporting.  Each finished benchmark prints a human line plus a
+//! `CRITERION_JSON {...}` line for scripted collection.
+//!
+//! Environment knobs: `CRITERION_MEASURE_MS` (total measurement budget per
+//! benchmark, default 300), `CRITERION_WARMUP_MS` (default 100).
+
+use std::time::Instant;
+
+/// Re-export for parity with the real crate.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn env_ms(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Timing loop driver handed to benchmark closures.
+pub struct Bencher {
+    /// Nanoseconds per iteration for each recorded sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, recording wall-clock time per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.samples.push(0.0);
+            return;
+        }
+        let warmup_ns = env_ms("CRITERION_WARMUP_MS", 100) as u128 * 1_000_000;
+        let measure_ns = env_ms("CRITERION_MEASURE_MS", 300) as u128 * 1_000_000;
+
+        // Warmup + calibration: how many iterations fit in the budget?
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed().as_nanos() < warmup_ns {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = (start.elapsed().as_nanos() / warm_iters.max(1) as u128).max(1);
+        let total_iters = (measure_ns / per_iter).max(self.sample_size as u128);
+        let iters_per_sample = (total_iters / self.sample_size as u128).max(1) as u64;
+
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / iters_per_sample as f64);
+        }
+    }
+
+    /// `iter` variant whose per-batch input comes from `setup` and is not
+    /// included in the measured time budget estimation (setup *is* excluded
+    /// from per-iteration accounting by timing only the routine).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        if self.test_mode {
+            let input = setup();
+            black_box(routine(input));
+            self.samples.push(0.0);
+            return;
+        }
+        let warmup_ns = env_ms("CRITERION_WARMUP_MS", 100) as u128 * 1_000_000;
+        let measure_ns = env_ms("CRITERION_MEASURE_MS", 300) as u128 * 1_000_000;
+
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut spent: u128 = 0;
+        while spent < warmup_ns {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            spent += t.elapsed().as_nanos();
+            warm_iters += 1;
+            if warm_start.elapsed().as_nanos() > 4 * warmup_ns {
+                break; // setup dominates; stop calibrating
+            }
+        }
+        let per_iter = (spent / warm_iters.max(1) as u128).max(1);
+        let total_iters = (measure_ns / per_iter).max(self.sample_size as u128);
+        let iters_per_sample = (total_iters / self.sample_size as u128).max(1) as u64;
+
+        for _ in 0..self.sample_size {
+            let mut elapsed: u128 = 0;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                elapsed += t.elapsed().as_nanos();
+            }
+            self.samples.push(elapsed as f64 / iters_per_sample as f64);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Config {
+    fn from_args() -> (Option<String>, bool) {
+        let mut filter = None;
+        // Cargo passes `--bench` when running under `cargo bench`; its
+        // absence (e.g. `cargo test --benches`) means run each benchmark
+        // once as a smoke test, exactly like the real criterion.
+        let mut bench_mode = false;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => bench_mode = true,
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        (filter, test_mode || !bench_mode)
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let (filter, test_mode) = Config::from_args();
+        Self {
+            config: Config {
+                sample_size: 10,
+                filter,
+                test_mode,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Builder: number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&self.config, id, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            config: self.config.clone(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&self.config, &full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Config, id: &str, mut f: F) {
+    if let Some(filter) = &config.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(config.sample_size),
+        sample_size: config.sample_size,
+        test_mode: config.test_mode,
+    };
+    f(&mut bencher);
+    if config.test_mode {
+        println!("test {id} ... ok (bench smoke)");
+        return;
+    }
+    let mut s = bencher.samples;
+    if s.is_empty() {
+        return;
+    }
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = s[s.len() / 2];
+    let mean = s.iter().sum::<f64>() / s.len() as f64;
+    let (min, max) = (s[0], s[s.len() - 1]);
+    println!("{id:<50} median {median:>12.1} ns/iter  (mean {mean:.1}, min {min:.1}, max {max:.1}, samples {})", s.len());
+    println!(
+        "CRITERION_JSON {{\"name\":\"{id}\",\"median_ns\":{median:.2},\"mean_ns\":{mean:.2},\"min_ns\":{min:.2},\"max_ns\":{max:.2},\"samples\":{}}}",
+        s.len()
+    );
+}
+
+/// Declare a group of benchmark functions, with or without a custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running every declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

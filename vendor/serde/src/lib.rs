@@ -1,0 +1,11 @@
+//! Minimal serde facade: the traits exist (empty) and the derive macros are
+//! re-exported so `#[derive(Serialize, Deserialize)]` compiles. See
+//! `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

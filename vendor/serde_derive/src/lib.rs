@@ -1,0 +1,17 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The workspace only ever *derives* `Serialize` / `Deserialize` (types are
+//! never actually serialized through serde in-tree), so the derives can
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
