@@ -103,6 +103,7 @@ fn bench_buffer(c: &mut Criterion) {
             assignment: FlusherAssignment::DieWise,
             dirty_high_watermark: 0.5,
             dirty_low_watermark: 0.1,
+            batch_pages: 0,
         });
         let global = FlusherPool::new(FlusherConfig::global(8));
         b.iter(|| {

@@ -1,0 +1,119 @@
+//! Microbenchmarks of the batched multi-page flusher write path (PR 2).
+//!
+//! Two kinds of numbers:
+//!
+//! * **virtual time** — the simulated duration of one flush cycle, the
+//!   quantity the paper's figures are built from.  Printed once per run as
+//!   `FLUSHER_BATCH_VIRTUAL ...` so the BENCH json can quote it
+//!   deterministically.
+//! * **real time** — criterion ns/iter of the cycle itself (allocation,
+//!   partitioning, copy-free arena submission), showing the host-side
+//!   savings of writing straight out of the arena.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nand_flash::FlashGeometry;
+use noftl_core::{FlusherAssignment, NoFtl, NoFtlConfig};
+use std::hint::black_box;
+use storage_engine::{
+    backend::NoFtlBackend,
+    buffer::BufferPool,
+    flusher::{FlusherConfig, FlusherPool},
+};
+
+const DIES: u32 = 8;
+const PAGES_PER_DIE: u64 = 8;
+const WRITERS: usize = 2;
+
+fn fixture() -> (BufferPool, NoFtlBackend) {
+    let geometry = FlashGeometry::with_dies(DIES, 1024, 32, 4096);
+    let noftl = NoFtl::new(NoFtlConfig::new(geometry));
+    let mut backend = NoFtlBackend::new(noftl);
+    let mut pool = BufferPool::new(256, 4096);
+    for p in 0..(DIES as u64 * PAGES_PER_DIE) {
+        pool.new_page(&mut backend, 0, p, |d| d[0] = p as u8).unwrap();
+    }
+    (pool, backend)
+}
+
+fn flusher_config(batch_pages: usize) -> FlusherConfig {
+    FlusherConfig {
+        writers: WRITERS,
+        assignment: FlusherAssignment::DieWise,
+        dirty_high_watermark: 0.1,
+        dirty_low_watermark: 0.0,
+        batch_pages,
+    }
+}
+
+/// One flush cycle of a fresh fixture; returns the virtual cycle duration.
+fn virtual_cycle(batch_pages: usize) -> u64 {
+    let (mut pool, mut backend) = fixture();
+    let mut flushers = FlusherPool::new(flusher_config(batch_pages));
+    flushers.run_cycle(&mut pool, &mut backend, 0).unwrap()
+}
+
+fn bench_flusher_batch(c: &mut Criterion) {
+    // Headline: virtual cycle time, per-page vs batched, on a multi-die
+    // dirty pool (8 dies x 8 pages/die, 2 die-wise writers).
+    let per_page = virtual_cycle(0);
+    let batched = virtual_cycle(64);
+    println!(
+        "FLUSHER_BATCH_VIRTUAL dies={DIES} pages_per_die={PAGES_PER_DIE} writers={WRITERS} \
+         per_page_ns={per_page} batched_ns={batched} speedup={:.2}",
+        per_page as f64 / batched as f64
+    );
+
+    c.bench_function("flusher/cycle_per_page_8die", |b| {
+        let (mut pool, mut backend) = fixture();
+        let mut flushers = FlusherPool::new(flusher_config(0));
+        b.iter(|| {
+            for p in 0..(DIES as u64 * PAGES_PER_DIE) {
+                pool.new_page(&mut backend, 0, p, |d| d[0] = p as u8).unwrap();
+            }
+            black_box(flushers.run_cycle(&mut pool, &mut backend, 0).unwrap())
+        })
+    });
+
+    c.bench_function("flusher/cycle_batched_8die", |b| {
+        let (mut pool, mut backend) = fixture();
+        let mut flushers = FlusherPool::new(flusher_config(64));
+        b.iter(|| {
+            for p in 0..(DIES as u64 * PAGES_PER_DIE) {
+                pool.new_page(&mut backend, 0, p, |d| d[0] = p as u8).unwrap();
+            }
+            black_box(flushers.run_cycle(&mut pool, &mut backend, 0).unwrap())
+        })
+    });
+
+    // WAL group commit: force a 16-page tail, sequential vs batched.
+    c.bench_function("wal/force_16page_tail_per_page", |b| {
+        bench_wal_force(b, 0)
+    });
+    c.bench_function("wal/force_16page_tail_batched", |b| {
+        bench_wal_force(b, 64)
+    });
+}
+
+fn bench_wal_force(b: &mut criterion::Bencher, batch_pages: usize) {
+    use storage_engine::{LogRecord, WalManager};
+    let geometry = FlashGeometry::with_dies(DIES, 1024, 32, 4096);
+    let noftl = NoFtl::new(NoFtlConfig::new(geometry));
+    let mut backend = NoFtlBackend::new(noftl);
+    let mut wal = WalManager::new(1000, 4096, 4096);
+    wal.set_batch_pages(batch_pages);
+    let payload = vec![7u8; 1024];
+    b.iter(|| {
+        for txn in 0..60u64 {
+            wal.append(LogRecord::Update {
+                txn,
+                page: txn,
+                slot: 0,
+                bytes: payload.clone(),
+            });
+        }
+        black_box(wal.flush(&mut backend, 0).unwrap())
+    })
+}
+
+criterion_group!(benches, bench_flusher_batch);
+criterion_main!(benches);

@@ -232,6 +232,105 @@ impl NoFtl {
         })
     }
 
+    /// Write a batch of logical pages as die-wise multi-page program
+    /// dispatches.
+    ///
+    /// The batch is grouped by region (die under die-wise striping) in
+    /// arrival order; each region's run is allocated contiguously
+    /// ([`RegionManager::allocate_run_in`]) and handed to the device as one
+    /// multi-page program command per die, all dispatched at `now` — so runs
+    /// on different dies overlap, and within a die the data transfers
+    /// pipeline with the cell programs.  GC, when a region is below its
+    /// watermark, runs on that region's own timeline before its dispatch.
+    ///
+    /// Invariants:
+    /// * a 1-page batch takes exactly the [`NoFtl::write`] path — identical
+    ///   commands, timing and statistics;
+    /// * absent GC pressure, page placement is identical to issuing the
+    ///   batch as sequential single-page writes (same allocation order per
+    ///   region).  When a region crosses its GC watermark *mid-run* the
+    ///   paths may place differently: the sequential path re-checks GC
+    ///   before every page, while the batch path runs GC once per region
+    ///   per submission and spills a drained region's remainder to other
+    ///   regions (batched GC relocation is a ROADMAP follow-on);
+    /// * if the same LPN appears twice, the later entry supersedes the
+    ///   earlier one, exactly as sequential writes would.
+    ///
+    /// Returns the virtual time when the last dispatch completed.
+    pub fn write_batch(&mut self, now: SimInstant, pages: &[(u64, &[u8])]) -> FlashResult<SimInstant> {
+        match pages {
+            [] => return Ok(now),
+            [(lpn, data)] => return Ok(self.write(now, *lpn, data)?.completed_at),
+            _ => {}
+        }
+        for (lpn, data) in pages {
+            self.check_lpn(*lpn)?;
+            self.check_buf(data.len())?;
+        }
+        let g = *self.device.geometry();
+        let regions_n = self.regions.regions();
+        let mut by_region: Vec<Vec<usize>> = vec![Vec::new(); regions_n];
+        for (i, (lpn, _)) in pages.iter().enumerate() {
+            by_region[self.regions.region_of_lpn(*lpn)].push(i);
+        }
+        let start = now;
+        let mut end = now;
+        for (region, idxs) in by_region.into_iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            // Each region is a disjoint die set: its GC (if needed) and its
+            // program dispatch run on their own timeline starting at `now`.
+            let t0 = self.ensure_region_space(now, region)?;
+            let run = self.regions.allocate_run_in(region, idxs.len());
+            let mut allocs: Vec<(Ppa, usize)> = run
+                .iter()
+                .zip(idxs.iter())
+                .map(|(&ppa, &i)| (ppa, i))
+                .collect();
+            // The region filled up mid-run (severely skewed placement): spill
+            // the rest to any region with space, like write_in_region does.
+            for &i in &idxs[allocs.len()..] {
+                let mut found = None;
+                for r in 0..regions_n {
+                    if let Some(p) = self.regions.allocate_page_in(r) {
+                        found = Some(p);
+                        break;
+                    }
+                }
+                allocs.push((found.ok_or(FlashError::OutOfSpareBlocks)?, i));
+            }
+            // Dispatch maximal same-die runs (a spill may change the die, and
+            // multi-die regions round-robin dies at block boundaries).
+            let mut j = 0;
+            while j < allocs.len() {
+                let die = allocs[j].0.die_addr();
+                let mut k = j + 1;
+                while k < allocs.len() && allocs[k].0.die_addr() == die {
+                    k += 1;
+                }
+                let ops: Vec<(Ppa, &[u8], Oob)> = allocs[j..k]
+                    .iter()
+                    .map(|&(ppa, i)| (ppa, pages[i].1, Oob::data(pages[i].0, 0)))
+                    .collect();
+                let completion = self.device.program_pages(t0, &ops)?;
+                let t_run = completion.completed_at;
+                end = end.max(t_run);
+                for &(ppa, i) in &allocs[j..k] {
+                    let lpn = pages[i].0;
+                    if let Some(old) = self.map.update(lpn, ppa.flat(&g)) {
+                        self.device.invalidate_page(Ppa::from_flat(&g, old))?;
+                        self.dead_hinted.remove(&old);
+                    }
+                    self.stats.host_writes += 1;
+                    self.stats.write_latency.record(t_run.saturating_sub(start));
+                }
+                j = k;
+            }
+        }
+        Ok(end)
+    }
+
     /// Dead-page hint from the DBMS free-space manager: the logical page no
     /// longer holds useful data (dropped table, freed extent, superseded
     /// version).  Its physical page becomes garbage immediately and GC will
@@ -529,6 +628,113 @@ mod tests {
         let mut buf = page(&n, 0);
         n.read(0, 0, &mut buf).unwrap();
         assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn write_batch_roundtrips_and_places_die_wise() {
+        let mut n = small_noftl(); // 4 regions
+        let g = *n.device().geometry();
+        let pages: Vec<(u64, Vec<u8>)> = (0..16u64).map(|l| (l, vec![l as u8; 4096])).collect();
+        let batch: Vec<(u64, &[u8])> = pages.iter().map(|(l, d)| (*l, d.as_slice())).collect();
+        let end = n.write_batch(0, &batch).unwrap();
+        assert!(end > 0);
+        assert_eq!(n.stats().host_writes, 16);
+        assert_eq!(n.flash_stats().programs, 16);
+        assert!(n.flash_stats().multi_page_dispatches >= 4, "one dispatch per die");
+        for (lpn, data) in &pages {
+            let mut buf = vec![0u8; 4096];
+            n.read(end, *lpn, &mut buf).unwrap();
+            assert_eq!(&buf, data);
+            let flat = n.map.get(*lpn).unwrap();
+            let ppa = Ppa::from_flat(&g, flat);
+            assert_eq!(
+                n.region_manager().region_of_die(ppa.die_addr()),
+                n.region_of_lpn(*lpn),
+                "batched placement must follow die-wise striping"
+            );
+        }
+    }
+
+    #[test]
+    fn write_batch_of_one_is_identical_to_write() {
+        let mut a = small_noftl();
+        let mut b = small_noftl();
+        let data = page(&a, 0x3D);
+        let c = a.write(1000, 7, &data).unwrap();
+        let end = b.write_batch(1000, &[(7, data.as_slice())]).unwrap();
+        assert_eq!(c.completed_at, end);
+        assert_eq!(a.flash_stats().programs, b.flash_stats().programs);
+        assert_eq!(b.flash_stats().multi_page_dispatches, 0);
+        assert_eq!(a.map.get(7), b.map.get(7));
+    }
+
+    #[test]
+    fn write_batch_placement_matches_sequential_writes() {
+        let mut seq = small_noftl();
+        let mut bat = small_noftl();
+        let data = page(&seq, 1);
+        for lpn in 0..32u64 {
+            seq.write(0, lpn, &data).unwrap();
+        }
+        let batch: Vec<(u64, &[u8])> = (0..32u64).map(|l| (l, data.as_slice())).collect();
+        bat.write_batch(0, &batch).unwrap();
+        for lpn in 0..32u64 {
+            assert_eq!(seq.map.get(lpn), bat.map.get(lpn), "lpn {lpn} placed differently");
+        }
+    }
+
+    #[test]
+    fn write_batch_overlaps_dies_and_beats_sequential() {
+        let run = |batched: bool| -> u64 {
+            let mut n = small_noftl(); // 4 dies
+            let data = page(&n, 2);
+            let batch: Vec<(u64, &[u8])> = (0..32u64).map(|l| (l, data.as_slice())).collect();
+            if batched {
+                n.write_batch(0, &batch).unwrap()
+            } else {
+                let mut t = 0;
+                for (lpn, d) in &batch {
+                    t = t.max(n.write(t, *lpn, d).unwrap().completed_at);
+                }
+                t
+            }
+        };
+        let sequential = run(false);
+        let batched = run(true);
+        assert!(
+            (sequential as f64) / (batched as f64) >= 2.0,
+            "expected >=2x from die overlap + pipelining: seq={sequential} batched={batched}"
+        );
+    }
+
+    #[test]
+    fn write_batch_duplicate_lpn_keeps_last_version() {
+        let mut n = small_noftl();
+        let a = page(&n, 0xAA);
+        let b = page(&n, 0xBB);
+        let end = n
+            .write_batch(0, &[(4, a.as_slice()), (4, b.as_slice())])
+            .unwrap();
+        let mut buf = page(&n, 0);
+        n.read(end, 4, &mut buf).unwrap();
+        assert_eq!(buf, b);
+        assert_eq!(n.stats().host_writes, 2);
+    }
+
+    #[test]
+    fn write_batch_rejects_bad_input_without_writing() {
+        let mut n = small_noftl();
+        let good = page(&n, 1);
+        let bad = vec![0u8; 7];
+        assert!(n
+            .write_batch(0, &[(0, good.as_slice()), (1, bad.as_slice())])
+            .is_err());
+        assert_eq!(n.stats().host_writes, 0);
+        assert_eq!(n.flash_stats().programs, 0);
+        assert!(n
+            .write_batch(0, &[(0, good.as_slice()), (n.logical_pages(), good.as_slice())])
+            .is_err());
+        assert_eq!(n.flash_stats().programs, 0);
     }
 
     #[test]

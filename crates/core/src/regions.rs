@@ -217,6 +217,27 @@ impl RegionManager {
         Some(fresh.page(0))
     }
 
+    /// Allocate a run of up to `count` physical pages in `region`, in the
+    /// exact order [`RegionManager::allocate_page_in`] would hand them out
+    /// one by one.  Stops early when the region is exhausted, so the returned
+    /// run may be shorter than `count` (possibly empty) — the caller falls
+    /// back to per-page allocation with cross-region spill for the rest.
+    ///
+    /// Within a die-wise region the run is sequential inside the active
+    /// block and rolls over to fresh blocks of the same die, which is what
+    /// lets the batch write path hand the whole run to one multi-page
+    /// program dispatch per die.
+    pub fn allocate_run_in(&mut self, region: RegionId, count: usize) -> Vec<Ppa> {
+        let mut run = Vec::with_capacity(count);
+        while run.len() < count {
+            match self.allocate_page_in(region) {
+                Some(ppa) => run.push(ppa),
+                None => break,
+            }
+        }
+        run
+    }
+
     fn take_free_block_round_robin(&mut self, region: RegionId) -> Option<BlockAddr> {
         let dies = &self.region_dies[region];
         if dies.len() == 1 {
@@ -353,6 +374,28 @@ mod tests {
         assert!(rm.is_free(b));
         rm.retire_block(b);
         assert!(!rm.is_free(b));
+    }
+
+    #[test]
+    fn allocate_run_matches_page_at_a_time_order() {
+        let g = FlashGeometry::small();
+        let mut a = RegionManager::new(g, StripingMode::DieWise);
+        let mut b = RegionManager::new(g, StripingMode::DieWise);
+        // A run crossing a block boundary (32 pages per block).
+        let run = a.allocate_run_in(1, 40);
+        let singles: Vec<Ppa> = (0..40).filter_map(|_| b.allocate_page_in(1)).collect();
+        assert_eq!(run, singles, "batched allocation must preserve the layout");
+        assert_eq!(run.len(), 40);
+        assert!(run.iter().all(|p| a.region_of_die(p.die_addr()) == 1));
+    }
+
+    #[test]
+    fn allocate_run_stops_at_region_exhaustion() {
+        let g = FlashGeometry::tiny(); // 64 pages total, one region
+        let mut rm = RegionManager::new(g, StripingMode::DieWise);
+        let run = rm.allocate_run_in(0, 100);
+        assert_eq!(run.len() as u64, g.total_pages());
+        assert!(rm.allocate_run_in(0, 4).is_empty());
     }
 
     #[test]

@@ -134,6 +134,25 @@ impl EmulatedNativeFlash {
         &mut self.device
     }
 
+    /// Issue a multi-page program run through the host link as **one**
+    /// admitted command: the batch occupies a single host queue slot and is
+    /// dispatched to the die as one command sequence, so a k-page run pays
+    /// the link's per-command overhead once instead of k times.  This is the
+    /// submission path the batched db-writers and the WAL group commit use.
+    pub fn program_pages(
+        &mut self,
+        now: SimInstant,
+        ops: &[(nand_flash::Ppa, &[u8], nand_flash::Oob)],
+    ) -> FlashResult<OpCompletion> {
+        let start = self.host.admit(now);
+        let completion = self.device.program_pages(start, ops)?;
+        self.host.complete(completion.completed_at);
+        Ok(OpCompletion {
+            started_at: start,
+            completed_at: completion.completed_at,
+        })
+    }
+
     /// Consume the wrapper, yielding the raw device (e.g. to hand it to
     /// `noftl_core::NoFtl::with_device`).
     pub fn into_device(self) -> NandDevice {
@@ -188,6 +207,39 @@ mod tests {
         assert!(
             sata > native,
             "SATA2 queue depth should throttle 64 concurrent writes: {sata} vs {native}"
+        );
+    }
+
+    #[test]
+    fn native_batch_submission_admits_once_and_beats_per_page() {
+        let profile = DeviceProfile::small();
+        let data = vec![4u8; profile.geometry.page_size as usize];
+        let block = nand_flash::BlockAddr::new(0, 0, 0, 0);
+        let ops: Vec<(Ppa, &[u8], Oob)> = (0..8)
+            .map(|i| (block.page(i), data.as_slice(), Oob::data(i as u64, 0)))
+            .collect();
+
+        // Batched: one admitted host command for the whole run.
+        let mut batched = EmulatedNativeFlash::from_profile(&profile);
+        let c = batched.program_pages(0, &ops).unwrap();
+        assert_eq!(batched.host().admitted(), 1);
+        assert_eq!(batched.device().stats().programs, 8);
+        assert_eq!(batched.device().stats().multi_page_dispatches, 1);
+
+        // Per-page: one admission and one completion wait per page.
+        let mut per_page = EmulatedNativeFlash::from_profile(&profile);
+        let mut t = 0;
+        for (ppa, d, oob) in &ops {
+            let start = per_page.admit(t);
+            let pc = per_page.device_mut().program_page(start, *ppa, d, *oob).unwrap();
+            per_page.complete(pc.completed_at);
+            t = pc.completed_at;
+        }
+        assert_eq!(per_page.host().admitted(), 8);
+        assert!(
+            c.completed_at < t,
+            "batched submission ({}) must beat per-page submission ({t})",
+            c.completed_at
         );
     }
 

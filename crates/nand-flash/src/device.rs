@@ -464,6 +464,134 @@ impl NativeFlashInterface for NandDevice {
         Ok(completion)
     }
 
+    /// Multi-page program: one dispatched command sequence per die.
+    ///
+    /// The whole run pays a single command overhead; data transfers serialise
+    /// on the die's channel while cell programs serialise on the die, so the
+    /// transfer of page *j+1* overlaps with the program of page *j* (the ONFI
+    /// cache-program pipeline).  A run issued to an idle die therefore costs
+    /// `cmd + max(k·transfer, transfer + k·tPROG)` instead of the
+    /// `k·(cmd + transfer + tPROG)` a sequential per-page issuer pays, and
+    /// runs dispatched to *different* dies at the same instant overlap almost
+    /// completely — the per-die queue model of the ROADMAP.
+    ///
+    /// The run is validated in full before any page is committed: a bad entry
+    /// (wrong die, dirty page, sequential-rule violation) fails the whole
+    /// command without programming anything.
+    fn program_pages(
+        &mut self,
+        now: SimInstant,
+        ops: &[(Ppa, &[u8], Oob)],
+    ) -> FlashResult<OpCompletion> {
+        // Degenerate runs take the single-command path so a 1-page batch is
+        // bit- and timing-identical to a plain PAGE PROGRAM.
+        if ops.len() <= 1 {
+            return match ops.first() {
+                Some((ppa, data, oob)) => self.program_page(now, *ppa, data, *oob),
+                None => Ok(OpCompletion {
+                    started_at: now,
+                    completed_at: now,
+                }),
+            };
+        }
+
+        // -- validate the whole run up front (no partial batches) ----------
+        let die = ops[0].0.die_addr();
+        // Per-block expected next page, tracking pages this run will program.
+        let mut expected: Vec<(BlockAddr, u32)> = Vec::new();
+        // Pages already claimed by this run (duplicate detection on
+        // permissive, non-strict-sequential devices).
+        let mut seen: Vec<Ppa> = Vec::new();
+        for (ppa, data, _) in ops {
+            self.check_ppa(*ppa)?;
+            if ppa.die_addr() != die {
+                return Err(FlashError::InvalidAddress {
+                    what: format!("multi-page program spans dies: {die:?} vs {:?}", ppa.die_addr()),
+                });
+            }
+            let block_addr = ppa.block_addr();
+            self.check_usable(block_addr)?;
+            if data.len() != self.geometry.page_size as usize {
+                return Err(FlashError::BufferSizeMismatch {
+                    expected: self.geometry.page_size as usize,
+                    actual: data.len(),
+                });
+            }
+            if self.block_ref(block_addr).page(ppa.page).state != PageState::Free {
+                return Err(FlashError::ProgramOnDirtyPage(*ppa));
+            }
+            if seen.contains(ppa) {
+                return Err(FlashError::ProgramOnDirtyPage(*ppa));
+            }
+            seen.push(*ppa);
+            if self.strict_sequential {
+                let slot = match expected.iter().position(|(b, _)| *b == block_addr) {
+                    Some(i) => i,
+                    None => {
+                        let n = self.block_ref(block_addr).next_program_page();
+                        expected.push((block_addr, n));
+                        expected.len() - 1
+                    }
+                };
+                let next = expected[slot].1;
+                if ppa.page != next {
+                    return Err(FlashError::NonSequentialProgram {
+                        attempted: *ppa,
+                        expected_page: next,
+                    });
+                }
+                expected[slot].1 = ppa.page + 1;
+            }
+        }
+
+        // -- commit + timing ----------------------------------------------
+        let die_idx = self.die_index(die);
+        let channel = ops[0].0.channel as usize;
+        // One command transfer for the whole run.
+        let issue = now + self.timing.command_overhead;
+        let xfer = self
+            .timing
+            .transfer((self.geometry.page_size + self.geometry.oob_size) as u64);
+        let mut started_at = None;
+        let mut completed_at = issue;
+        for (ppa, data, oob) in ops {
+            let stored = if self.store_data {
+                Some(data.to_vec().into_boxed_slice())
+            } else {
+                None
+            };
+            let mut oob = *oob;
+            if oob.sequence == 0 {
+                oob.sequence = self.next_sequence();
+            }
+            self.block_mut(ppa.block_addr()).record_program(ppa.page, stored, oob);
+
+            let (xfer_start, xfer_end) = self.channels[channel].occupy(issue, xfer);
+            let (_, done) = self.dies[die_idx].occupy(xfer_end, self.timing.program_page);
+            started_at.get_or_insert(xfer_start);
+            completed_at = completed_at.max(done);
+
+            self.stats.programs += 1;
+            self.stats.bytes_written += self.geometry.page_size as u64;
+            self.stats.program_latency.record(done.saturating_sub(now));
+            self.stats.per_die_ops[die_idx] += 1;
+            self.trace(TraceEntry {
+                kind: OpKind::Program,
+                issued_at: now,
+                completed_at: done,
+                ppa: Some(*ppa),
+                block: None,
+                lpn: oob.has_lpn().then_some(oob.lpn),
+            });
+        }
+        self.stats.multi_page_dispatches += 1;
+        self.stats.batched_pages += ops.len() as u64;
+        Ok(OpCompletion {
+            started_at: started_at.unwrap_or(issue),
+            completed_at,
+        })
+    }
+
     fn erase_block(&mut self, now: SimInstant, block: BlockAddr) -> FlashResult<OpCompletion> {
         self.check_block_addr(block)?;
         self.check_usable(block)?;
@@ -881,6 +1009,128 @@ mod tests {
         dev.reset_stats();
         assert_eq!(dev.stats().programs, 0);
         assert_eq!(dev.stats().total_ops(), 0);
+    }
+
+    #[test]
+    fn multi_page_program_roundtrips_and_counts() {
+        let mut dev = tiny_device();
+        let data: Vec<Vec<u8>> = (0..4u8).map(|i| page_of(&dev, i)).collect();
+        let b0 = BlockAddr::new(0, 0, 0, 0);
+        let ops: Vec<(Ppa, &[u8], Oob)> = (0..4)
+            .map(|i| (b0.page(i), data[i as usize].as_slice(), Oob::data(i as u64, 0)))
+            .collect();
+        let c = dev.program_pages(0, &ops).unwrap();
+        assert!(c.completed_at > c.started_at);
+        assert_eq!(dev.stats().programs, 4);
+        assert_eq!(dev.stats().multi_page_dispatches, 1);
+        assert_eq!(dev.stats().batched_pages, 4);
+        for i in 0..4u32 {
+            let mut buf = page_of(&dev, 0);
+            let (oob, _) = dev.read_page(c.completed_at, b0.page(i), &mut buf).unwrap();
+            assert_eq!(buf, data[i as usize]);
+            assert_eq!(oob.lpn, i as u64);
+        }
+    }
+
+    #[test]
+    fn multi_page_program_beats_sequential_issue() {
+        // The batched dispatch pays one command overhead and pipelines
+        // transfers with cell programs; the sequential issuer waits for each
+        // page to complete before issuing the next.
+        let run = |batched: bool| -> u64 {
+            let mut dev = tiny_device();
+            let data = page_of(&dev, 1);
+            let b0 = BlockAddr::new(0, 0, 0, 0);
+            let ops: Vec<(Ppa, &[u8], Oob)> = (0..8)
+                .map(|i| (b0.page(i), data.as_slice(), Oob::data(i as u64, 0)))
+                .collect();
+            if batched {
+                dev.program_pages(0, &ops).unwrap().completed_at
+            } else {
+                let mut t = 0;
+                for (ppa, d, oob) in &ops {
+                    t = dev.program_page(t, *ppa, d, *oob).unwrap().completed_at;
+                }
+                t
+            }
+        };
+        let sequential = run(false);
+        let batched = run(true);
+        assert!(
+            batched < sequential,
+            "batched run ({batched}) must beat sequential issue ({sequential})"
+        );
+    }
+
+    #[test]
+    fn multi_page_program_spans_blocks_on_one_die() {
+        let mut dev = tiny_device(); // 8 pages per block
+        let data = page_of(&dev, 7);
+        let b0 = BlockAddr::new(0, 0, 0, 0);
+        let b1 = BlockAddr::new(0, 0, 0, 1);
+        let mut ops: Vec<(Ppa, &[u8], Oob)> = (0..8)
+            .map(|i| (b0.page(i), data.as_slice(), Oob::data(i as u64, 0)))
+            .collect();
+        ops.push((b1.page(0), data.as_slice(), Oob::data(8, 0)));
+        ops.push((b1.page(1), data.as_slice(), Oob::data(9, 0)));
+        dev.program_pages(0, &ops).unwrap();
+        assert_eq!(dev.block_info(b0).unwrap().free_pages, 0);
+        assert_eq!(dev.block_info(b1).unwrap().next_program_page, 2);
+    }
+
+    #[test]
+    fn multi_page_program_validates_before_mutating() {
+        let g = FlashGeometry::small();
+        let mut dev = NandDevice::with_geometry(g);
+        let data = vec![1u8; g.page_size as usize];
+        // Cross-die run is rejected as a whole: nothing is programmed.
+        let ops = [
+            (Ppa::new(0, 0, 0, 0, 0), data.as_slice(), Oob::data(1, 0)),
+            (Ppa::new(1, 0, 0, 0, 0), data.as_slice(), Oob::data(2, 0)),
+        ];
+        assert!(matches!(
+            dev.program_pages(0, &ops),
+            Err(FlashError::InvalidAddress { .. })
+        ));
+        assert_eq!(dev.stats().programs, 0);
+        assert_eq!(
+            dev.page_state(Ppa::new(0, 0, 0, 0, 0)).unwrap(),
+            PageState::Free,
+            "failed batch must not leave partially programmed pages"
+        );
+        // Non-sequential run inside one block is also rejected atomically.
+        let ops = [
+            (Ppa::new(0, 0, 0, 0, 0), data.as_slice(), Oob::data(1, 0)),
+            (Ppa::new(0, 0, 0, 0, 2), data.as_slice(), Oob::data(2, 0)),
+        ];
+        assert!(matches!(
+            dev.program_pages(0, &ops),
+            Err(FlashError::NonSequentialProgram { .. })
+        ));
+        assert_eq!(dev.stats().programs, 0);
+        // Duplicate page inside a run can never program twice.
+        let ops = [
+            (Ppa::new(0, 0, 0, 0, 0), data.as_slice(), Oob::data(1, 0)),
+            (Ppa::new(0, 0, 0, 0, 0), data.as_slice(), Oob::data(2, 0)),
+        ];
+        assert!(dev.program_pages(0, &ops).is_err());
+        assert_eq!(dev.stats().programs, 0);
+    }
+
+    #[test]
+    fn single_and_empty_batches_degenerate_to_plain_program() {
+        let mut a = tiny_device();
+        let mut b = tiny_device();
+        let data = page_of(&a, 3);
+        let ppa = Ppa::new(0, 0, 0, 0, 0);
+        let c_plain = a.program_page(100, ppa, &data, Oob::data(5, 0)).unwrap();
+        let c_batch = b
+            .program_pages(100, &[(ppa, data.as_slice(), Oob::data(5, 0))])
+            .unwrap();
+        assert_eq!(c_plain, c_batch, "1-page batch must be timing-identical");
+        assert_eq!(b.stats().multi_page_dispatches, 0);
+        let c_empty = b.program_pages(500, &[]).unwrap();
+        assert_eq!(c_empty.completed_at, 500);
     }
 
     #[test]

@@ -107,6 +107,41 @@ pub trait NativeFlashInterface {
         oob: Oob,
     ) -> FlashResult<OpCompletion>;
 
+    /// Multi-page PAGE PROGRAM: write a run of pages **on one die** as a
+    /// single dispatched command sequence (the ONFI cache/sequential program
+    /// variants the `IDENTIFY` response advertises via `supports_multiplane`).
+    ///
+    /// Every `(ppa, data, oob)` entry is programmed in order.  Implementations
+    /// model the run as *one* command transfer — a single per-run command
+    /// overhead — whose data transfers pipeline with the cell programs, so a
+    /// k-page run costs roughly `cmd + k·transfer ∥ k·tPROG` instead of
+    /// `k·(cmd + transfer + tPROG)`.  The default implementation degrades to a
+    /// sequential per-page loop (each program issued at the completion of the
+    /// previous one), which is exactly the legacy single-page behaviour.
+    ///
+    /// Returns the completion of the whole run (`started_at` of the first
+    /// page, `completed_at` of the last).  An empty run completes at `now`.
+    fn program_pages(
+        &mut self,
+        now: SimInstant,
+        ops: &[(Ppa, &[u8], Oob)],
+    ) -> FlashResult<OpCompletion> {
+        let mut completion = OpCompletion {
+            started_at: now,
+            completed_at: now,
+        };
+        let mut t = now;
+        for (i, (ppa, data, oob)) in ops.iter().enumerate() {
+            let c = self.program_page(t, *ppa, data, *oob)?;
+            if i == 0 {
+                completion.started_at = c.started_at;
+            }
+            t = t.max(c.completed_at);
+        }
+        completion.completed_at = t;
+        Ok(completion)
+    }
+
     /// BLOCK ERASE.
     fn erase_block(&mut self, now: SimInstant, block: BlockAddr) -> FlashResult<OpCompletion>;
 

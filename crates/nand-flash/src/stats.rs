@@ -17,6 +17,11 @@ pub struct FlashStats {
     pub erases: u64,
     /// Number of COPYBACK PROGRAM commands.
     pub copybacks: u64,
+    /// Number of multi-page program dispatches (one per batched run; the
+    /// individual pages are also counted in [`FlashStats::programs`]).
+    pub multi_page_dispatches: u64,
+    /// Pages programmed through multi-page dispatches.
+    pub batched_pages: u64,
     /// Bytes transferred from the device to the host.
     pub bytes_read: u64,
     /// Bytes transferred from the host to the device.
@@ -65,6 +70,8 @@ impl FlashStats {
         self.programs += other.programs;
         self.erases += other.erases;
         self.copybacks += other.copybacks;
+        self.multi_page_dispatches += other.multi_page_dispatches;
+        self.batched_pages += other.batched_pages;
         self.bytes_read += other.bytes_read;
         self.bytes_written += other.bytes_written;
         self.read_latency.merge(&other.read_latency);

@@ -11,6 +11,41 @@ use nand_flash::{FlashResult, NativeFlashInterface, OpCompletion};
 use noftl_core::NoFtl;
 use sim_utils::time::SimInstant;
 
+/// Page id alias used by the batch write API (kept here to avoid a cyclic
+/// import with [`crate::page`]).
+type PageId = u64;
+
+/// Default number of pages a batched write submits per backend call when the
+/// `NOFTL_BATCH` environment variable does not say otherwise.
+pub const DEFAULT_BATCH_PAGES: usize = 64;
+
+/// Resolve the batched-write mode from the `NOFTL_BATCH` environment
+/// variable:
+///
+/// * unset / `on` — batching enabled with [`DEFAULT_BATCH_PAGES`] pages per
+///   submission;
+/// * `off` / `0` — batching disabled: the legacy one-`write_page`-per-page
+///   path is used everywhere (the CI fallback leg);
+/// * a number `k` — batching enabled with runs of at most `k` pages (`1`
+///   exercises the batch plumbing with degenerate single-page runs, which
+///   must be bit- and timing-identical to `off`).
+pub fn batch_pages_from_env() -> usize {
+    match std::env::var("NOFTL_BATCH") {
+        Ok(v) => parse_batch_pages(&v),
+        Err(_) => DEFAULT_BATCH_PAGES,
+    }
+}
+
+/// Parse one `NOFTL_BATCH` spelling (see [`batch_pages_from_env`]).
+pub fn parse_batch_pages(value: &str) -> usize {
+    let v = value.trim().to_ascii_lowercase();
+    match v.as_str() {
+        "" | "on" | "true" => DEFAULT_BATCH_PAGES,
+        "off" | "false" => 0,
+        _ => v.parse::<usize>().unwrap_or(DEFAULT_BATCH_PAGES),
+    }
+}
+
 /// Aggregate I/O counters a backend can report (used by the benchmark
 /// harness to print GC overhead tables).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -64,6 +99,37 @@ pub trait StorageBackend {
         data: &[u8],
     ) -> FlashResult<OpCompletion> {
         self.write_page(now, page_id, data)
+    }
+
+    /// Write a batch of pages as one submission.
+    ///
+    /// The batch write protocol and its invariants:
+    ///
+    /// * the backend may reorder and overlap the writes internally (the NoFTL
+    ///   backend groups them by region and dispatches one multi-page program
+    ///   per die), but after the returned instant **every** page of the batch
+    ///   is durable with exactly the content passed in;
+    /// * if the same page id appears twice, the later entry wins — the same
+    ///   outcome as issuing the batch as sequential `write_page` calls;
+    /// * a 1-page batch must behave exactly like [`StorageBackend::write_page`]
+    ///   (same commands, same timing, same counters);
+    /// * an error fails the submission; the caller must not assume any page
+    ///   of the batch became durable.
+    ///
+    /// The default implementation is the legacy path: one `write_page` per
+    /// page, each issued at the completion of the previous one.  Returns the
+    /// virtual time when the last write completed.
+    fn write_pages(
+        &mut self,
+        now: SimInstant,
+        pages: &[(PageId, &[u8])],
+    ) -> FlashResult<SimInstant> {
+        let mut t = now;
+        for (page_id, data) in pages {
+            let c = self.write_page(t, *page_id, data)?;
+            t = t.max(c.completed_at);
+        }
+        Ok(t)
     }
 
     /// Hint that `page_id` no longer holds useful data (deallocated by the
@@ -153,6 +219,14 @@ impl StorageBackend for NoFtlBackend {
         data: &[u8],
     ) -> FlashResult<OpCompletion> {
         self.noftl.write_in_region(now, region, page_id, data)
+    }
+
+    fn write_pages(
+        &mut self,
+        now: SimInstant,
+        pages: &[(PageId, &[u8])],
+    ) -> FlashResult<SimInstant> {
+        self.noftl.write_batch(now, pages)
     }
 
     fn free_page_hint(&mut self, _now: SimInstant, page_id: u64) -> FlashResult<()> {
@@ -430,6 +504,58 @@ mod tests {
             b.device().ftl().device().stats().programs >= 2,
             "writes must reach the flash device"
         );
+    }
+
+    #[test]
+    fn write_pages_default_loop_on_mem_backend() {
+        let mut b = MemBackend::new(512, 32);
+        let pages: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 512]).collect();
+        let batch: Vec<(u64, &[u8])> = pages.iter().enumerate().map(|(i, d)| (i as u64, d.as_slice())).collect();
+        let t = b.write_pages(0, &batch).unwrap();
+        assert_eq!(t, 0, "mem backend has zero latency");
+        assert_eq!(b.counters().host_writes, 4);
+        let mut buf = vec![0u8; 512];
+        for (i, data) in pages.iter().enumerate() {
+            b.read_page(0, i as u64, &mut buf).unwrap();
+            assert_eq!(&buf, data);
+        }
+    }
+
+    #[test]
+    fn noftl_backend_batches_through_write_batch() {
+        let noftl = NoFtl::new(NoFtlConfig::new(FlashGeometry::small()));
+        let mut b = NoFtlBackend::new(noftl);
+        let pages: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; b.page_size()]).collect();
+        let batch: Vec<(u64, &[u8])> = pages.iter().enumerate().map(|(i, d)| (i as u64, d.as_slice())).collect();
+        let t = b.write_pages(0, &batch).unwrap();
+        assert!(t > 0);
+        assert_eq!(b.counters().host_writes, 16);
+        assert!(
+            b.noftl().flash_stats().multi_page_dispatches > 0,
+            "batch must reach the multi-page program command"
+        );
+        let mut buf = vec![0u8; b.page_size()];
+        for (i, data) in pages.iter().enumerate() {
+            b.read_page(t, i as u64, &mut buf).unwrap();
+            assert_eq!(&buf, data);
+        }
+    }
+
+    #[test]
+    fn batch_knob_parses_all_spellings() {
+        for (v, expect) in [
+            ("", DEFAULT_BATCH_PAGES),
+            ("on", DEFAULT_BATCH_PAGES),
+            ("TRUE", DEFAULT_BATCH_PAGES),
+            ("off", 0),
+            ("False", 0),
+            ("0", 0),
+            ("1", 1),
+            (" 16 ", 16),
+            ("garbage", DEFAULT_BATCH_PAGES),
+        ] {
+            assert_eq!(parse_batch_pages(v), expect, "spelling {v:?}");
+        }
     }
 
     #[test]

@@ -182,6 +182,63 @@ impl BufferPool {
         self.map.get(page_id).map(|i| self.data(i as usize))
     }
 
+    /// Pin `page_id` for the duration of `f` and hand `f` its bytes straight
+    /// from the arena (no copy).  Used by the per-page flusher path: the
+    /// frame cannot be reclaimed while the backend writes from it, even if
+    /// `f` panics.  Returns `None` when the page is not resident.
+    pub fn with_page_bytes<R>(
+        &mut self,
+        page_id: PageId,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Option<R> {
+        let i = self.map.get(page_id)? as usize;
+        let page_size = self.page_size;
+        let (frames, arena) = (&mut self.frames, &self.arena);
+        let _pin = PinGuard::new(&mut frames[i].pins);
+        Some(f(&arena[i * page_size..(i + 1) * page_size]))
+    }
+
+    /// Pin every resident page of `ids`, hand `f` the `(page_id, bytes)` run
+    /// in `ids` order (non-resident ids are skipped) borrowed straight from
+    /// the arena, then unpin — even if `f` panics.  This is what lets the
+    /// batched flushers submit whole runs to the backend with no per-page
+    /// copy.
+    pub fn with_pinned_pages<R>(
+        &mut self,
+        ids: &[PageId],
+        f: impl FnOnce(&[(PageId, &[u8])]) -> R,
+    ) -> R {
+        let resident: Vec<(PageId, usize)> = ids
+            .iter()
+            .filter_map(|&p| self.map.get(p).map(|i| (p, i as usize)))
+            .collect();
+        struct UnpinGuard<'a> {
+            frames: &'a mut Vec<Frame>,
+            pinned: &'a [(PageId, usize)],
+        }
+        impl Drop for UnpinGuard<'_> {
+            fn drop(&mut self) {
+                for &(_, i) in self.pinned {
+                    self.frames[i].pins -= 1;
+                }
+            }
+        }
+        let page_size = self.page_size;
+        let (frames, arena) = (&mut self.frames, &self.arena);
+        for &(_, i) in &resident {
+            frames[i].pins += 1;
+        }
+        let _guard = UnpinGuard {
+            frames,
+            pinned: &resident,
+        };
+        let run: Vec<(PageId, &[u8])> = resident
+            .iter()
+            .map(|&(p, i)| (p, &arena[i * page_size..(i + 1) * page_size]))
+            .collect();
+        f(&run)
+    }
+
     /// Mark a resident page clean (after a flusher wrote it out).
     pub fn mark_clean(&mut self, page_id: PageId) {
         if let Some(i) = self.map.get(page_id) {
@@ -578,6 +635,51 @@ mod tests {
         }
         let (seen, _) = pool.with_page(&mut backend, 0, 1, |d| d[0]).unwrap();
         assert_eq!(seen, 0xEE, "dirty update lost after failed fetch");
+    }
+
+    #[test]
+    fn with_page_bytes_pins_for_closure_duration() {
+        let (mut pool, mut backend) = setup(4);
+        pool.new_page(&mut backend, 0, 3, |d| d[0] = 0x5A).unwrap();
+        let seen = pool.with_page_bytes(3, |bytes| bytes[0]);
+        assert_eq!(seen, Some(0x5A));
+        assert!(pool.with_page_bytes(99, |_| ()).is_none());
+        // The pin is released afterwards: the page can be evicted again.
+        for p in 10..14u64 {
+            pool.new_page(&mut backend, 0, p, |_| ()).unwrap();
+        }
+        assert!(!pool.contains(3));
+    }
+
+    #[test]
+    fn with_pinned_pages_exposes_run_in_order_and_unpins() {
+        let (mut pool, mut backend) = setup(8);
+        for p in [4u64, 2, 7] {
+            pool.new_page(&mut backend, 0, p, |d| d[0] = p as u8).unwrap();
+        }
+        let ids = [4u64, 99, 2, 7]; // 99 is not resident and must be skipped
+        let collected = pool.with_pinned_pages(&ids, |run| {
+            run.iter().map(|&(p, bytes)| (p, bytes[0])).collect::<Vec<_>>()
+        });
+        assert_eq!(collected, vec![(4, 4), (2, 2), (7, 7)]);
+        // All pins released: every frame can be evicted.
+        for p in 20..28u64 {
+            pool.new_page(&mut backend, 0, p, |_| ()).unwrap();
+        }
+        assert!(!pool.contains(4) && !pool.contains(2) && !pool.contains(7));
+    }
+
+    #[test]
+    fn with_pinned_pages_unpins_after_panic() {
+        let (mut pool, mut backend) = setup(2);
+        pool.new_page(&mut backend, 0, 1, |d| d[0] = 1).unwrap();
+        pool.new_page(&mut backend, 0, 2, |d| d[0] = 2).unwrap();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.with_pinned_pages(&[1, 2], |_| panic!("backend exploded"));
+        }));
+        assert!(panicked.is_err());
+        // Both pins must be gone or this eviction would fail.
+        assert!(pool.with_page(&mut backend, 0, 3, |_| ()).is_ok());
     }
 
     #[test]

@@ -30,15 +30,21 @@ pub struct EngineConfig {
     pub flushers: FlusherConfig,
     /// Number of pages reserved at the top of the address space for the WAL.
     pub log_pages: u64,
+    /// Group-commit factor: commits per WAL force (1 = force every commit).
+    pub wal_group_commit: usize,
 }
 
 impl EngineConfig {
-    /// Reasonable defaults: 1024 frames, 4 global db-writers, 64 log pages.
+    /// Reasonable defaults: 1024 frames, 4 global db-writers, 64 log pages,
+    /// force-per-commit (group commit still batches the multi-page tail of
+    /// each force; raising `wal_group_commit` additionally shares one force
+    /// among several committing transactions).
     pub fn new() -> Self {
         Self {
             buffer_frames: 1024,
             flushers: FlusherConfig::global(4),
             log_pages: 64,
+            wal_group_commit: 1,
         }
     }
 }
@@ -70,10 +76,12 @@ impl StorageEngine {
             "backend too small for the requested log segment"
         );
         let data_pages = total_pages - config.log_pages;
+        let mut wal = WalManager::new(data_pages, config.log_pages, page_size);
+        wal.set_group_commit(config.wal_group_commit);
         Self {
             pool: BufferPool::new(config.buffer_frames, page_size),
             fsm: FreeSpaceManager::new(0, data_pages),
-            wal: WalManager::new(data_pages, config.log_pages, page_size),
+            wal,
             txns: TransactionManager::new(),
             flushers: FlusherPool::new(config.flushers),
             catalog: Catalog::new(),
@@ -487,6 +495,34 @@ mod tests {
             e.flusher_stats().cycles > before || e.dirty_fraction() < 0.5,
             "flush cycle should have run once the watermark was crossed"
         );
+    }
+
+    #[test]
+    fn group_commit_defers_until_group_fills() {
+        let backend = MemBackend::new(4096, 4096);
+        let mut cfg = EngineConfig::new();
+        cfg.buffer_frames = 64;
+        cfg.wal_group_commit = 4;
+        let mut e = StorageEngine::new(Box::new(backend), cfg);
+        e.create_table("t");
+        let mut now = 0;
+        for _ in 0..3 {
+            let txn = e.begin();
+            let (_, t) = e.insert("t", txn, now, b"row").unwrap();
+            now = e.commit(txn, t).unwrap();
+        }
+        assert_eq!(e.log_forces(), 0, "3 commits stay pending under group=4");
+        let txn = e.begin();
+        let (_, t) = e.insert("t", txn, now, b"row4").unwrap();
+        now = e.commit(txn, t).unwrap();
+        assert_eq!(e.log_forces(), 1, "4th commit fills the group");
+        assert_eq!(e.committed(), 4);
+        // A checkpoint forces whatever group is pending.
+        let txn = e.begin();
+        let (_, t) = e.insert("t", txn, now, b"row5").unwrap();
+        now = e.commit(txn, t).unwrap();
+        e.checkpoint(now).unwrap();
+        assert_eq!(e.wal().flushed_lsn(), e.wal().current_lsn());
     }
 
     #[test]

@@ -11,17 +11,35 @@
 //!   flushes pages that stripe to those regions, so writers never compete for
 //!   a Flash chip.
 //!
-//! Each writer is modelled as a sequential actor: it issues its next page
-//! write only after the previous one completed.  A flush *cycle* starts all
-//! writers at the same virtual instant and ends when the last one finishes —
-//! exactly the quantity that differs between the two assignments in Figure 4.
+//! Each writer is modelled as a sequential actor.  Under the legacy
+//! (per-page) I/O model it issues its next page write only after the
+//! previous one completed.  Under the *batched* model — a capability of the
+//! Flash-aware (die-wise) configuration — a writer collects its run of dirty
+//! pages and submits it as one [`StorageBackend::write_pages`] batch straight
+//! out of the buffer-pool arena (no per-page copy): the NoFTL backend turns
+//! the run into one multi-page program dispatch per die, so the dies the
+//! writer owns work in parallel and each die pipelines data transfers with
+//! cell programs.  The conventional global writers keep the per-page model:
+//! without the region knowledge of §3.2 there is nothing to group a batch
+//! by, which is precisely the asymmetry the paper exploits.
+//!
+//! A flush *cycle* starts all writers at the same virtual instant and ends
+//! when the last one finishes — exactly the quantity that differs between
+//! the two assignments in Figure 4.
+//!
+//! Batching is controlled by [`FlusherConfig::batch_pages`]; its default
+//! comes from the `NOFTL_BATCH` environment variable (see
+//! [`crate::backend::batch_pages_from_env`]).  A batch size of 1 submits
+//! degenerate single-page runs through the batch API and is bit- and
+//! timing-identical to batching off — the golden-trace equivalence suite
+//! pins that down.
 
 use nand_flash::FlashResult;
 use noftl_core::FlusherAssignment;
 use serde::{Deserialize, Serialize};
 use sim_utils::time::SimInstant;
 
-use crate::backend::StorageBackend;
+use crate::backend::{batch_pages_from_env, StorageBackend};
 use crate::buffer::BufferPool;
 use crate::page::PageId;
 
@@ -37,6 +55,10 @@ pub struct FlusherConfig {
     /// A flush cycle stops once the dirty fraction falls below this
     /// (flush-everything when 0.0).
     pub dirty_low_watermark: f64,
+    /// Maximum pages per batched backend submission under the die-wise
+    /// assignment; `0` keeps the legacy one-`write_page`-per-page model.
+    /// Defaults to the `NOFTL_BATCH` environment knob.
+    pub batch_pages: usize,
 }
 
 impl FlusherConfig {
@@ -48,6 +70,7 @@ impl FlusherConfig {
             assignment: FlusherAssignment::Global,
             dirty_high_watermark: 0.5,
             dirty_low_watermark: 0.1,
+            batch_pages: batch_pages_from_env(),
         }
     }
 
@@ -56,6 +79,16 @@ impl FlusherConfig {
         Self {
             assignment: FlusherAssignment::DieWise,
             ..Self::global(writers)
+        }
+    }
+
+    /// Pages per batched submission actually in effect: batching requires
+    /// the region knowledge of the die-wise assignment; the conventional
+    /// global writers always run the legacy per-page model.
+    pub fn effective_batch_pages(&self) -> usize {
+        match self.assignment {
+            FlusherAssignment::DieWise => self.batch_pages,
+            FlusherAssignment::Global => 0,
         }
     }
 }
@@ -67,6 +100,8 @@ pub struct FlusherStats {
     pub cycles: u64,
     /// Pages written out by the writers.
     pub pages_flushed: u64,
+    /// Batched `write_pages` submissions issued (0 on the legacy path).
+    pub batch_submissions: u64,
     /// Sum of cycle wall-clock durations (virtual ns).
     pub total_cycle_time: u64,
     /// Longest single cycle (virtual ns).
@@ -171,19 +206,41 @@ impl FlusherPool {
         dirty.truncate(to_flush);
 
         let batches = self.partition(backend, &dirty);
+        let batch_limit = self.config.effective_batch_pages();
         let mut cycle_end = now;
         for batch in &batches {
             // Each writer is a sequential actor with its own timeline.
             let mut writer_time = now;
-            for &page_id in batch {
-                let Some(bytes) = pool.page_bytes(page_id) else {
-                    continue;
-                };
-                let data = bytes.to_vec();
-                let c = backend.write_page(writer_time, page_id, &data)?;
-                writer_time = writer_time.max(c.completed_at);
-                pool.mark_clean(page_id);
-                self.stats.pages_flushed += 1;
+            if batch_limit == 0 {
+                // Legacy model: one write per page, issued at the completion
+                // of the previous one, straight from the pinned arena frame.
+                for &page_id in batch {
+                    let Some(written) = pool.with_page_bytes(page_id, |bytes| {
+                        backend.write_page(writer_time, page_id, bytes)
+                    }) else {
+                        continue;
+                    };
+                    let c = written?;
+                    writer_time = writer_time.max(c.completed_at);
+                    pool.mark_clean(page_id);
+                    self.stats.pages_flushed += 1;
+                }
+            } else {
+                // Batched model: submit runs of up to `batch_limit` pages as
+                // one backend call, borrowed straight out of the arena under
+                // pins.  Successive runs of one writer stay sequential; the
+                // backend overlaps the dies *within* a run.
+                for chunk in batch.chunks(batch_limit) {
+                    let (submitted, written) = pool.with_pinned_pages(chunk, |run| {
+                        (backend.write_pages(writer_time, run), run.len() as u64)
+                    });
+                    writer_time = writer_time.max(submitted?);
+                    for &page_id in chunk {
+                        pool.mark_clean(page_id);
+                    }
+                    self.stats.pages_flushed += written;
+                    self.stats.batch_submissions += 1;
+                }
             }
             cycle_end = cycle_end.max(writer_time);
         }
@@ -247,6 +304,7 @@ mod tests {
             assignment: FlusherAssignment::Global,
             dirty_high_watermark: 0.2,
             dirty_low_watermark: 0.0,
+            batch_pages: 0,
         });
         assert!(flushers.should_flush(&pool));
         flushers.run_cycle(&mut pool, &mut backend, 0).unwrap();
@@ -277,6 +335,9 @@ mod tests {
                 assignment,
                 dirty_high_watermark: 0.1,
                 dirty_low_watermark: 0.0,
+                // Per-page model on both sides: this test reproduces the
+                // paper's Figure 4 mechanism, which predates batching.
+                batch_pages: 0,
             });
             flushers.run_cycle(&mut pool, &mut backend, 0).unwrap()
         };
@@ -290,6 +351,171 @@ mod tests {
             (global as f64) / (die_wise as f64) > 1.1,
             "expected a visible speedup from die-wise association: global={global} die_wise={die_wise}"
         );
+    }
+
+    /// Build a NoFTL backend + pool with `dirty` freshly dirtied pages.
+    fn noftl_fixture(dies: u32, dirty: u64) -> (BufferPool, NoFtlBackend) {
+        let geometry = nand_flash::FlashGeometry::with_dies(dies, 1024, 32, 4096);
+        let noftl = NoFtl::new(NoFtlConfig::new(geometry));
+        let mut backend = NoFtlBackend::new(noftl);
+        let mut pool = BufferPool::new(dirty.max(2) as usize * 2, 4096);
+        for p in 0..dirty {
+            pool.new_page(&mut backend, 0, p, |d| d[0] = p as u8).unwrap();
+        }
+        (pool, backend)
+    }
+
+    fn die_wise_cycle(batch_pages: usize, writers: usize, dies: u32, dirty: u64) -> (u64, FlusherStats) {
+        let (mut pool, mut backend) = noftl_fixture(dies, dirty);
+        let mut flushers = FlusherPool::new(FlusherConfig {
+            writers,
+            assignment: FlusherAssignment::DieWise,
+            dirty_high_watermark: 0.1,
+            dirty_low_watermark: 0.0,
+            batch_pages,
+        });
+        let end = flushers.run_cycle(&mut pool, &mut backend, 0).unwrap();
+        assert_eq!(pool.dirty_count(), 0);
+        (end, flushers.stats())
+    }
+
+    #[test]
+    fn batch_size_one_is_identical_to_batching_off() {
+        // The degenerate batch path must produce the same cycle timing as
+        // the legacy per-page path (the golden-trace equivalence invariant).
+        let (off, s_off) = die_wise_cycle(0, 2, 8, 64);
+        let (one, s_one) = die_wise_cycle(1, 2, 8, 64);
+        assert_eq!(off, one, "batch size 1 must be timing-identical to off");
+        assert_eq!(s_off.pages_flushed, s_one.pages_flushed);
+        assert_eq!(s_off.batch_submissions, 0);
+        assert_eq!(s_one.batch_submissions, 64);
+    }
+
+    #[test]
+    fn batched_cycle_beats_per_page_on_multi_die_pool() {
+        // 8 dies x 8 dirty pages per die, 2 writers: the batched writers
+        // overlap their dies and pipeline within each die; the per-page
+        // writers wait for every single page.  The acceptance bar is 2x.
+        let (per_page, _) = die_wise_cycle(0, 2, 8, 64);
+        let (batched, stats) = die_wise_cycle(64, 2, 8, 64);
+        assert!(stats.batch_submissions >= 2);
+        assert!(
+            per_page as f64 / batched as f64 >= 2.0,
+            "expected >=2x at 8 pages/die: per_page={per_page} batched={batched}"
+        );
+    }
+
+    #[test]
+    fn batched_pages_land_with_correct_content() {
+        let (mut pool, mut backend) = noftl_fixture(4, 32);
+        let mut flushers = FlusherPool::new(FlusherConfig {
+            writers: 2,
+            assignment: FlusherAssignment::DieWise,
+            dirty_high_watermark: 0.1,
+            dirty_low_watermark: 0.0,
+            batch_pages: 8,
+        });
+        let end = flushers.run_cycle(&mut pool, &mut backend, 0).unwrap();
+        assert_eq!(flushers.stats().pages_flushed, 32);
+        let mut buf = vec![0u8; 4096];
+        for p in 0..32u64 {
+            backend.read_page(end, p, &mut buf).unwrap();
+            assert_eq!(buf[0], p as u8, "page {p} content corrupted by batching");
+        }
+    }
+
+    #[test]
+    fn global_assignment_never_batches() {
+        let (mut pool, mut backend) = noftl_fixture(4, 32);
+        let mut flushers = FlusherPool::new(FlusherConfig {
+            writers: 2,
+            assignment: FlusherAssignment::Global,
+            dirty_high_watermark: 0.1,
+            dirty_low_watermark: 0.0,
+            batch_pages: 64,
+        });
+        assert_eq!(flushers.config().effective_batch_pages(), 0);
+        flushers.run_cycle(&mut pool, &mut backend, 0).unwrap();
+        assert_eq!(flushers.stats().batch_submissions, 0);
+        assert_eq!(backend.noftl().flash_stats().multi_page_dispatches, 0);
+    }
+
+    #[test]
+    fn zero_low_watermark_flushes_everything() {
+        let (mut pool, mut backend) = noftl_fixture(2, 16);
+        let mut flushers = FlusherPool::new(FlusherConfig {
+            writers: 2,
+            assignment: FlusherAssignment::DieWise,
+            dirty_high_watermark: 0.5,
+            dirty_low_watermark: 0.0,
+            batch_pages: 8,
+        });
+        flushers.run_cycle(&mut pool, &mut backend, 0).unwrap();
+        assert_eq!(pool.dirty_count(), 0, "low watermark 0.0 must drain the pool");
+        assert_eq!(flushers.stats().pages_flushed, 16);
+    }
+
+    #[test]
+    fn high_equal_low_watermark_still_makes_progress() {
+        // high == low: should_flush fires at the threshold and the cycle must
+        // flush at least one page (no livelock between the two watermarks).
+        let (mut pool, mut backend) = noftl_fixture(2, 16);
+        let mut flushers = FlusherPool::new(FlusherConfig {
+            writers: 2,
+            assignment: FlusherAssignment::DieWise,
+            dirty_high_watermark: 0.5,
+            dirty_low_watermark: 0.5,
+            batch_pages: 4,
+        });
+        assert!(flushers.should_flush(&pool));
+        let before = pool.dirty_count();
+        flushers.run_cycle(&mut pool, &mut backend, 0).unwrap();
+        assert!(pool.dirty_count() < before, "cycle must flush at least one page");
+        assert!(flushers.stats().pages_flushed >= 1);
+    }
+
+    #[test]
+    fn writer_with_zero_dirty_pages_is_harmless() {
+        // All dirty pages stripe to region 0 (lpn % regions == 0), so under
+        // die-wise assignment with 2 writers, writer 1 owns a region with no
+        // dirty pages at all.
+        let geometry = nand_flash::FlashGeometry::with_dies(2, 256, 32, 4096);
+        let noftl = NoFtl::new(NoFtlConfig::new(geometry));
+        let mut backend = NoFtlBackend::new(noftl);
+        let mut pool = BufferPool::new(32, 4096);
+        for p in (0..32u64).step_by(2) {
+            pool.new_page(&mut backend, 0, p, |d| d[0] = p as u8).unwrap();
+        }
+        for batch_pages in [0usize, 8] {
+            let mut flushers = FlusherPool::new(FlusherConfig {
+                writers: 2,
+                assignment: FlusherAssignment::DieWise,
+                dirty_high_watermark: 0.1,
+                dirty_low_watermark: 0.0,
+                batch_pages,
+            });
+            let batches = flushers.partition(&backend, &pool.dirty_pages());
+            assert!(batches.iter().any(|b| b.is_empty()), "one writer must be idle");
+            let end = flushers.run_cycle(&mut pool, &mut backend, 0).unwrap();
+            if batch_pages == 0 {
+                assert_eq!(flushers.stats().pages_flushed, 16);
+                assert!(end > 0);
+                // Re-dirty for the second configuration.
+                for p in (0..32u64).step_by(2) {
+                    pool.new_page(&mut backend, 0, p, |d| d[0] = p as u8).unwrap();
+                }
+            }
+        }
+        assert_eq!(pool.dirty_count(), 0);
+    }
+
+    #[test]
+    fn empty_cycle_returns_now_unchanged() {
+        let (mut pool, mut backend) = noftl_fixture(2, 0);
+        let mut flushers = FlusherPool::new(FlusherConfig::die_wise(2));
+        let end = flushers.run_cycle(&mut pool, &mut backend, 7777).unwrap();
+        assert_eq!(end, 7777);
+        assert_eq!(flushers.stats().cycles, 0);
     }
 
     #[test]

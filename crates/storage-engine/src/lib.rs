@@ -17,6 +17,35 @@
 //! conventional *global* page assignment and the paper's *Flash-aware
 //! (die-wise)* assignment (§3.2), which is what the Figure 4 experiment
 //! varies.
+//!
+//! ## The batched multi-page write path
+//!
+//! [`backend::StorageBackend::write_pages`] submits a whole run of pages as
+//! one call.  The protocol, top to bottom:
+//!
+//! * **Flushers** ([`flusher`]) — a die-wise db-writer collects its run of
+//!   dirty pages and submits it straight out of the buffer-pool arena
+//!   ([`buffer::BufferPool::with_pinned_pages`], no per-page copy; the
+//!   legacy per-page fallback writes from the pinned frame too).  Global
+//!   writers keep the conventional one-page-at-a-time model — batching
+//!   rides on the region knowledge only the Flash-aware assignment has.
+//! * **WAL group commit** ([`wal`]) — a force frames the record tail
+//!   accumulated across transactions into self-describing log pages and
+//!   writes them as one batch; sequential log page ids stripe die-wise, so
+//!   the force fans out over the dies.  `WalManager::set_group_commit`
+//!   additionally lets several commits share one force.
+//! * **NoFTL backend** — `write_pages` groups the batch by region,
+//!   allocates each region's run contiguously and dispatches one multi-page
+//!   program command per die; dies work in parallel and each die pipelines
+//!   channel transfers with cell programs.
+//!
+//! Invariants of the protocol: after the returned instant every page of the
+//! batch is durable with the content passed in; a duplicated page id
+//! resolves to the later entry (as sequential writes would); a 1-page batch
+//! is command-, timing- and counter-identical to `write_page`; batching off
+//! (`NOFTL_BATCH=off`) and batch size 1 produce bit-identical results —
+//! the golden-trace equivalence suite (`tests/equivalence.rs`) enforces
+//! this against the Figure 3 / Figure 4 reproductions.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

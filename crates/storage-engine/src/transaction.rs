@@ -50,9 +50,11 @@ impl TransactionManager {
         txn
     }
 
-    /// Commit: append the Commit record and force the log (group commit is
-    /// modelled by the WAL buffering everything since the last force).
-    /// Returns the virtual time after the log force.
+    /// Commit: append the Commit record and force the log through the WAL's
+    /// group-commit policy — the force batches every record buffered since
+    /// the last force (all transactions), and may itself be deferred until
+    /// enough commits are pending ([`WalManager::set_group_commit`]).
+    /// Returns the virtual time after the (possibly deferred) log force.
     pub fn commit(
         &mut self,
         txn: TxnId,
@@ -61,7 +63,7 @@ impl TransactionManager {
         now: SimInstant,
     ) -> FlashResult<SimInstant> {
         wal.append(LogRecord::Commit { txn });
-        let t = wal.flush(backend, now)?;
+        let t = wal.commit_force(backend, now)?;
         self.active.retain(|&t2| t2 != txn);
         self.committed += 1;
         Ok(t)

@@ -1,0 +1,164 @@
+//! Golden-trace equivalence of the batched multi-page write path.
+//!
+//! The batch write protocol promises that batching **off** (`NOFTL_BATCH=off`,
+//! legacy one-`write_page`-per-page everywhere) and batching **on with batch
+//! size 1** (every write routed through the `write_pages` API as a degenerate
+//! single-page run) are indistinguishable: same Figure 3 / Figure 4 outputs,
+//! same emulator command traces, same timing.  Larger batch sizes may change
+//! *timing* (that is the point) but never page *contents*.
+//!
+//! These tests run the same library entry points the `fig3_gc_overhead` and
+//! `fig4_dbwriters` bins print.
+
+use std::sync::Mutex;
+
+use noftl::nand_flash::{DeviceConfig, FlashGeometry, NandDevice};
+use noftl::noftl_core::{FlusherAssignment, NoFtl, NoFtlConfig};
+use noftl::storage_engine::backend::NoFtlBackend;
+use noftl::storage_engine::flusher::{FlusherConfig, FlusherPool};
+use noftl::storage_engine::BufferPool;
+use noftl_bench::dbwriters::{render_table as render_fig4, run_dbwriter_scaling};
+use noftl_bench::gc_overhead::{render_table as render_fig3, run_gc_overhead};
+use noftl_bench::setup::{Benchmark, Scale};
+
+/// Serialises the tests that flip the process-global `NOFTL_BATCH` knob.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_batch_env<R>(value: &str, f: impl FnOnce() -> R) -> R {
+    std::env::set_var("NOFTL_BATCH", value);
+    let r = f();
+    std::env::remove_var("NOFTL_BATCH");
+    r
+}
+
+#[test]
+fn fig3_output_identical_with_batching_off_vs_batch_size_one() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let off = with_batch_env("off", || render_fig3(&run_gc_overhead(Scale::Quick)));
+    let one = with_batch_env("1", || render_fig3(&run_gc_overhead(Scale::Quick)));
+    assert!(off.contains("TPC-C") && off.contains("TPC-B") && off.contains("TPC-E"));
+    assert_eq!(
+        off, one,
+        "Figure 3 output must be bit-identical with batching off vs batch size 1"
+    );
+}
+
+#[test]
+fn fig4_output_identical_with_batching_off_vs_batch_size_one() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let dies = [1u32, 2, 4, 8];
+    let off = with_batch_env("off", || {
+        render_fig4(&run_dbwriter_scaling(Benchmark::TpcB, Scale::Quick, &dies))
+    });
+    let one = with_batch_env("1", || {
+        render_fig4(&run_dbwriter_scaling(Benchmark::TpcB, Scale::Quick, &dies))
+    });
+    assert!(off.contains("TPC-B"));
+    assert_eq!(
+        off, one,
+        "Figure 4 output must be bit-identical with batching off vs batch size 1"
+    );
+}
+
+/// Run one die-wise flush cycle over a traced device and return
+/// (command trace, per-page readback, cycle end).
+fn traced_flush_cycle(batch_pages: usize) -> (Vec<String>, Vec<Vec<u8>>, u64) {
+    let geometry = FlashGeometry::with_dies(4, 256, 32, 4096);
+    let mut dev_cfg = DeviceConfig::new(geometry);
+    dev_cfg.trace_capacity = 4096;
+    let device = NandDevice::new(dev_cfg);
+    let noftl = NoFtl::with_device(device, NoFtlConfig::new(geometry));
+    let mut backend = NoFtlBackend::new(noftl);
+
+    let mut pool = BufferPool::new(128, 4096);
+    for p in 0..48u64 {
+        pool.new_page(&mut backend, 0, p, |d| {
+            d[0] = p as u8;
+            d[4095] = !(p as u8);
+        })
+        .unwrap();
+    }
+    let mut flushers = FlusherPool::new(FlusherConfig {
+        writers: 2,
+        assignment: FlusherAssignment::DieWise,
+        dirty_high_watermark: 0.1,
+        dirty_low_watermark: 0.0,
+        batch_pages,
+    });
+    let end = flushers.run_cycle(&mut pool, &mut backend, 0).unwrap();
+
+    let trace: Vec<String> = backend
+        .noftl()
+        .device()
+        .tracer()
+        .entries()
+        .iter()
+        .map(|e| format!("{e:?}"))
+        .collect();
+    let mut contents = Vec::new();
+    let mut buf = vec![0u8; 4096];
+    for p in 0..48u64 {
+        backend.noftl_mut().read(end, p, &mut buf).unwrap();
+        contents.push(buf.clone());
+    }
+    (trace, contents, end)
+}
+
+#[test]
+fn emulator_command_traces_identical_for_off_vs_batch_size_one() {
+    let (trace_off, contents_off, end_off) = traced_flush_cycle(0);
+    let (trace_one, contents_one, end_one) = traced_flush_cycle(1);
+    assert!(!trace_off.is_empty());
+    assert_eq!(
+        trace_off, trace_one,
+        "device command traces must be identical (commands, addresses, timing)"
+    );
+    assert_eq!(contents_off, contents_one);
+    assert_eq!(end_off, end_one);
+}
+
+#[test]
+fn page_contents_identical_for_all_batch_sizes() {
+    let (_, reference, _) = traced_flush_cycle(0);
+    for batch_pages in [1usize, 2, 3, 8, 64] {
+        let (_, contents, _) = traced_flush_cycle(batch_pages);
+        assert_eq!(
+            contents, reference,
+            "batch size {batch_pages} changed page contents"
+        );
+    }
+}
+
+#[test]
+fn wal_log_contents_identical_for_all_batch_sizes() {
+    use noftl::storage_engine::backend::MemBackend;
+    use noftl::storage_engine::{LogRecord, WalManager};
+
+    let reference: Option<Vec<(u64, LogRecord)>> = None;
+    let mut reference = reference;
+    for batch in [0usize, 1, 2, 4, 64] {
+        let mut backend = MemBackend::new(512, 512);
+        let mut wal = WalManager::new(32, 128, 512);
+        wal.set_batch_pages(batch);
+        for txn in 0..24u64 {
+            wal.append(LogRecord::Begin { txn });
+            wal.append(LogRecord::Update {
+                txn,
+                page: txn * 3,
+                slot: 1,
+                bytes: vec![txn as u8; 150],
+            });
+            wal.append(LogRecord::Commit { txn });
+            if txn % 3 == 2 {
+                wal.flush(&mut backend, 0).unwrap();
+            }
+        }
+        wal.flush(&mut backend, 0).unwrap();
+        let recovered = WalManager::recover_records(&mut backend, 32, 128, 512, 0);
+        assert_eq!(recovered.len(), 72);
+        match &reference {
+            None => reference = Some(recovered),
+            Some(r) => assert_eq!(&recovered, r, "batch {batch} changed the durable log"),
+        }
+    }
+}

@@ -94,6 +94,9 @@ fn figure4_shape_die_wise_flushers_scale_better() {
             assignment,
             dirty_high_watermark: 0.1,
             dirty_low_watermark: 0.0,
+            // Per-page model on both sides: this experiment reproduces the
+            // paper's Figure 4 contention mechanism, which predates batching.
+            batch_pages: 0,
         });
         flushers.run_cycle(&mut pool, &mut backend, 0).unwrap()
     };
