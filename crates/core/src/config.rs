@@ -24,6 +24,15 @@ pub struct NoFtlConfig {
     pub wear_leveling_threshold: u64,
     /// Whether the underlying device stores page contents.
     pub store_data: bool,
+    /// Per-die command-queue depth used by the asynchronous write path
+    /// (`1` = synchronous dispatch; see [`crate::NoFtl::set_async_depth`]).
+    pub async_queue_depth: usize,
+    /// Maximum pages per batched GC relocation dispatch (`0`/`1` keeps the
+    /// legacy one-relocation-at-a-time path, which is trace-identical).
+    pub gc_batch_pages: usize,
+    /// Override of the device's per-block P/E endurance (tests use tiny
+    /// values so wear-out paths are reachable).
+    pub endurance_override: Option<u64>,
 }
 
 impl NoFtlConfig {
@@ -38,6 +47,9 @@ impl NoFtlConfig {
             gc_high_watermark: 4,
             wear_leveling_threshold: 64,
             store_data: true,
+            async_queue_depth: 1,
+            gc_batch_pages: 0,
+            endurance_override: None,
         }
     }
 

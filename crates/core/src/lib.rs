@@ -45,6 +45,32 @@
 //!
 //! The before/after numbers for each structure are recorded in
 //! `BENCH_pr1.json` at the repository root.
+//!
+//! ## Asynchronous write path (completion-poll interface)
+//!
+//! [`NoFtl::write_batch`] normally dispatches its per-die program runs
+//! synchronously.  With [`NoFtl::set_async_depth`] above 1 the runs are
+//! *submitted* into the device's bounded per-die command queues
+//! (`nand_flash::NandDevice::submit_program_pages`) instead: a dispatch no
+//! longer waits for commands still in flight on other dies, and runs from
+//! **different submissions** — successive flush cycles, WAL group commits —
+//! pipeline behind each other on the die they target.  Completions are
+//! deterministic and travel with each submission; [`NoFtl::drain`] is the
+//! barrier the storage engine uses at checkpoints.  Depth 1 is bit- and
+//! cycle-identical to the synchronous dispatch (the `NOFTL_ASYNC=1`
+//! equivalence leg in `tests/equivalence.rs`).  GC and wear leveling stay on
+//! the synchronous region timeline: they are already parallel across regions
+//! and must observe their own relocations.
+//!
+//! ## GC relocation batching
+//!
+//! GC relocates a victim's survivors plane-locally via COPYBACK when it can.
+//! Cross-plane survivors go through read + program; with
+//! [`NoFtl::set_gc_batch_pages`] ≥ 2 consecutive cross-plane survivors are
+//! routed through one multi-page program dispatch per same-die run (pending
+//! runs flush before any interleaved copyback so the destination block's
+//! sequential-programming order holds).  Batch size 1 is command- and
+//! cycle-identical to the legacy per-relocation path.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -5,6 +5,12 @@
 //! 160 concurrent I/Os".  The host link is therefore modelled separately from
 //! the NAND array: it bounds how many commands may be in flight and adds a
 //! fixed protocol overhead per command.
+//!
+//! The link composes with the device's per-die command queues: an
+//! asynchronously submitted run (`EmulatedNativeFlash::submit_program_pages`)
+//! passes admission control here — paying the protocol overhead and holding a
+//! queue slot until completion — and is then *queued* on its die rather than
+//! serialised against the submitting call.
 
 use std::collections::VecDeque;
 

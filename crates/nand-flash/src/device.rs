@@ -16,6 +16,7 @@ use crate::interface::{DeviceIdentification, NativeFlashInterface, OpCompletion,
 use crate::nand_type::TimingProfile;
 use crate::oob::Oob;
 use crate::page::PageState;
+use crate::queue::{CommandId, CommandQueues, QueuedCompletion};
 use crate::stats::FlashStats;
 use crate::timing::Channel;
 use crate::trace::{TraceEntry, Tracer};
@@ -40,6 +41,10 @@ pub struct DeviceConfig {
     /// block-mapped FTLs (FAST/FASTer data blocks) rely on; MLC/TLC require
     /// strictly sequential programming.
     pub strict_sequential_program: bool,
+    /// Override of the per-block P/E endurance (defaults to the NAND type's
+    /// endurance).  Wear tests use tiny values so wear-out is reachable
+    /// without hundreds of thousands of erases.
+    pub endurance_override: Option<u64>,
 }
 
 impl DeviceConfig {
@@ -53,6 +58,7 @@ impl DeviceConfig {
             timing_override: None,
             trace_capacity: 0,
             strict_sequential_program: true,
+            endurance_override: None,
         }
     }
 
@@ -97,6 +103,7 @@ pub struct NandDevice {
     tracer: Tracer,
     rng: SimRng,
     sequence: u64,
+    queues: CommandQueues,
 }
 
 impl NandDevice {
@@ -122,7 +129,9 @@ impl NandDevice {
         let mut dev = Self {
             geometry: g,
             timing,
-            endurance: g.nand_type.endurance(),
+            endurance: config
+                .endurance_override
+                .unwrap_or_else(|| g.nand_type.endurance()),
             store_data: config.store_data,
             strict_sequential: config.strict_sequential_program,
             bad_policy: config.bad_blocks,
@@ -132,6 +141,7 @@ impl NandDevice {
             tracer,
             rng: SimRng::new(config.bad_blocks.seed ^ 0x5EED),
             sequence: 0,
+            queues: CommandQueues::new(g.total_dies() as usize, 1),
         };
         for flat in config.bad_blocks.factory_bad_blocks(&g) {
             let addr = BlockAddr::from_flat(&g, flat);
@@ -279,6 +289,110 @@ impl NandDevice {
 
     fn trace(&mut self, entry: TraceEntry) {
         self.tracer.record(entry);
+    }
+
+    // -- queued submission (submit/poll) ------------------------------------
+
+    /// Per-die queue depth in effect for queued submissions.
+    pub fn queue_depth(&self) -> usize {
+        self.queues.depth()
+    }
+
+    /// Set the per-die queue depth (clamped to at least 1; capped at the
+    /// `max_queue_per_die` the `IDENTIFY` response advertises).  Depth 1 makes
+    /// every submission wait for its same-die predecessor — the synchronous
+    /// dispatch semantics.
+    pub fn set_queue_depth(&mut self, depth: usize) {
+        let cap = self.identify().max_queue_per_die as usize;
+        self.queues.set_depth(depth.clamp(1, cap));
+    }
+
+    /// Number of commands in flight on `die` as of `now`.
+    pub fn inflight_on(&self, die: DieAddr, now: SimInstant) -> usize {
+        self.queues.inflight_on(self.die_index(die), now)
+    }
+
+    /// Submit a multi-page program run (one die) into the die's command
+    /// queue.  The run is admitted at `now`; if the queue is full its issue is
+    /// gated behind the oldest in-flight command.  The returned
+    /// [`QueuedCompletion`] carries both stamps plus the device-computed
+    /// completion; it is also retained for [`NandDevice::poll_completions`].
+    pub fn submit_program_pages(
+        &mut self,
+        now: SimInstant,
+        ops: &[(Ppa, &[u8], Oob)],
+    ) -> FlashResult<QueuedCompletion> {
+        let die = match ops.first() {
+            Some((ppa, _, _)) => ppa.die_addr(),
+            None => {
+                // An empty run completes immediately without touching a queue.
+                return Ok(QueuedCompletion {
+                    id: CommandId(0),
+                    kind: OpKind::Program,
+                    submitted_at: now,
+                    issued_at: now,
+                    completion: OpCompletion {
+                        started_at: now,
+                        completed_at: now,
+                    },
+                });
+            }
+        };
+        let die_idx = self.die_index(die);
+        let (issue, gated) = self.queues.admit(die_idx, now);
+        let completion = self.program_pages(issue, ops)?;
+        self.stats.queued_submissions += 1;
+        if gated {
+            self.stats.queue_gated_submissions += 1;
+        }
+        let id = self
+            .queues
+            .record(die_idx, OpKind::Program, now, issue, completion);
+        Ok(QueuedCompletion {
+            id,
+            kind: OpKind::Program,
+            submitted_at: now,
+            issued_at: issue,
+            completion,
+        })
+    }
+
+    /// Submit a block erase into the block's die queue (same gating rules as
+    /// [`NandDevice::submit_program_pages`]).
+    pub fn submit_erase(
+        &mut self,
+        now: SimInstant,
+        block: BlockAddr,
+    ) -> FlashResult<QueuedCompletion> {
+        let die_idx = self.die_index(block.die_addr());
+        let (issue, gated) = self.queues.admit(die_idx, now);
+        let completion = self.erase_block(issue, block)?;
+        self.stats.queued_submissions += 1;
+        if gated {
+            self.stats.queue_gated_submissions += 1;
+        }
+        let id = self
+            .queues
+            .record(die_idx, OpKind::Erase, now, issue, completion);
+        Ok(QueuedCompletion {
+            id,
+            kind: OpKind::Erase,
+            submitted_at: now,
+            issued_at: issue,
+            completion,
+        })
+    }
+
+    /// Drain every queued completion recorded since the last poll, in submit
+    /// order.
+    pub fn poll_completions(&mut self) -> Vec<QueuedCompletion> {
+        self.queues.poll()
+    }
+
+    /// Barrier over the command queues: the instant by which every in-flight
+    /// command has completed (at least `now`).  Clears the in-flight windows.
+    pub fn drain_queues(&mut self, now: SimInstant) -> SimInstant {
+        self.queues.drain(now)
     }
 }
 
@@ -1131,6 +1245,154 @@ mod tests {
         assert_eq!(b.stats().multi_page_dispatches, 0);
         let c_empty = b.program_pages(500, &[]).unwrap();
         assert_eq!(c_empty.completed_at, 500);
+    }
+
+    #[test]
+    fn submitted_run_at_depth_one_matches_synchronous_dispatch() {
+        // Two back-to-back runs on one die.  Synchronous dispatch issues run 2
+        // at run 1's completion; the queued path at depth 1 must compute the
+        // exact same stamps even though both runs are submitted at t=0.
+        let data_sync = {
+            let mut dev = tiny_device();
+            let data = page_of(&dev, 1);
+            let b0 = BlockAddr::new(0, 0, 0, 0);
+            let ops1: Vec<(Ppa, &[u8], Oob)> = (0..4)
+                .map(|i| (b0.page(i), data.as_slice(), Oob::data(i as u64, 0)))
+                .collect();
+            let ops2: Vec<(Ppa, &[u8], Oob)> = (4..8)
+                .map(|i| (b0.page(i), data.as_slice(), Oob::data(i as u64, 0)))
+                .collect();
+            let c1 = dev.program_pages(0, &ops1).unwrap();
+            let c2 = dev.program_pages(c1.completed_at, &ops2).unwrap();
+            (c1, c2)
+        };
+        let data_queued = {
+            let mut dev = tiny_device();
+            dev.set_queue_depth(1);
+            let data = page_of(&dev, 1);
+            let b0 = BlockAddr::new(0, 0, 0, 0);
+            let ops1: Vec<(Ppa, &[u8], Oob)> = (0..4)
+                .map(|i| (b0.page(i), data.as_slice(), Oob::data(i as u64, 0)))
+                .collect();
+            let ops2: Vec<(Ppa, &[u8], Oob)> = (4..8)
+                .map(|i| (b0.page(i), data.as_slice(), Oob::data(i as u64, 0)))
+                .collect();
+            let q1 = dev.submit_program_pages(0, &ops1).unwrap();
+            let q2 = dev.submit_program_pages(0, &ops2).unwrap();
+            assert_eq!(q2.issued_at, q1.completion.completed_at, "depth 1 gates");
+            assert_eq!(dev.stats().queue_gated_submissions, 1);
+            (q1.completion, q2.completion)
+        };
+        assert_eq!(data_sync, data_queued);
+    }
+
+    #[test]
+    fn deeper_queue_pipelines_same_die_runs() {
+        // At depth >= 2 the second run's command transfer queues on the
+        // channel right behind the first run's transfers instead of waiting
+        // for the first run's last cell program: the pair finishes earlier.
+        let run = |depth: usize| -> u64 {
+            let mut dev = tiny_device();
+            dev.set_queue_depth(depth);
+            let data = page_of(&dev, 1);
+            let b0 = BlockAddr::new(0, 0, 0, 0);
+            let ops1: Vec<(Ppa, &[u8], Oob)> = (0..4)
+                .map(|i| (b0.page(i), data.as_slice(), Oob::data(i as u64, 0)))
+                .collect();
+            let ops2: Vec<(Ppa, &[u8], Oob)> = (4..8)
+                .map(|i| (b0.page(i), data.as_slice(), Oob::data(i as u64, 0)))
+                .collect();
+            dev.submit_program_pages(0, &ops1).unwrap();
+            let q2 = dev.submit_program_pages(0, &ops2).unwrap();
+            q2.completion.completed_at
+        };
+        let sync = run(1);
+        let deep = run(4);
+        assert!(
+            deep < sync,
+            "pipelined submission ({deep}) must beat depth-1 dispatch ({sync})"
+        );
+    }
+
+    #[test]
+    fn poll_and_drain_report_submitted_commands() {
+        let g = FlashGeometry::small();
+        let mut dev = NandDevice::with_geometry(g);
+        dev.set_queue_depth(4);
+        let data = vec![1u8; g.page_size as usize];
+        let a = dev
+            .submit_program_pages(0, &[(Ppa::new(0, 0, 0, 0, 0), data.as_slice(), Oob::data(1, 0))])
+            .unwrap();
+        let b = dev
+            .submit_program_pages(0, &[(Ppa::new(1, 0, 0, 0, 0), data.as_slice(), Oob::data(2, 0))])
+            .unwrap();
+        let e = dev.submit_erase(0, BlockAddr::new(0, 1, 0, 3)).unwrap();
+        assert_eq!(dev.stats().queued_submissions, 3);
+        assert_eq!(dev.inflight_on(DieAddr::new(0, 0), 0), 1);
+        let polled = dev.poll_completions();
+        assert_eq!(polled.len(), 3);
+        assert_eq!(polled[0].id, a.id);
+        assert_eq!(polled[1].id, b.id);
+        assert_eq!(polled[2].kind, OpKind::Erase);
+        let barrier = dev.drain_queues(0);
+        let slowest = [a, b, e]
+            .iter()
+            .map(|q| q.completion.completed_at)
+            .max()
+            .unwrap();
+        assert_eq!(barrier, slowest);
+        assert!(dev.poll_completions().is_empty());
+    }
+
+    #[test]
+    fn failed_submission_does_not_evict_inflight_commands() {
+        let g = FlashGeometry::tiny();
+        let mut cfg = DeviceConfig::new(g);
+        cfg.endurance_override = Some(0); // every erase wears out
+        let mut dev = NandDevice::new(cfg);
+        dev.set_queue_depth(1);
+        let data = page_of(&dev, 1);
+        let q1 = dev
+            .submit_program_pages(0, &[(Ppa::new(0, 0, 0, 0, 0), data.as_slice(), Oob::data(1, 0))])
+            .unwrap();
+        // The erase is admitted (gated behind q1) but fails with WornOut.
+        assert!(matches!(
+            dev.submit_erase(0, BlockAddr::new(0, 0, 0, 1)),
+            Err(FlashError::WornOut(_))
+        ));
+        // q1 must still be tracked: the barrier covers its completion.
+        assert_eq!(dev.drain_queues(0), q1.completion.completed_at);
+        assert_eq!(dev.stats().queued_submissions, 1);
+    }
+
+    #[test]
+    fn submit_empty_run_completes_immediately() {
+        let mut dev = tiny_device();
+        let q = dev.submit_program_pages(42, &[]).unwrap();
+        assert_eq!(q.completion.completed_at, 42);
+        assert_eq!(dev.stats().queued_submissions, 0);
+        assert!(dev.poll_completions().is_empty());
+    }
+
+    #[test]
+    fn endurance_override_shrinks_endurance() {
+        let g = FlashGeometry::tiny();
+        let mut cfg = DeviceConfig::new(g);
+        cfg.endurance_override = Some(2);
+        cfg.bad_blocks = BadBlockPolicy {
+            factory_bad_fraction: 0.0,
+            wear_out_failure_prob: 1.0,
+            seed: 1,
+        };
+        let mut dev = NandDevice::new(cfg);
+        assert_eq!(dev.endurance(), 2);
+        let b = BlockAddr::new(0, 0, 0, 0);
+        dev.erase_block(0, b).unwrap();
+        dev.erase_block(0, b).unwrap();
+        assert!(matches!(
+            dev.erase_block(0, b),
+            Err(FlashError::WornOut(_))
+        ));
     }
 
     #[test]

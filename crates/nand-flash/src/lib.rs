@@ -13,6 +13,21 @@
 //! per-die / per-channel occupancy model so that Flash parallelism (the
 //! subject of §3.2 of the paper) is observable.
 //!
+//! ## Completion-poll interface
+//!
+//! Beyond the blocking [`NativeFlashInterface`] calls, [`NandDevice`] exposes
+//! a queued submission path ([`NandDevice::submit_program_pages`],
+//! [`NandDevice::submit_erase`]) backed by bounded **per-die command queues**
+//! ([`queue::CommandQueues`]).  A submission is admitted at the caller's
+//! virtual `now`; when the target die's queue is full, its issue is gated
+//! behind the oldest in-flight command — the behaviour of a real driver
+//! spinning on a full hardware queue.  Completions accumulate until the host
+//! drains them with [`NandDevice::poll_completions`] (or barriers with
+//! [`NandDevice::drain_queues`]), so an issuer can keep several commands in
+//! flight per die and overlap channel transfers on one die with cell programs
+//! on any die behind the channel.  A queue depth of 1 reproduces the
+//! synchronous dispatch exactly (the `NOFTL_ASYNC=1` equivalence leg).
+//!
 //! The higher layers built on top of this crate are the `ftl` crate
 //! (on-device FTL baselines behind a legacy block interface) and `noftl-core`
 //! (the DBMS-integrated Flash management of the paper).
@@ -31,6 +46,7 @@ pub mod interface;
 pub mod nand_type;
 pub mod oob;
 pub mod page;
+pub mod queue;
 pub mod stats;
 pub mod timing;
 pub mod trace;
@@ -43,5 +59,6 @@ pub use interface::{DeviceIdentification, NativeFlashInterface, OpCompletion, Op
 pub use nand_type::{NandType, TimingProfile};
 pub use oob::{Oob, PageKind};
 pub use page::PageState;
+pub use queue::{CommandId, CommandQueues, QueuedCompletion};
 pub use stats::FlashStats;
 pub use trace::{TraceEntry, Tracer};

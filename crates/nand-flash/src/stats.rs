@@ -22,6 +22,10 @@ pub struct FlashStats {
     pub multi_page_dispatches: u64,
     /// Pages programmed through multi-page dispatches.
     pub batched_pages: u64,
+    /// Commands submitted through the queued (submit/poll) interface.
+    pub queued_submissions: u64,
+    /// Queued submissions whose issue was gated behind a full die queue.
+    pub queue_gated_submissions: u64,
     /// Bytes transferred from the device to the host.
     pub bytes_read: u64,
     /// Bytes transferred from the host to the device.
@@ -72,6 +76,8 @@ impl FlashStats {
         self.copybacks += other.copybacks;
         self.multi_page_dispatches += other.multi_page_dispatches;
         self.batched_pages += other.batched_pages;
+        self.queued_submissions += other.queued_submissions;
+        self.queue_gated_submissions += other.queue_gated_submissions;
         self.bytes_read += other.bytes_read;
         self.bytes_written += other.bytes_written;
         self.read_latency.merge(&other.read_latency);

@@ -46,6 +46,102 @@ pub fn parse_batch_pages(value: &str) -> usize {
     }
 }
 
+/// Default per-die queue depth when `NOFTL_ASYNC` is `on` without a number.
+pub const DEFAULT_ASYNC_DEPTH: usize = 8;
+
+/// Resolve the asynchronous submission depth from the `NOFTL_ASYNC`
+/// environment variable:
+///
+/// * unset / `off` / `0` / `1` — synchronous dispatch (depth 1): every
+///   submission waits for its predecessor, bit- and cycle-identical to the
+///   pre-async code (the equivalence-suite invariant);
+/// * `on` — asynchronous with [`DEFAULT_ASYNC_DEPTH`] commands in flight per
+///   submitter / per die;
+/// * a number `k` — asynchronous with a window of `k`.
+pub fn async_depth_from_env() -> usize {
+    match std::env::var("NOFTL_ASYNC") {
+        Ok(v) => parse_async_depth(&v),
+        Err(_) => 1,
+    }
+}
+
+/// Parse one `NOFTL_ASYNC` spelling (see [`async_depth_from_env`]).
+pub fn parse_async_depth(value: &str) -> usize {
+    let v = value.trim().to_ascii_lowercase();
+    match v.as_str() {
+        "" | "off" | "false" | "0" | "1" => 1,
+        "on" | "true" => DEFAULT_ASYNC_DEPTH,
+        _ => v.parse::<usize>().map_or(1, |k| k.max(1)),
+    }
+}
+
+/// Bounded window of in-flight asynchronous submissions, shared by the
+/// issuer streams (each db-writer, the WAL's group submissions): completion
+/// times of submissions issued but not yet waited for.
+///
+/// At depth 1 [`InflightWindow::gate`] makes every submission wait for its
+/// predecessor — the synchronous chaining the pre-async code performed.
+#[derive(Debug, Clone, Default)]
+pub struct InflightWindow {
+    completions: std::collections::VecDeque<SimInstant>,
+}
+
+impl InflightWindow {
+    /// Create an empty window.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submissions currently in flight.
+    pub fn len(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.completions.is_empty()
+    }
+
+    /// Forget every in-flight entry without waiting (synchronous-mode reset).
+    pub fn clear(&mut self) {
+        self.completions.clear();
+    }
+
+    /// Earliest time a new submission may issue: pops window entries until
+    /// fewer than `depth` remain, waiting for each popped completion.
+    pub fn gate(&mut self, depth: usize, now: SimInstant) -> SimInstant {
+        let mut at = now;
+        while self.completions.len() >= depth.max(1) {
+            let free_at = self
+                .completions
+                .pop_front()
+                .expect("window cannot be empty here");
+            at = at.max(free_at);
+        }
+        at
+    }
+
+    /// Record a submission's completion time.
+    pub fn push(&mut self, completed_at: SimInstant) {
+        self.completions.push_back(completed_at);
+    }
+
+    /// Barrier: the instant by which everything in flight has completed (at
+    /// least `now`).  Clears the window.
+    pub fn drain(&mut self, now: SimInstant) -> SimInstant {
+        let t = self.horizon(now);
+        self.completions.clear();
+        t
+    }
+
+    /// The instant by which everything in flight has completed (at least
+    /// `now`) — like [`InflightWindow::drain`] but leaves the window intact,
+    /// so submissions keep pipelining while the caller reports a horizon.
+    pub fn horizon(&self, now: SimInstant) -> SimInstant {
+        self.completions.iter().fold(now, |t, &c| t.max(c))
+    }
+}
+
 /// Aggregate I/O counters a backend can report (used by the benchmark
 /// harness to print GC overhead tables).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -136,6 +232,19 @@ pub trait StorageBackend {
     /// free-space manager, truncated WAL segment, dropped table).
     fn free_page_hint(&mut self, now: SimInstant, page_id: u64) -> FlashResult<()>;
 
+    /// Set the asynchronous submission depth (per-die command-queue window).
+    /// Depth 1 is the synchronous dispatch; back ends without device queues
+    /// ignore the setting.
+    fn set_async_depth(&mut self, _depth: usize) {}
+
+    /// Barrier over any in-flight asynchronous submissions: returns the
+    /// instant by which everything submitted so far has completed (at least
+    /// `now`).  Synchronous back ends complete every call inline, so the
+    /// default is a no-op.
+    fn drain(&mut self, now: SimInstant) -> SimInstant {
+        now
+    }
+
     /// Number of physical regions the backend exposes (1 when the physical
     /// layout is hidden behind a block interface).
     fn regions(&self) -> usize {
@@ -164,8 +273,16 @@ pub struct NoFtlBackend {
 }
 
 impl NoFtlBackend {
-    /// Wrap a NoFTL instance.
+    /// Wrap a NoFTL instance.  When the instance still has the synchronous
+    /// default (depth 1), the asynchronous submission depth is taken from
+    /// the `NOFTL_ASYNC` environment knob; an explicitly configured
+    /// `NoFtlConfig::async_queue_depth` (or prior `set_async_depth`) wins
+    /// over the environment.
     pub fn new(noftl: NoFtl) -> Self {
+        let mut noftl = noftl;
+        if noftl.async_depth() <= 1 {
+            noftl.set_async_depth(async_depth_from_env());
+        }
         Self { noftl }
     }
 
@@ -231,6 +348,14 @@ impl StorageBackend for NoFtlBackend {
 
     fn free_page_hint(&mut self, _now: SimInstant, page_id: u64) -> FlashResult<()> {
         self.noftl.mark_dead(page_id)
+    }
+
+    fn set_async_depth(&mut self, depth: usize) {
+        self.noftl.set_async_depth(depth);
+    }
+
+    fn drain(&mut self, now: SimInstant) -> SimInstant {
+        self.noftl.drain(now)
     }
 
     fn regions(&self) -> usize {
@@ -539,6 +664,54 @@ mod tests {
             b.read_page(t, i as u64, &mut buf).unwrap();
             assert_eq!(&buf, data);
         }
+    }
+
+    #[test]
+    fn async_knob_parses_all_spellings() {
+        for (v, expect) in [
+            ("", 1),
+            ("off", 1),
+            ("False", 1),
+            ("0", 1),
+            ("1", 1),
+            ("on", DEFAULT_ASYNC_DEPTH),
+            ("TRUE", DEFAULT_ASYNC_DEPTH),
+            (" 4 ", 4),
+            ("garbage", 1),
+        ] {
+            assert_eq!(parse_async_depth(v), expect, "spelling {v:?}");
+        }
+    }
+
+    #[test]
+    fn explicit_async_config_wins_over_env_default() {
+        // Regression (code review): NoFtlBackend::new must not clobber an
+        // explicitly configured queue depth with the env default.
+        let mut cfg = NoFtlConfig::new(FlashGeometry::small());
+        cfg.async_queue_depth = 6;
+        let b = NoFtlBackend::new(NoFtl::new(cfg));
+        assert_eq!(b.noftl().async_depth(), 6);
+    }
+
+    #[test]
+    fn inflight_window_gates_and_drains() {
+        let mut w = InflightWindow::new();
+        assert_eq!(w.gate(2, 100), 100, "empty window never waits");
+        w.push(500);
+        w.push(700);
+        assert_eq!(w.len(), 2);
+        // Depth 2 full: next submission waits for the oldest completion.
+        assert_eq!(w.gate(2, 100), 500);
+        assert_eq!(w.len(), 1);
+        // Depth 1 pops everything remaining.
+        assert_eq!(w.gate(1, 100), 700);
+        assert!(w.is_empty());
+        w.push(900);
+        assert_eq!(w.drain(100), 900, "barrier covers the slowest entry");
+        assert_eq!(w.drain(100), 100, "drained window is empty");
+        w.push(300);
+        w.clear();
+        assert_eq!(w.drain(0), 0, "clear forgets without waiting");
     }
 
     #[test]

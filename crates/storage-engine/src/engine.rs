@@ -379,8 +379,21 @@ impl StorageEngine {
         }
     }
 
+    /// Barrier over all asynchronous submissions — db-writer windows, WAL
+    /// window and the backend's device queues: the instant by which
+    /// everything in flight has completed (at least `now`).  A no-op under
+    /// the synchronous model.
+    pub fn quiesce(&mut self, now: SimInstant) -> SimInstant {
+        let t = self.flushers.drain(now);
+        let t = self.wal.drain(t);
+        self.backend.drain(t)
+    }
+
     /// Force a full flush of every dirty page plus a WAL force (checkpoint).
+    /// Quiesces in-flight asynchronous submissions first so the checkpoint
+    /// really covers everything submitted before it.
     pub fn checkpoint(&mut self, now: SimInstant) -> FlashResult<SimInstant> {
+        let now = self.quiesce(now);
         let t = self.wal.flush(self.backend.as_mut(), now)?;
         let t = self.pool.flush_all(self.backend.as_mut(), t)?;
         self.wal.append(crate::wal::LogRecord::Checkpoint);

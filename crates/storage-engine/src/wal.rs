@@ -32,7 +32,7 @@ use bytes::{Buf, BufMut};
 use nand_flash::FlashResult;
 use sim_utils::time::SimInstant;
 
-use crate::backend::{batch_pages_from_env, StorageBackend};
+use crate::backend::{async_depth_from_env, batch_pages_from_env, InflightWindow, StorageBackend};
 use crate::page::PageId;
 use crate::transaction::TxnId;
 
@@ -181,6 +181,13 @@ pub struct WalManager {
     forces: u64,
     /// Max pages per batched log write; 0 = legacy one-page-at-a-time forces.
     batch_pages: usize,
+    /// Log-write submissions kept in flight before gating on the oldest
+    /// completion (1 = synchronous chaining, identical to the pre-async code).
+    async_depth: usize,
+    /// In-flight log-write submissions (bounded by `async_depth`; persists
+    /// across forces so consecutive group commits overlap on the device
+    /// queues).
+    inflight: InflightWindow,
     /// Commits per force under group commit (1 = force on every commit).
     group_commit: usize,
     /// Commits appended since the last force.
@@ -212,6 +219,8 @@ impl WalManager {
             log_writes: 0,
             forces: 0,
             batch_pages: batch_pages_from_env(),
+            async_depth: async_depth_from_env(),
+            inflight: InflightWindow::new(),
             group_commit: 1,
             pending_commits: 0,
             records: Vec::new(),
@@ -221,6 +230,29 @@ impl WalManager {
     /// Set the maximum pages per batched log write (0 disables batching).
     pub fn set_batch_pages(&mut self, batch_pages: usize) {
         self.batch_pages = batch_pages;
+    }
+
+    /// Set the number of log-write submissions kept in flight (clamped to at
+    /// least 1; 1 restores the synchronous chaining).
+    pub fn set_async_depth(&mut self, depth: usize) {
+        self.async_depth = depth.max(1);
+    }
+
+    /// Log-write submissions currently in flight.
+    pub fn inflight_writes(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Barrier: the instant by which every in-flight log write has completed
+    /// (at least `now`).  Clears the window.  Under the synchronous model
+    /// (depth 1) every write was already waited for, so the barrier is `now`.
+    pub fn drain(&mut self, now: SimInstant) -> SimInstant {
+        let end = self.inflight.drain(now);
+        if self.async_depth > 1 {
+            end
+        } else {
+            now
+        }
     }
 
     /// Set the group-commit factor: a commit-time force is deferred until
@@ -285,7 +317,14 @@ impl WalManager {
 
     /// Flush the buffered log tail to the log segment as batched, die-wise
     /// placed log-page writes (or one page at a time when batching is off).
-    /// Returns the virtual time after the writes complete.
+    /// Returns the virtual time after the writes complete — the durability
+    /// instant of this force.
+    ///
+    /// Under the asynchronous model (`set_async_depth` > 1) the force's
+    /// submissions are gated only by the in-flight window instead of chaining
+    /// on each other's completions, so a multi-group force — and consecutive
+    /// group commits — pipeline on the device's per-die queues.  Depth 1
+    /// reproduces the synchronous chaining exactly.
     pub fn flush(
         &mut self,
         backend: &mut dyn StorageBackend,
@@ -294,6 +333,10 @@ impl WalManager {
         let mut t = now;
         if self.buffer.is_empty() {
             return Ok(t);
+        }
+        if self.async_depth <= 1 {
+            // Synchronous semantics: no carry-over between forces.
+            self.inflight.clear();
         }
         self.forces += 1;
         self.pending_commits = 0;
@@ -319,33 +362,44 @@ impl WalManager {
         }
         if self.batch_pages == 0 {
             for (page_id, page, wraps) in &frames {
+                let submit_at = self.inflight.gate(self.async_depth, now);
                 if *wraps {
-                    backend.free_page_hint(t, *page_id)?;
+                    backend.free_page_hint(submit_at, *page_id)?;
                 }
-                let c = backend.write_page(t, *page_id, page)?;
+                let c = backend.write_page(submit_at, *page_id, page)?;
+                self.inflight.push(c.completed_at);
                 t = t.max(c.completed_at);
             }
         } else {
             // Cap groups at the segment length so a page id can never repeat
-            // within one submission; groups chain sequentially, pages within
-            // a group are placed die-wise and overlap.
+            // within one submission; pages within a group are placed die-wise
+            // and overlap, groups are gated by the in-flight window (depth 1:
+            // each group chains on the previous one's completion).
             let group_cap = self.batch_pages.min(self.log_pages as usize);
             for group in frames.chunks(group_cap) {
+                let submit_at = self.inflight.gate(self.async_depth, now);
                 for (page_id, _, wraps) in group {
                     if *wraps {
-                        backend.free_page_hint(t, *page_id)?;
+                        backend.free_page_hint(submit_at, *page_id)?;
                     }
                 }
                 let batch: Vec<(PageId, &[u8])> =
                     group.iter().map(|(p, b, _)| (*p, b.as_slice())).collect();
-                t = backend.write_pages(t, &batch)?.max(t);
+                let end = backend.write_pages(submit_at, &batch)?;
+                self.inflight.push(end);
+                t = t.max(end);
             }
         }
         self.next_log_page += frames.len() as u64;
         self.log_writes += frames.len() as u64;
         self.buffer.clear();
         self.flushed_lsn = self.next_lsn;
-        Ok(t)
+        // Log durability is prefix-ordered: this force's records are only
+        // recoverable once every earlier in-flight log write has landed too
+        // (recovery's monotone page_seq scan stops at the first hole).  The
+        // reported durability instant therefore covers the whole window —
+        // without draining it, so later forces keep pipelining.
+        Ok(self.inflight.horizon(t))
     }
 
     /// Rebuild the durable record stream from the backend alone — what crash
@@ -596,6 +650,110 @@ mod tests {
         let (one, t_one) = write(1);
         assert_eq!(off, one, "batch size 1 must write bit-identical log pages");
         assert_eq!(t_off, t_one);
+    }
+
+    #[test]
+    fn async_force_pipelines_log_groups_across_dies() {
+        // A 32-page tail written in 2-page groups over an 8-die NoFTL
+        // backend: consecutive groups land on different dies (sequential page
+        // ids stripe die-wise), so the asynchronous window overlaps them
+        // while the synchronous force chains every group on the previous
+        // group's completion.
+        use crate::backend::NoFtlBackend;
+        use noftl_core::{NoFtl, NoFtlConfig};
+
+        let run = |depth: usize| -> (SimInstant, Vec<(Lsn, LogRecord)>) {
+            let geometry = nand_flash::FlashGeometry::with_dies(8, 1024, 32, 4096);
+            let noftl = NoFtl::new(NoFtlConfig::new(geometry));
+            let mut backend = NoFtlBackend::new(noftl);
+            backend.set_async_depth(depth);
+            let mut wal = WalManager::new(0, 64, 4096);
+            wal.set_batch_pages(2);
+            wal.set_async_depth(depth);
+            for txn in 0..32u64 {
+                wal.append(LogRecord::Update {
+                    txn,
+                    page: txn,
+                    slot: 0,
+                    bytes: vec![txn as u8; 4000],
+                });
+            }
+            let done = wal.flush(&mut backend, 0).unwrap();
+            let done = wal.drain(done).max(backend.drain(done));
+            let recovered =
+                WalManager::recover_records(&mut backend, 0, 64, 4096, done);
+            (done, recovered)
+        };
+        let (sync, records_sync) = run(1);
+        let (asynchronous, records_async) = run(8);
+        assert_eq!(records_sync.len(), 32);
+        assert_eq!(
+            records_sync, records_async,
+            "async submission must not change the durable log"
+        );
+        assert!(
+            sync as f64 / asynchronous as f64 >= 1.5,
+            "die-striped log groups must pipeline under async: sync={sync} async={asynchronous}"
+        );
+    }
+
+    #[test]
+    fn async_flush_durability_covers_earlier_inflight_forces() {
+        // Regression (code review): with the window persisting across forces,
+        // a later force whose own pages land early must not report a
+        // durability instant that precedes an *earlier* force's still-in-
+        // flight page — recovery's monotone page_seq scan would stop at the
+        // hole and lose the "durable" records.
+        use crate::backend::NoFtlBackend;
+        use noftl_core::{NoFtl, NoFtlConfig};
+
+        let geometry = nand_flash::FlashGeometry::with_dies(2, 256, 32, 4096);
+        let noftl = NoFtl::new(NoFtlConfig::new(geometry));
+        let mut backend = NoFtlBackend::new(noftl);
+        backend.set_async_depth(4);
+        let mut wal = WalManager::new(0, 32, 4096);
+        wal.set_batch_pages(0); // one submission per log page
+        wal.set_async_depth(4);
+        // Force A spans 3 pages: die 0 gets pages 0 and 2 (two chained
+        // programs), die 1 gets page 1.
+        for txn in 0..3u64 {
+            wal.append(LogRecord::Update {
+                txn,
+                page: txn,
+                slot: 0,
+                bytes: vec![txn as u8; 4000],
+            });
+        }
+        let t_a = wal.flush(&mut backend, 0).unwrap();
+        // Force B is one page on die 1, which is idle well before die 0's
+        // second program finishes.
+        wal.append(LogRecord::Commit { txn: 99 });
+        let t_b = wal.flush(&mut backend, 0).unwrap();
+        assert!(
+            t_b >= t_a,
+            "force B's durability ({t_b}) must cover force A's in-flight tail ({t_a})"
+        );
+        // The window is still pipelining (not drained by the horizon).
+        assert!(wal.inflight_writes() > 0);
+    }
+
+    #[test]
+    fn async_depth_one_force_matches_legacy_chaining() {
+        let mut backend = MemBackend::new(512, 256);
+        let mut wal = WalManager::new(32, 64, 512);
+        wal.set_batch_pages(4);
+        wal.set_async_depth(1);
+        for i in 0..10u64 {
+            wal.append(LogRecord::Update {
+                txn: i,
+                page: i,
+                slot: 0,
+                bytes: vec![i as u8; 300],
+            });
+        }
+        let t = wal.flush(&mut backend, 500).unwrap();
+        assert_eq!(t, 500, "mem backend is zero-latency");
+        assert_eq!(wal.drain(t), t, "depth 1 has nothing in flight to wait for");
     }
 
     fn record_strategy() -> impl Strategy<Value = LogRecord> {

@@ -1,4 +1,5 @@
-//! Golden-trace equivalence of the batched multi-page write path.
+//! Golden-trace equivalence of the batched multi-page write path and the
+//! asynchronous per-die command queues.
 //!
 //! The batch write protocol promises that batching **off** (`NOFTL_BATCH=off`,
 //! legacy one-`write_page`-per-page everywhere) and batching **on with batch
@@ -7,6 +8,12 @@
 //! same emulator command traces, same timing.  Larger batch sizes may change
 //! *timing* (that is the point) but never page *contents*.
 //!
+//! The asynchronous submission protocol (PR 3) makes the same promise for
+//! `NOFTL_ASYNC`: depth 1 — every submission waits for its predecessor — is
+//! bit- and cycle-identical to the synchronous dispatch (`NOFTL_ASYNC`
+//! unset/`off`); deeper windows may change timing but never contents, and a
+//! crash with commands still in flight recovers exactly the durable prefix.
+//!
 //! These tests run the same library entry points the `fig3_gc_overhead` and
 //! `fig4_dbwriters` bins print.
 
@@ -14,7 +21,7 @@ use std::sync::Mutex;
 
 use noftl::nand_flash::{DeviceConfig, FlashGeometry, NandDevice};
 use noftl::noftl_core::{FlusherAssignment, NoFtl, NoFtlConfig};
-use noftl::storage_engine::backend::NoFtlBackend;
+use noftl::storage_engine::backend::{NoFtlBackend, StorageBackend};
 use noftl::storage_engine::flusher::{FlusherConfig, FlusherPool};
 use noftl::storage_engine::BufferPool;
 use noftl_bench::dbwriters::{render_table as render_fig4, run_dbwriter_scaling};
@@ -28,6 +35,20 @@ fn with_batch_env<R>(value: &str, f: impl FnOnce() -> R) -> R {
     std::env::set_var("NOFTL_BATCH", value);
     let r = f();
     std::env::remove_var("NOFTL_BATCH");
+    r
+}
+
+fn with_async_env<R>(value: Option<&str>, f: impl FnOnce() -> R) -> R {
+    let saved = std::env::var("NOFTL_ASYNC").ok();
+    match value {
+        Some(v) => std::env::set_var("NOFTL_ASYNC", v),
+        None => std::env::remove_var("NOFTL_ASYNC"),
+    }
+    let r = f();
+    match saved {
+        Some(v) => std::env::set_var("NOFTL_ASYNC", v),
+        None => std::env::remove_var("NOFTL_ASYNC"),
+    }
     r
 }
 
@@ -60,15 +81,18 @@ fn fig4_output_identical_with_batching_off_vs_batch_size_one() {
     );
 }
 
-/// Run one die-wise flush cycle over a traced device and return
-/// (command trace, per-page readback, cycle end).
-fn traced_flush_cycle(batch_pages: usize) -> (Vec<String>, Vec<Vec<u8>>, u64) {
+/// Run two die-wise flush cycles over a traced device and return
+/// (command trace, per-page readback, completion barrier).  `async_depth` 1
+/// is the synchronous dispatch; deeper windows submit through the per-die
+/// command queues.
+fn traced_flush_cycles(batch_pages: usize, async_depth: usize) -> (Vec<String>, Vec<Vec<u8>>, u64) {
     let geometry = FlashGeometry::with_dies(4, 256, 32, 4096);
     let mut dev_cfg = DeviceConfig::new(geometry);
     dev_cfg.trace_capacity = 4096;
     let device = NandDevice::new(dev_cfg);
     let noftl = NoFtl::with_device(device, NoFtlConfig::new(geometry));
     let mut backend = NoFtlBackend::new(noftl);
+    backend.set_async_depth(async_depth);
 
     let mut pool = BufferPool::new(128, 4096);
     for p in 0..48u64 {
@@ -84,8 +108,20 @@ fn traced_flush_cycle(batch_pages: usize) -> (Vec<String>, Vec<Vec<u8>>, u64) {
         dirty_high_watermark: 0.1,
         dirty_low_watermark: 0.0,
         batch_pages,
+        async_depth,
     });
-    let end = flushers.run_cycle(&mut pool, &mut backend, 0).unwrap();
+    let t = flushers.run_cycle(&mut pool, &mut backend, 0).unwrap();
+    // A second cycle over re-dirtied pages: under the asynchronous model its
+    // submissions pipeline behind the first cycle's on the device queues.
+    for p in 0..48u64 {
+        pool.new_page(&mut backend, 0, p, |d| {
+            d[0] = p as u8 ^ 0x80;
+            d[4095] = !(p as u8) ^ 0x80;
+        })
+        .unwrap();
+    }
+    let t = flushers.run_cycle(&mut pool, &mut backend, t).unwrap();
+    let end = backend.drain(flushers.drain(t));
 
     let trace: Vec<String> = backend
         .noftl()
@@ -102,6 +138,11 @@ fn traced_flush_cycle(batch_pages: usize) -> (Vec<String>, Vec<Vec<u8>>, u64) {
         contents.push(buf.clone());
     }
     (trace, contents, end)
+}
+
+/// The single-cycle fixture used by the PR 2 batch-equivalence legs.
+fn traced_flush_cycle(batch_pages: usize) -> (Vec<String>, Vec<Vec<u8>>, u64) {
+    traced_flush_cycles(batch_pages, 1)
 }
 
 #[test]
@@ -127,6 +168,171 @@ fn page_contents_identical_for_all_batch_sizes() {
             "batch size {batch_pages} changed page contents"
         );
     }
+}
+
+#[test]
+fn fig3_output_identical_with_async_off_vs_depth_one() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let off = with_async_env(None, || render_fig3(&run_gc_overhead(Scale::Quick)));
+    let one = with_async_env(Some("1"), || render_fig3(&run_gc_overhead(Scale::Quick)));
+    assert_eq!(
+        off, one,
+        "Figure 3 output must be bit-identical with NOFTL_ASYNC unset vs depth 1"
+    );
+}
+
+#[test]
+fn fig4_output_identical_with_async_off_vs_depth_one() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let dies = [1u32, 2, 4, 8];
+    let off = with_async_env(None, || {
+        render_fig4(&run_dbwriter_scaling(Benchmark::TpcB, Scale::Quick, &dies))
+    });
+    let one = with_async_env(Some("1"), || {
+        render_fig4(&run_dbwriter_scaling(Benchmark::TpcB, Scale::Quick, &dies))
+    });
+    assert_eq!(
+        off, one,
+        "Figure 4 output must be bit-identical with NOFTL_ASYNC unset vs depth 1"
+    );
+}
+
+#[test]
+fn emulator_command_traces_identical_for_sync_vs_async_depth_one() {
+    // Depth 1 must be cycle-identical to the synchronous dispatch: same
+    // commands, same addresses, same issue and completion stamps — across
+    // *two* flush cycles, where a deeper window would start pipelining.
+    let (trace_sync, contents_sync, end_sync) = traced_flush_cycles(64, 1);
+    let (trace_one, contents_one, end_one) =
+        traced_flush_cycles(64, storage_engine_parse_async("1"));
+    assert!(!trace_sync.is_empty());
+    assert_eq!(trace_sync, trace_one);
+    assert_eq!(contents_sync, contents_one);
+    assert_eq!(end_sync, end_one);
+}
+
+/// `NOFTL_ASYNC=1` must parse to the synchronous depth.
+fn storage_engine_parse_async(v: &str) -> usize {
+    let depth = noftl::storage_engine::backend::parse_async_depth(v);
+    assert_eq!(depth, 1, "NOFTL_ASYNC=1 must mean synchronous dispatch");
+    depth
+}
+
+#[test]
+fn page_contents_identical_for_all_async_depths() {
+    // Deeper queues change timing (that is the point) but never contents.
+    let (_, reference, end_sync) = traced_flush_cycles(64, 1);
+    for depth in [2usize, 4, 8, 16] {
+        let (_, contents, end) = traced_flush_cycles(64, depth);
+        assert_eq!(contents, reference, "async depth {depth} changed page contents");
+        assert!(
+            end <= end_sync,
+            "async depth {depth} must never be slower than sync ({end} vs {end_sync})"
+        );
+    }
+    // And the second cycle genuinely pipelines: depth 8 beats sync.
+    let (_, _, end_async) = traced_flush_cycles(64, 8);
+    assert!(
+        end_async < end_sync,
+        "two async cycles must overlap on the device: {end_async} vs {end_sync}"
+    );
+}
+
+#[test]
+fn async_crash_with_commands_in_flight_recovers_exact_durable_prefix() {
+    // A WAL force submitted through the asynchronous path with commands still
+    // in flight: killing the system at any instant must leave recovery with
+    // exactly the contiguous durable prefix — every log page whose program
+    // had completed by the kill, nothing from the in-flight tail.
+    use noftl::nand_flash::OpKind;
+    use noftl::storage_engine::backend::{MemBackend, StorageBackend};
+    use noftl::storage_engine::{LogRecord, WalManager};
+    use std::collections::HashMap;
+
+    let geometry = FlashGeometry::with_dies(8, 1024, 32, 4096);
+    let mut dev_cfg = DeviceConfig::new(geometry);
+    dev_cfg.trace_capacity = 1 << 16;
+    let device = NandDevice::new(dev_cfg);
+    let noftl = NoFtl::with_device(device, NoFtlConfig::new(geometry));
+    let mut backend = NoFtlBackend::new(noftl);
+    backend.set_async_depth(4);
+
+    let (log_start, log_pages, page_size) = (0u64, 64u64, 4096usize);
+    let mut wal = WalManager::new(log_start, log_pages, page_size);
+    // 3-page groups over 8 dies: consecutive groups hit rotating, partially
+    // overlapping die sets, so program completions spread over many instants.
+    wal.set_batch_pages(3);
+    wal.set_async_depth(4);
+    for txn in 0..16u64 {
+        wal.append(LogRecord::Update {
+            txn,
+            page: txn,
+            slot: 0,
+            bytes: vec![txn as u8; 4000],
+        });
+    }
+    let done = wal.flush(&mut backend, 0).unwrap();
+    let done = backend.drain(wal.drain(done));
+
+    // Per-log-page program completion times, from the device's command trace
+    // (the OOB lpn of a NoFTL write is the page id).
+    let mut page_done: HashMap<u64, u64> = HashMap::new();
+    for e in backend.noftl().device().tracer().entries() {
+        if e.kind == OpKind::Program {
+            if let Some(lpn) = e.lpn {
+                if lpn < log_start + log_pages {
+                    let slot = page_done.entry(lpn).or_insert(0);
+                    *slot = (*slot).max(e.completed_at);
+                }
+            }
+        }
+    }
+    assert!(page_done.len() >= 16, "force must have written 16+ log pages");
+    let all_records = wal.records().to_vec();
+    let mut kills: Vec<u64> = page_done.values().copied().collect();
+    kills.sort_unstable();
+    kills.dedup();
+    assert!(kills.len() > 2, "completions must spread over several instants");
+
+    let mut prev_recovered = 0usize;
+    let mut saw_partial = false;
+    for &kill in std::iter::once(&0u64).chain(kills.iter()) {
+        // Rebuild the surviving medium: only pages whose program completed by
+        // the kill instant hold their content.
+        let mut survived = MemBackend::new(page_size, log_start + log_pages);
+        let mut buf = vec![0u8; page_size];
+        for (&page_id, &completed) in &page_done {
+            if completed <= kill {
+                backend.read_page(done, page_id, &mut buf).unwrap();
+                survived.write_page(0, page_id, &buf).unwrap();
+            }
+        }
+        let recovered =
+            WalManager::recover_records(&mut survived, log_start, log_pages, page_size, 0);
+        // Exact prefix: same LSNs, same records, in order.
+        assert_eq!(
+            recovered.as_slice(),
+            &all_records[..recovered.len()],
+            "recovery at kill={kill} must replay an exact prefix"
+        );
+        assert!(
+            recovered.len() >= prev_recovered,
+            "a later kill can only recover more"
+        );
+        prev_recovered = recovered.len();
+        if !recovered.is_empty() && recovered.len() < all_records.len() {
+            saw_partial = true;
+        }
+    }
+    assert!(
+        saw_partial,
+        "some kill instant must catch commands genuinely in flight"
+    );
+    assert_eq!(
+        prev_recovered,
+        all_records.len(),
+        "killing after the last completion recovers everything"
+    );
 }
 
 #[test]
