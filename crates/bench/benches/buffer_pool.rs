@@ -104,6 +104,7 @@ fn bench_buffer(c: &mut Criterion) {
             dirty_high_watermark: 0.5,
             dirty_low_watermark: 0.1,
             batch_pages: 0,
+            batch_global: false,
             async_depth: 1,
         });
         let global = FlusherPool::new(FlusherConfig::global(8));

@@ -43,6 +43,7 @@ fn flusher_config(batch_pages: usize) -> FlusherConfig {
         dirty_high_watermark: 0.1,
         dirty_low_watermark: 0.0,
         batch_pages,
+        batch_global: false,
         async_depth: 1,
     }
 }

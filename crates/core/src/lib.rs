@@ -46,7 +46,7 @@
 //! The before/after numbers for each structure are recorded in
 //! `BENCH_pr1.json` at the repository root.
 //!
-//! ## Asynchronous write path (completion-poll interface)
+//! ## Asynchronous I/O path (completion-poll interface)
 //!
 //! [`NoFtl::write_batch`] normally dispatches its per-die program runs
 //! synchronously.  With [`NoFtl::set_async_depth`] above 1 the runs are
@@ -56,11 +56,26 @@
 //! **different submissions** — successive flush cycles, WAL group commits —
 //! pipeline behind each other on the die they target.  Completions are
 //! deterministic and travel with each submission; [`NoFtl::drain`] is the
-//! barrier the storage engine uses at checkpoints.  Depth 1 is bit- and
+//! barrier the storage engine uses at checkpoints, and
+//! [`NoFtl::poll_completions`] drains the completion stream a poll-driven
+//! engine scheduler advances its clock off.  Depth 1 is bit- and
 //! cycle-identical to the synchronous dispatch (the `NOFTL_ASYNC=1`
-//! equivalence leg in `tests/equivalence.rs`).  GC and wear leveling stay on
-//! the synchronous region timeline: they are already parallel across regions
-//! and must observe their own relocations.
+//! equivalence leg in `tests/equivalence.rs`).
+//!
+//! Since PR 4 **reads ride the same queues**: [`NoFtl::read`] submits its
+//! PAGE READ into the target die's queue at depth > 1, so a foreground point
+//! read honestly waits its turn behind in-flight program/erase/GC commands
+//! (the recorded read latency includes the queueing delay), and
+//! [`NoFtl::read_batch`] groups a read burst by die and hands each die one
+//! pipelined multi-page read dispatch
+//! (`nand_flash::NativeFlashInterface::read_pages`: one command overhead,
+//! array senses overlapping channel transfers).  GC is no longer a silent
+//! bystander either: at depth > 1 its relocations (source reads, victim
+//! programs, copybacks) and erases submit through the same queues, so
+//! background GC visibly delays — and is delayed by — foreground traffic,
+//! which is exactly the interference the paper's native-interface argument
+//! is about.  GC still *chains* its own commands (it must observe its own
+//! relocations); only the queue admission is shared.
 //!
 //! ## GC relocation batching
 //!

@@ -153,6 +153,25 @@ impl EmulatedNativeFlash {
         })
     }
 
+    /// Issue a multi-page read run through the host link as **one** admitted
+    /// command (the read-side sibling of
+    /// [`EmulatedNativeFlash::program_pages`]): a k-page run pays the link's
+    /// per-command overhead once and is dispatched to the die as one command
+    /// sequence whose senses pipeline with its transfers.
+    pub fn read_pages(
+        &mut self,
+        now: SimInstant,
+        ops: &mut [(nand_flash::Ppa, &mut [u8])],
+    ) -> FlashResult<OpCompletion> {
+        let start = self.host.admit(now);
+        let completion = self.device.read_pages(start, ops)?;
+        self.host.complete(completion.completed_at);
+        Ok(OpCompletion {
+            started_at: start,
+            completed_at: completion.completed_at,
+        })
+    }
+
     /// Set the per-die queue depth used by the queued submission path
     /// (depth 1 = synchronous dispatch semantics).
     pub fn set_queue_depth(&mut self, depth: usize) {
@@ -174,6 +193,23 @@ impl EmulatedNativeFlash {
     ) -> FlashResult<QueuedCompletion> {
         let start = self.host.admit(now);
         let queued = self.device.submit_program_pages(start, ops)?;
+        self.host.complete(queued.completion.completed_at);
+        Ok(queued)
+    }
+
+    /// Submit a multi-page read run through the host link into the target
+    /// die's command queue **without blocking on its completion** (the read
+    /// sibling of [`EmulatedNativeFlash::submit_program_pages`]): one queue
+    /// slot, one protocol overhead, then queued on the die behind whatever
+    /// commands are already in flight there — this is how a foreground point
+    /// read honestly interferes with in-flight flush traffic.
+    pub fn submit_read_pages(
+        &mut self,
+        now: SimInstant,
+        ops: &mut [(nand_flash::Ppa, &mut [u8])],
+    ) -> FlashResult<QueuedCompletion> {
+        let start = self.host.admit(now);
+        let queued = self.device.submit_read_pages(start, ops)?;
         self.host.complete(queued.completion.completed_at);
         Ok(queued)
     }
@@ -310,6 +346,50 @@ mod tests {
             barrier,
             q0.completion.completed_at.max(q1.completion.completed_at)
         );
+    }
+
+    #[test]
+    fn queued_read_interferes_with_inflight_program_on_one_die() {
+        // A program run submitted asynchronously, then a point read on the
+        // same die at queue depth 1: the read pays one host admission and is
+        // gated behind the program on the die queue.
+        let profile = DeviceProfile::small();
+        let data = vec![2u8; profile.geometry.page_size as usize];
+        let b0 = nand_flash::BlockAddr::new(0, 0, 0, 0);
+        let ops: Vec<(Ppa, &[u8], Oob)> = (0..4)
+            .map(|i| (b0.page(i), data.as_slice(), Oob::data(i as u64, 0)))
+            .collect();
+        let mut native = EmulatedNativeFlash::from_profile(&profile);
+        let q = native.submit_program_pages(0, &ops).unwrap();
+        let mut bufs: Vec<Vec<u8>> = (0..2)
+            .map(|_| vec![0u8; profile.geometry.page_size as usize])
+            .collect();
+        let mut read_ops: Vec<(Ppa, &mut [u8])> = bufs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, b)| (b0.page(i as u32), b.as_mut_slice()))
+            .collect();
+        let r = native.submit_read_pages(0, &mut read_ops).unwrap();
+        assert_eq!(native.host().admitted(), 2, "one admission per run");
+        assert_eq!(
+            r.issued_at,
+            q.completion.completed_at,
+            "the read run must queue behind the in-flight program run"
+        );
+        assert_eq!(native.device().stats().read_stalls, 1);
+        for buf in &bufs {
+            assert_eq!(buf[0], 2, "queued read must return the programmed data");
+        }
+        // The blocking batched read also pays exactly one admission.
+        let t = native.drain(r.completion.completed_at);
+        let mut read_ops: Vec<(Ppa, &mut [u8])> = bufs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, b)| (b0.page(i as u32), b.as_mut_slice()))
+            .collect();
+        native.read_pages(t, &mut read_ops).unwrap();
+        assert_eq!(native.host().admitted(), 3);
+        assert_eq!(native.device().stats().multi_page_read_dispatches, 2);
     }
 
     #[test]

@@ -312,6 +312,58 @@ impl NandDevice {
         self.queues.inflight_on(self.die_index(die), now)
     }
 
+    /// Shared spine of every `submit_*` method: admit into the die queue
+    /// (gating behind a full queue), execute the command at the gated issue
+    /// time, account the queued-submission statistics (read submissions and
+    /// read stalls are additionally counted per [`FlashStats`]'s read
+    /// counters), and record the completion for a later poll.  `run` returns
+    /// the command's completion plus any extra payload (e.g. a read's OOB).
+    fn submit_queued<T>(
+        &mut self,
+        die_idx: usize,
+        kind: OpKind,
+        now: SimInstant,
+        run: impl FnOnce(&mut Self, SimInstant) -> FlashResult<(T, OpCompletion)>,
+    ) -> FlashResult<(T, QueuedCompletion)> {
+        let (issue, gated) = self.queues.admit(die_idx, now);
+        let (payload, completion) = run(self, issue)?;
+        self.stats.queued_submissions += 1;
+        if kind == OpKind::Read {
+            self.stats.queued_reads += 1;
+        }
+        if gated {
+            self.stats.queue_gated_submissions += 1;
+            if kind == OpKind::Read {
+                self.stats.read_stalls += 1;
+            }
+        }
+        let id = self.queues.record(die_idx, kind, now, issue, completion);
+        Ok((
+            payload,
+            QueuedCompletion {
+                id,
+                kind,
+                submitted_at: now,
+                issued_at: issue,
+                completion,
+            },
+        ))
+    }
+
+    /// Empty-run submission: completes immediately without touching a queue.
+    fn empty_submission(kind: OpKind, now: SimInstant) -> QueuedCompletion {
+        QueuedCompletion {
+            id: CommandId(0),
+            kind,
+            submitted_at: now,
+            issued_at: now,
+            completion: OpCompletion {
+                started_at: now,
+                completed_at: now,
+            },
+        }
+    }
+
     /// Submit a multi-page program run (one die) into the die's command
     /// queue.  The run is admitted at `now`; if the queue is full its issue is
     /// gated behind the oldest in-flight command.  The returned
@@ -324,37 +376,51 @@ impl NandDevice {
     ) -> FlashResult<QueuedCompletion> {
         let die = match ops.first() {
             Some((ppa, _, _)) => ppa.die_addr(),
-            None => {
-                // An empty run completes immediately without touching a queue.
-                return Ok(QueuedCompletion {
-                    id: CommandId(0),
-                    kind: OpKind::Program,
-                    submitted_at: now,
-                    issued_at: now,
-                    completion: OpCompletion {
-                        started_at: now,
-                        completed_at: now,
-                    },
-                });
-            }
+            None => return Ok(Self::empty_submission(OpKind::Program, now)),
         };
         let die_idx = self.die_index(die);
-        let (issue, gated) = self.queues.admit(die_idx, now);
-        let completion = self.program_pages(issue, ops)?;
-        self.stats.queued_submissions += 1;
-        if gated {
-            self.stats.queue_gated_submissions += 1;
-        }
-        let id = self
-            .queues
-            .record(die_idx, OpKind::Program, now, issue, completion);
-        Ok(QueuedCompletion {
-            id,
-            kind: OpKind::Program,
-            submitted_at: now,
-            issued_at: issue,
-            completion,
+        self.submit_queued(die_idx, OpKind::Program, now, |dev, issue| {
+            dev.program_pages(issue, ops).map(|c| ((), c))
         })
+        .map(|((), q)| q)
+    }
+
+    /// Submit a single-page read into the page's die queue.  The read is
+    /// admitted at `now`; if the queue is full its issue is gated behind the
+    /// oldest in-flight command — this is how a point read honestly queues
+    /// behind in-flight program/erase traffic on the same die.  `buf` is
+    /// filled with the page content (the model is deterministic, so the data
+    /// exists the moment the command is admitted); the returned completion
+    /// stamps say when the host may *use* it on the virtual clock.
+    pub fn submit_read_page(
+        &mut self,
+        now: SimInstant,
+        ppa: Ppa,
+        buf: &mut [u8],
+    ) -> FlashResult<(Oob, QueuedCompletion)> {
+        let die_idx = self.die_index(ppa.die_addr());
+        self.submit_queued(die_idx, OpKind::Read, now, |dev, issue| {
+            dev.read_page(issue, ppa, buf)
+        })
+    }
+
+    /// Submit a multi-page read run (one die) into the die's command queue
+    /// (same gating rules as [`NandDevice::submit_program_pages`]; the run
+    /// itself gets the pipelined [`NativeFlashInterface::read_pages`] timing).
+    pub fn submit_read_pages(
+        &mut self,
+        now: SimInstant,
+        ops: &mut [(Ppa, &mut [u8])],
+    ) -> FlashResult<QueuedCompletion> {
+        let die = match ops.first() {
+            Some((ppa, _)) => ppa.die_addr(),
+            None => return Ok(Self::empty_submission(OpKind::Read, now)),
+        };
+        let die_idx = self.die_index(die);
+        self.submit_queued(die_idx, OpKind::Read, now, |dev, issue| {
+            dev.read_pages(issue, ops).map(|c| ((), c))
+        })
+        .map(|((), q)| q)
     }
 
     /// Submit a block erase into the block's die queue (same gating rules as
@@ -365,22 +431,28 @@ impl NandDevice {
         block: BlockAddr,
     ) -> FlashResult<QueuedCompletion> {
         let die_idx = self.die_index(block.die_addr());
-        let (issue, gated) = self.queues.admit(die_idx, now);
-        let completion = self.erase_block(issue, block)?;
-        self.stats.queued_submissions += 1;
-        if gated {
-            self.stats.queue_gated_submissions += 1;
-        }
-        let id = self
-            .queues
-            .record(die_idx, OpKind::Erase, now, issue, completion);
-        Ok(QueuedCompletion {
-            id,
-            kind: OpKind::Erase,
-            submitted_at: now,
-            issued_at: issue,
-            completion,
+        self.submit_queued(die_idx, OpKind::Erase, now, |dev, issue| {
+            dev.erase_block(issue, block).map(|c| ((), c))
         })
+        .map(|((), q)| q)
+    }
+
+    /// Submit a COPYBACK PROGRAM into the source plane's die queue (same
+    /// gating rules as [`NandDevice::submit_program_pages`]).  Used by GC
+    /// under the asynchronous model so plane-local relocations occupy the
+    /// die queue like every other background command.
+    pub fn submit_copyback(
+        &mut self,
+        now: SimInstant,
+        src: Ppa,
+        dst: Ppa,
+        new_oob: Option<Oob>,
+    ) -> FlashResult<QueuedCompletion> {
+        let die_idx = self.die_index(src.die_addr());
+        self.submit_queued(die_idx, OpKind::Copyback, now, |dev, issue| {
+            dev.copyback(issue, src, dst, new_oob).map(|c| ((), c))
+        })
+        .map(|((), q)| q)
     }
 
     /// Drain every queued completion recorded since the last poll, in submit
@@ -462,6 +534,7 @@ impl NativeFlashInterface for NandDevice {
         self.stats.bytes_read += self.geometry.page_size as u64;
         self.stats.read_latency.record(completion.latency_from(now));
         self.stats.per_die_ops[die_idx] += 1;
+        self.stats.per_die_reads[die_idx] += 1;
         self.trace(TraceEntry {
             kind: OpKind::Read,
             issued_at: now,
@@ -496,6 +569,7 @@ impl NativeFlashInterface for NandDevice {
         self.stats.reads += 1;
         self.stats.read_latency.record(completion.latency_from(now));
         self.stats.per_die_ops[die_idx] += 1;
+        self.stats.per_die_reads[die_idx] += 1;
         self.trace(TraceEntry {
             kind: OpKind::ReadOob,
             issued_at: now,
@@ -505,6 +579,108 @@ impl NativeFlashInterface for NandDevice {
             lpn: oob.has_lpn().then_some(oob.lpn),
         });
         Ok((oob, completion))
+    }
+
+    /// Multi-page read: one dispatched command sequence per die.
+    ///
+    /// The whole run pays a single command overhead; array senses serialise
+    /// on the die while data transfers serialise on the channel, so the sense
+    /// of page *j+1* overlaps the transfer of page *j* (the ONFI cache-read
+    /// pipeline).  A run issued to an idle die costs
+    /// `cmd + tR + max(k·transfer, (k-1)·tR + transfer)` instead of the
+    /// `k·(cmd + tR + transfer)` a sequential per-page issuer pays.
+    ///
+    /// The run is validated in full before any buffer is touched: a bad entry
+    /// (wrong die, unwritten page, buffer size mismatch) fails the whole
+    /// command without filling anything.
+    fn read_pages(
+        &mut self,
+        now: SimInstant,
+        ops: &mut [(Ppa, &mut [u8])],
+    ) -> FlashResult<OpCompletion> {
+        // Degenerate runs take the single-command path so a 1-page batch is
+        // bit- and timing-identical to a plain PAGE READ.
+        if ops.len() <= 1 {
+            return match ops.iter_mut().next() {
+                Some((ppa, buf)) => {
+                    let ppa = *ppa;
+                    self.read_page(now, ppa, buf).map(|(_, c)| c)
+                }
+                None => Ok(OpCompletion {
+                    started_at: now,
+                    completed_at: now,
+                }),
+            };
+        }
+
+        // -- validate the whole run up front (no partial fills) -------------
+        let die = ops[0].0.die_addr();
+        for (ppa, buf) in ops.iter() {
+            self.check_ppa(*ppa)?;
+            if ppa.die_addr() != die {
+                return Err(FlashError::InvalidAddress {
+                    what: format!("multi-page read spans dies: {die:?} vs {:?}", ppa.die_addr()),
+                });
+            }
+            let block_addr = ppa.block_addr();
+            self.check_usable(block_addr)?;
+            if buf.len() != self.geometry.page_size as usize {
+                return Err(FlashError::BufferSizeMismatch {
+                    expected: self.geometry.page_size as usize,
+                    actual: buf.len(),
+                });
+            }
+            if self.block_ref(block_addr).page(ppa.page).state == PageState::Free {
+                return Err(FlashError::ReadOfUnwrittenPage(*ppa));
+            }
+        }
+
+        // -- fill + timing --------------------------------------------------
+        let die_idx = self.die_index(die);
+        let channel = ops[0].0.channel as usize;
+        // One command transfer for the whole run.
+        let issue = now + self.timing.command_overhead;
+        let xfer = self
+            .timing
+            .transfer((self.geometry.page_size + self.geometry.oob_size) as u64);
+        let mut started_at = None;
+        let mut completed_at = issue;
+        for (ppa, buf) in ops.iter_mut() {
+            {
+                let page = self.block_ref(ppa.block_addr()).page(ppa.page);
+                if let Some(data) = &page.data {
+                    buf.copy_from_slice(data);
+                } else {
+                    buf.fill(0);
+                }
+            }
+            let oob = self.block_ref(ppa.block_addr()).page(ppa.page).oob;
+
+            let (array_start, array_end) = self.dies[die_idx].occupy(issue, self.timing.read_page);
+            let (_, done) = self.channels[channel].occupy(array_end, xfer);
+            started_at.get_or_insert(array_start);
+            completed_at = completed_at.max(done);
+
+            self.stats.reads += 1;
+            self.stats.bytes_read += self.geometry.page_size as u64;
+            self.stats.read_latency.record(done.saturating_sub(now));
+            self.stats.per_die_ops[die_idx] += 1;
+            self.stats.per_die_reads[die_idx] += 1;
+            self.trace(TraceEntry {
+                kind: OpKind::Read,
+                issued_at: now,
+                completed_at: done,
+                ppa: Some(*ppa),
+                block: None,
+                lpn: oob.has_lpn().then_some(oob.lpn),
+            });
+        }
+        self.stats.multi_page_read_dispatches += 1;
+        self.stats.batched_read_pages += ops.len() as u64;
+        Ok(OpCompletion {
+            started_at: started_at.unwrap_or(issue),
+            completed_at,
+        })
     }
 
     fn program_page(
@@ -1372,6 +1548,233 @@ mod tests {
         assert_eq!(q.completion.completed_at, 42);
         assert_eq!(dev.stats().queued_submissions, 0);
         assert!(dev.poll_completions().is_empty());
+    }
+
+    #[test]
+    fn multi_page_read_roundtrips_and_counts() {
+        let mut dev = tiny_device();
+        let data: Vec<Vec<u8>> = (0..4u8).map(|i| page_of(&dev, i)).collect();
+        let b0 = BlockAddr::new(0, 0, 0, 0);
+        for i in 0..4u32 {
+            dev.program_page(0, b0.page(i), &data[i as usize], Oob::data(i as u64, 0))
+                .unwrap();
+        }
+        let mut bufs: Vec<Vec<u8>> = (0..4).map(|_| page_of(&dev, 0)).collect();
+        let mut ops: Vec<(Ppa, &mut [u8])> = bufs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, b)| (b0.page(i as u32), b.as_mut_slice()))
+            .collect();
+        let c = dev.read_pages(1_000_000, &mut ops).unwrap();
+        assert!(c.completed_at > c.started_at);
+        assert_eq!(dev.stats().reads, 4);
+        assert_eq!(dev.stats().multi_page_read_dispatches, 1);
+        assert_eq!(dev.stats().batched_read_pages, 4);
+        assert_eq!(dev.stats().per_die_reads[0], 4);
+        for (i, buf) in bufs.iter().enumerate() {
+            assert_eq!(buf, &data[i]);
+        }
+    }
+
+    #[test]
+    fn multi_page_read_beats_sequential_issue() {
+        // The batched dispatch pays one command overhead and pipelines array
+        // senses with channel transfers; the sequential issuer waits for each
+        // page to complete before issuing the next.
+        let run = |batched: bool| -> u64 {
+            let mut dev = tiny_device();
+            let data = page_of(&dev, 1);
+            let b0 = BlockAddr::new(0, 0, 0, 0);
+            for i in 0..8u32 {
+                dev.program_page(0, b0.page(i), &data, Oob::data(i as u64, 0))
+                    .unwrap();
+            }
+            let t0 = dev.die_busy_until(DieAddr::new(0, 0));
+            if batched {
+                let mut bufs: Vec<Vec<u8>> = (0..8).map(|_| page_of(&dev, 0)).collect();
+                let mut ops: Vec<(Ppa, &mut [u8])> = bufs
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, b)| (b0.page(i as u32), b.as_mut_slice()))
+                    .collect();
+                dev.read_pages(t0, &mut ops).unwrap().completed_at - t0
+            } else {
+                let mut t = t0;
+                let mut buf = page_of(&dev, 0);
+                for i in 0..8u32 {
+                    t = dev.read_page(t, b0.page(i), &mut buf).unwrap().1.completed_at;
+                }
+                t - t0
+            }
+        };
+        let sequential = run(false);
+        let batched = run(true);
+        assert!(
+            batched < sequential,
+            "batched read run ({batched}) must beat sequential issue ({sequential})"
+        );
+    }
+
+    #[test]
+    fn single_and_empty_read_batches_degenerate_to_plain_read() {
+        let mut a = tiny_device();
+        let mut b = tiny_device();
+        let data = page_of(&a, 3);
+        let ppa = Ppa::new(0, 0, 0, 0, 0);
+        a.program_page(0, ppa, &data, Oob::data(5, 0)).unwrap();
+        b.program_page(0, ppa, &data, Oob::data(5, 0)).unwrap();
+        let mut buf_a = page_of(&a, 0);
+        let (_, c_plain) = a.read_page(9000, ppa, &mut buf_a).unwrap();
+        let mut buf_b = page_of(&b, 0);
+        let c_batch = b
+            .read_pages(9000, &mut [(ppa, buf_b.as_mut_slice())])
+            .unwrap();
+        assert_eq!(c_plain, c_batch, "1-page read batch must be timing-identical");
+        assert_eq!(buf_a, buf_b);
+        assert_eq!(b.stats().multi_page_read_dispatches, 0);
+        let c_empty = b.read_pages(500, &mut []).unwrap();
+        assert_eq!(c_empty.completed_at, 500);
+    }
+
+    #[test]
+    fn multi_page_read_validates_before_filling() {
+        let g = FlashGeometry::small();
+        let mut dev = NandDevice::with_geometry(g);
+        let data = vec![1u8; g.page_size as usize];
+        dev.program_page(0, Ppa::new(0, 0, 0, 0, 0), &data, Oob::data(1, 0))
+            .unwrap();
+        dev.program_page(0, Ppa::new(1, 0, 0, 0, 0), &data, Oob::data(2, 0))
+            .unwrap();
+        dev.reset_stats();
+        // Cross-die run is rejected as a whole: no buffer is touched.
+        let mut b0 = vec![0xEE; g.page_size as usize];
+        let mut b1 = vec![0xEE; g.page_size as usize];
+        let mut ops = [
+            (Ppa::new(0, 0, 0, 0, 0), b0.as_mut_slice()),
+            (Ppa::new(1, 0, 0, 0, 0), b1.as_mut_slice()),
+        ];
+        assert!(matches!(
+            dev.read_pages(0, &mut ops),
+            Err(FlashError::InvalidAddress { .. })
+        ));
+        assert_eq!(dev.stats().reads, 0);
+        assert!(b0.iter().all(|&x| x == 0xEE), "failed batch must not fill buffers");
+        // A run touching an unwritten page fails atomically too.
+        let mut ops = [
+            (Ppa::new(0, 0, 0, 0, 0), b0.as_mut_slice()),
+            (Ppa::new(0, 0, 0, 1, 0), b1.as_mut_slice()),
+        ];
+        assert!(matches!(
+            dev.read_pages(0, &mut ops),
+            Err(FlashError::ReadOfUnwrittenPage(_))
+        ));
+        assert_eq!(dev.stats().reads, 0);
+        assert!(b0.iter().all(|&x| x == 0xEE));
+    }
+
+    #[test]
+    fn submitted_read_at_depth_one_matches_synchronous_dispatch() {
+        // Two back-to-back read runs on one die: the queued path at depth 1
+        // must compute the exact same stamps the synchronous issuer sees.
+        let fill = |dev: &mut NandDevice| {
+            let data = page_of(dev, 1);
+            let b0 = BlockAddr::new(0, 0, 0, 0);
+            for i in 0..8u32 {
+                dev.program_page(0, b0.page(i), &data, Oob::data(i as u64, 0))
+                    .unwrap();
+            }
+        };
+        let sync = {
+            let mut dev = tiny_device();
+            fill(&mut dev);
+            let b0 = BlockAddr::new(0, 0, 0, 0);
+            let mut bufs: Vec<Vec<u8>> = (0..8).map(|_| page_of(&dev, 0)).collect();
+            let (first, second) = bufs.split_at_mut(4);
+            let mut ops1: Vec<(Ppa, &mut [u8])> = first
+                .iter_mut()
+                .enumerate()
+                .map(|(i, b)| (b0.page(i as u32), b.as_mut_slice()))
+                .collect();
+            let mut ops2: Vec<(Ppa, &mut [u8])> = second
+                .iter_mut()
+                .enumerate()
+                .map(|(i, b)| (b0.page(4 + i as u32), b.as_mut_slice()))
+                .collect();
+            let t0 = 10_000_000;
+            let c1 = dev.read_pages(t0, &mut ops1).unwrap();
+            let c2 = dev.read_pages(c1.completed_at, &mut ops2).unwrap();
+            (c1, c2)
+        };
+        let queued = {
+            let mut dev = tiny_device();
+            dev.set_queue_depth(1);
+            fill(&mut dev);
+            let b0 = BlockAddr::new(0, 0, 0, 0);
+            let mut bufs: Vec<Vec<u8>> = (0..8).map(|_| page_of(&dev, 0)).collect();
+            let (first, second) = bufs.split_at_mut(4);
+            let mut ops1: Vec<(Ppa, &mut [u8])> = first
+                .iter_mut()
+                .enumerate()
+                .map(|(i, b)| (b0.page(i as u32), b.as_mut_slice()))
+                .collect();
+            let mut ops2: Vec<(Ppa, &mut [u8])> = second
+                .iter_mut()
+                .enumerate()
+                .map(|(i, b)| (b0.page(4 + i as u32), b.as_mut_slice()))
+                .collect();
+            let t0 = 10_000_000;
+            let q1 = dev.submit_read_pages(t0, &mut ops1).unwrap();
+            let q2 = dev.submit_read_pages(t0, &mut ops2).unwrap();
+            assert_eq!(q2.issued_at, q1.completion.completed_at, "depth 1 gates");
+            assert_eq!(dev.stats().queued_reads, 2);
+            assert_eq!(dev.stats().read_stalls, 1);
+            (q1.completion, q2.completion)
+        };
+        assert_eq!(sync, queued);
+    }
+
+    #[test]
+    fn queued_read_gates_behind_inflight_program_and_counts_stalls() {
+        // Regression for the FlashStats read counters: a point read submitted
+        // while a program run occupies the die queue must be gated (a read
+        // stall), counted in queued_reads/read_stalls and in the per-die read
+        // occupancy — exactly like program/erase traffic already is.
+        let mut dev = tiny_device();
+        dev.set_queue_depth(1);
+        let data = page_of(&dev, 7);
+        let b0 = BlockAddr::new(0, 0, 0, 0);
+        let ops: Vec<(Ppa, &[u8], Oob)> = (0..4)
+            .map(|i| (b0.page(i), data.as_slice(), Oob::data(i as u64, 0)))
+            .collect();
+        let q = dev.submit_program_pages(0, &ops).unwrap();
+        let mut buf = page_of(&dev, 0);
+        let (oob, r) = dev.submit_read_page(0, b0.page(0), &mut buf).unwrap();
+        assert_eq!(oob.lpn, 0);
+        assert_eq!(buf, data);
+        assert_eq!(
+            r.issued_at,
+            q.completion.completed_at,
+            "the read must queue behind the in-flight program run"
+        );
+        assert!(r.completion.completed_at > q.completion.completed_at);
+        let s = dev.stats();
+        assert_eq!(s.queued_reads, 1);
+        assert_eq!(s.read_stalls, 1);
+        assert_eq!(s.queued_submissions, 2);
+        assert_eq!(s.per_die_reads, vec![1]);
+        assert_eq!(s.per_die_ops[0], 5, "4 programs + 1 read on die 0");
+        // Both completions are pollable, in submit order.
+        let polled = dev.poll_completions();
+        assert_eq!(polled.len(), 2);
+        assert_eq!(polled[0].kind, OpKind::Program);
+        assert_eq!(polled[1].kind, OpKind::Read);
+        // An ungated read on an idle die is not a stall.
+        dev.drain_queues(r.completion.completed_at);
+        let (_, r2) = dev
+            .submit_read_page(r.completion.completed_at, b0.page(1), &mut buf)
+            .unwrap();
+        assert_eq!(r2.issued_at, r2.submitted_at);
+        assert_eq!(dev.stats().read_stalls, 1, "ungated read is not a stall");
     }
 
     #[test]

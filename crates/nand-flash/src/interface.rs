@@ -102,6 +102,44 @@ pub trait NativeFlashInterface {
     /// cheaper than a full page read on real hardware).
     fn read_oob(&mut self, now: SimInstant, ppa: Ppa) -> FlashResult<(Oob, OpCompletion)>;
 
+    /// Multi-page PAGE READ: read a run of pages **on one die** as a single
+    /// dispatched command sequence (the read-side sibling of
+    /// [`NativeFlashInterface::program_pages`]).
+    ///
+    /// Every `(ppa, buf)` entry is filled in order.  Implementations model
+    /// the run as *one* command transfer — a single per-run command overhead
+    /// — whose array senses serialise on the die while the data transfers
+    /// serialise on the channel, so the sense of page *j+1* overlaps the
+    /// transfer of page *j* (the ONFI cache-read pipeline): a k-page run
+    /// costs roughly `cmd + tR + k·transfer ∥ k·tR` instead of
+    /// `k·(cmd + tR + transfer)`.  The default implementation degrades to a
+    /// sequential per-page loop (each read issued at the completion of the
+    /// previous one), which is exactly the legacy single-page behaviour.
+    ///
+    /// Returns the completion of the whole run (`started_at` of the first
+    /// sense, `completed_at` of the last transfer).  An empty run completes
+    /// at `now`.
+    fn read_pages(
+        &mut self,
+        now: SimInstant,
+        ops: &mut [(Ppa, &mut [u8])],
+    ) -> FlashResult<OpCompletion> {
+        let mut completion = OpCompletion {
+            started_at: now,
+            completed_at: now,
+        };
+        let mut t = now;
+        for (i, (ppa, buf)) in ops.iter_mut().enumerate() {
+            let (_, c) = self.read_page(t, *ppa, buf)?;
+            if i == 0 {
+                completion.started_at = c.started_at;
+            }
+            t = t.max(c.completed_at);
+        }
+        completion.completed_at = t;
+        Ok(completion)
+    }
+
     /// PAGE PROGRAM: write `data` (+ OOB) to the erased page `ppa`.
     fn program_page(
         &mut self,

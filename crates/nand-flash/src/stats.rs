@@ -22,10 +22,22 @@ pub struct FlashStats {
     pub multi_page_dispatches: u64,
     /// Pages programmed through multi-page dispatches.
     pub batched_pages: u64,
+    /// Number of multi-page read dispatches (one per batched run; the
+    /// individual pages are also counted in [`FlashStats::reads`]).
+    pub multi_page_read_dispatches: u64,
+    /// Pages read through multi-page dispatches.
+    pub batched_read_pages: u64,
     /// Commands submitted through the queued (submit/poll) interface.
     pub queued_submissions: u64,
     /// Queued submissions whose issue was gated behind a full die queue.
     pub queue_gated_submissions: u64,
+    /// Read commands submitted through the queued (submit/poll) interface
+    /// (a subset of [`FlashStats::queued_submissions`]).
+    pub queued_reads: u64,
+    /// Queued read submissions whose issue was gated behind a full die queue
+    /// — the read stalls a host sees when point reads queue behind in-flight
+    /// program/erase traffic.
+    pub read_stalls: u64,
     /// Bytes transferred from the device to the host.
     pub bytes_read: u64,
     /// Bytes transferred from the host to the device.
@@ -40,6 +52,10 @@ pub struct FlashStats {
     pub copyback_latency: Histogram,
     /// Per-die array-operation counts (index = flat die index).
     pub per_die_ops: Vec<u64>,
+    /// Per-die read-command counts (index = flat die index) — the read
+    /// occupancy view of [`FlashStats::per_die_ops`], so asynchronous read
+    /// traffic is observable per parallel unit like program/erase traffic.
+    pub per_die_reads: Vec<u64>,
 }
 
 impl FlashStats {
@@ -47,6 +63,7 @@ impl FlashStats {
     pub fn new(dies: usize) -> Self {
         Self {
             per_die_ops: vec![0; dies],
+            per_die_reads: vec![0; dies],
             ..Default::default()
         }
     }
@@ -76,8 +93,12 @@ impl FlashStats {
         self.copybacks += other.copybacks;
         self.multi_page_dispatches += other.multi_page_dispatches;
         self.batched_pages += other.batched_pages;
+        self.multi_page_read_dispatches += other.multi_page_read_dispatches;
+        self.batched_read_pages += other.batched_read_pages;
         self.queued_submissions += other.queued_submissions;
         self.queue_gated_submissions += other.queue_gated_submissions;
+        self.queued_reads += other.queued_reads;
+        self.read_stalls += other.read_stalls;
         self.bytes_read += other.bytes_read;
         self.bytes_written += other.bytes_written;
         self.read_latency.merge(&other.read_latency);
@@ -88,6 +109,12 @@ impl FlashStats {
             self.per_die_ops.resize(other.per_die_ops.len(), 0);
         }
         for (a, b) in self.per_die_ops.iter_mut().zip(other.per_die_ops.iter()) {
+            *a += *b;
+        }
+        if self.per_die_reads.len() < other.per_die_reads.len() {
+            self.per_die_reads.resize(other.per_die_reads.len(), 0);
+        }
+        for (a, b) in self.per_die_reads.iter_mut().zip(other.per_die_reads.iter()) {
             *a += *b;
         }
     }

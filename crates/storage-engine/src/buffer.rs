@@ -19,7 +19,7 @@ use sim_utils::flatmap::FlatBitSet;
 use sim_utils::intmap::IntMap;
 use sim_utils::time::SimInstant;
 
-use crate::backend::StorageBackend;
+use crate::backend::{InflightWindow, StorageBackend};
 use crate::page::PageId;
 
 /// Buffer pool statistics.
@@ -82,6 +82,15 @@ pub struct BufferPool {
     dirty: FlatBitSet,
     clock_hand: usize,
     stats: BufferStats,
+    /// Miss-fill submissions kept in flight before gating on the oldest
+    /// completion (1 = the synchronous model: every fill is waited for
+    /// inline, bit- and cycle-identical to the pre-async code).
+    async_depth: usize,
+    /// In-flight miss-fill reads — the pool's lane of the engine's shared
+    /// poll-driven scheduler ([`InflightWindow`], read class); under async,
+    /// point-read fills pipeline here while the flushers' write windows
+    /// pipeline next to them on the same per-die device queues.
+    read_window: InflightWindow,
 }
 
 impl BufferPool {
@@ -97,7 +106,29 @@ impl BufferPool {
             dirty: FlatBitSet::with_index_capacity(capacity),
             clock_hand: 0,
             stats: BufferStats::default(),
+            async_depth: 1,
+            read_window: InflightWindow::new(),
         }
+    }
+
+    /// Set the number of miss-fill read submissions the pool keeps in flight
+    /// (clamped to at least 1; 1 restores the synchronous model).
+    pub fn set_async_depth(&mut self, depth: usize) {
+        self.async_depth = depth.max(1);
+    }
+
+    /// Miss-fill reads currently in flight.
+    pub fn inflight_reads(&self) -> usize {
+        self.read_window.reads_inflight()
+    }
+
+    /// Barrier: the instant by which every in-flight miss-fill read has
+    /// completed (at least `now`).  Clears the window.  Under the synchronous
+    /// model the window is empty (every fill was already waited for), so the
+    /// barrier is `now`; entries left over from a deeper setting are still
+    /// honoured.
+    pub fn drain_reads(&mut self, now: SimInstant) -> SimInstant {
+        self.read_window.drain(now)
     }
 
     /// Number of frames.
@@ -322,10 +353,22 @@ impl BufferPool {
             self.frames[victim].page_id = NO_PAGE;
             self.stats.evictions += 1;
         }
-        // Load the new page.
+        // Load the new page.  Under async (depth > 1) the fill is gated only
+        // by the pool's bounded read window — not chained on anything else —
+        // and its completion is recorded for the poll-driven scheduler; the
+        // device-side queues are what make it honestly wait its turn behind
+        // in-flight flush traffic on the same die.
         if read_from_backend {
             let range = victim * self.page_size..(victim + 1) * self.page_size;
-            let c = backend.read_page(t, page_id, &mut self.arena[range])?;
+            let submit_at = if self.async_depth > 1 {
+                self.read_window.gate(self.async_depth, t)
+            } else {
+                t
+            };
+            let c = backend.read_page(submit_at, page_id, &mut self.arena[range])?;
+            if self.async_depth > 1 {
+                self.read_window.push_read(c.completed_at);
+            }
             t = t.max(c.completed_at);
         } else {
             self.data_mut(victim).fill(0);
@@ -397,6 +440,125 @@ impl BufferPool {
             f(&mut self.arena[i * self.page_size..(i + 1) * self.page_size])
         };
         Ok((r, t))
+    }
+
+    /// Make the pages of `ids` resident with **one** batched backend read
+    /// submission for all the misses ([`StorageBackend::read_pages`]): the
+    /// NoFTL backend turns the run into one multi-page read dispatch per die,
+    /// so a scan's or a point-read burst's fills overlap across dies instead
+    /// of chaining on each other.  Dirty victims are written back
+    /// synchronously, exactly as a per-page miss would.  Already-resident
+    /// requested pages are pinned for the duration of the call, so a later
+    /// miss in the same batch can never evict them.
+    ///
+    /// Prefetching is best-effort on capacity: when the misses outnumber the
+    /// evictable frames, the overflow is simply left to on-demand fills (the
+    /// pool stays consistent and the call still succeeds).  On a backend
+    /// error no claimed frame keeps a partial fill (the frames are left
+    /// empty and re-claimable).  Returns the virtual time when every page
+    /// this call made resident is usable.
+    pub fn prefetch(
+        &mut self,
+        backend: &mut dyn StorageBackend,
+        now: SimInstant,
+        ids: &[PageId],
+    ) -> FlashResult<SimInstant> {
+        let mut t = now;
+        // Pin the requested pages that are already resident: they must
+        // survive the batch's own evictions.
+        let mut resident: Vec<usize> = Vec::new();
+        for &page_id in ids {
+            if let Some(i) = self.map.get(page_id) {
+                let i = i as usize;
+                // A requested resident page is a pool hit, exactly as the
+                // per-page access path would count it.
+                self.stats.hits += 1;
+                if !resident.contains(&i) {
+                    self.frames[i].pins += 1;
+                    self.frames[i].referenced = true;
+                    resident.push(i);
+                }
+            }
+        }
+        let mut claimed: Vec<(usize, PageId)> = Vec::new();
+        let mut result: FlashResult<()> = Ok(());
+        for &page_id in ids {
+            if self.map.contains_key(page_id) || claimed.iter().any(|&(_, p)| p == page_id) {
+                continue;
+            }
+            let Some(victim) = self.find_victim() else {
+                // Out of evictable frames: leave the rest to on-demand fills.
+                break;
+            };
+            self.stats.misses += 1;
+            if self.frames[victim].page_id != NO_PAGE {
+                if self.frames[victim].dirty {
+                    let old_id = self.frames[victim].page_id;
+                    let range = victim * self.page_size..(victim + 1) * self.page_size;
+                    match backend.write_page(t, old_id, &self.arena[range]) {
+                        Ok(c) => {
+                            t = t.max(c.completed_at);
+                            self.set_clean(victim);
+                            self.stats.dirty_evictions += 1;
+                        }
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
+                    }
+                }
+                self.map.remove(self.frames[victim].page_id);
+                self.frames[victim].page_id = NO_PAGE;
+                self.stats.evictions += 1;
+            }
+            // Guard the claimed frame against being victimized again while
+            // the rest of the batch claims its frames.
+            self.frames[victim].pins += 1;
+            claimed.push((victim, page_id));
+        }
+        if result.is_ok() && !claimed.is_empty() {
+            let submit_at = if self.async_depth > 1 {
+                self.read_window.gate(self.async_depth, t)
+            } else {
+                t
+            };
+            // Carve disjoint arena slices for the batched fill.
+            let mut sorted = claimed.clone();
+            sorted.sort_unstable_by_key(|&(f, _)| f);
+            let ps = self.page_size;
+            let mut reqs: Vec<(PageId, &mut [u8])> = Vec::with_capacity(sorted.len());
+            let mut rest: &mut [u8] = &mut self.arena[..];
+            let mut base = 0usize;
+            for &(frame, page_id) in &sorted {
+                let (_, tail) = rest.split_at_mut(frame * ps - base);
+                let (page, tail) = tail.split_at_mut(ps);
+                reqs.push((page_id, page));
+                rest = tail;
+                base = (frame + 1) * ps;
+            }
+            match backend.read_pages(submit_at, &mut reqs) {
+                Ok(end) => {
+                    if self.async_depth > 1 {
+                        self.read_window.push_read(end);
+                    }
+                    t = t.max(end);
+                }
+                Err(e) => result = Err(e),
+            }
+        }
+        for &(frame, page_id) in &claimed {
+            self.frames[frame].pins -= 1;
+            self.frames[frame].referenced = true;
+            if result.is_ok() {
+                self.frames[frame].page_id = page_id;
+                self.set_clean(frame);
+                self.map.insert(page_id, frame as u64);
+            }
+        }
+        for &i in &resident {
+            self.frames[i].pins -= 1;
+        }
+        result.map(|_| t)
     }
 
     /// Pin a resident page (prevents eviction). Returns `false` if the page
@@ -680,6 +842,158 @@ mod tests {
         assert!(panicked.is_err());
         // Both pins must be gone or this eviction would fail.
         assert!(pool.with_page(&mut backend, 0, 3, |_| ()).is_ok());
+    }
+
+    #[test]
+    fn prefetch_fills_misses_with_one_batched_read() {
+        let (mut pool, mut backend) = setup(8);
+        for p in 0..6u64 {
+            backend.write_page(0, p, &vec![p as u8 + 1; 512]).unwrap();
+        }
+        // Page 2 resident (and dirty) already: prefetch must skip it.
+        pool.new_page(&mut backend, 0, 2, |d| d[0] = 0xAA).unwrap();
+        let before_reads = backend.counters().host_reads;
+        let t = pool.prefetch(&mut backend, 0, &[0, 1, 2, 3, 2]).unwrap();
+        assert_eq!(t, 0, "mem backend is zero-latency");
+        assert_eq!(backend.counters().host_reads - before_reads, 3, "only the misses are read");
+        for p in [0u64, 1, 3] {
+            assert!(pool.contains(p));
+            let (seen, _) = pool.with_page(&mut backend, 0, p, |d| d[0]).unwrap();
+            assert_eq!(seen, p as u8 + 1);
+        }
+        // The resident dirty page kept its in-pool content.
+        let (seen, _) = pool.with_page(&mut backend, 0, 2, |d| d[0]).unwrap();
+        assert_eq!(seen, 0xAA);
+        assert!(pool.is_dirty(2), "prefetch must not clean a resident dirty page");
+        // Prefetched frames are evictable (no leaked pins).
+        for p in 10..18u64 {
+            pool.new_page(&mut backend, 0, p, |_| ()).unwrap();
+        }
+        assert!(!pool.contains(0));
+    }
+
+    #[test]
+    fn prefetch_writes_back_dirty_victims_and_survives_errors() {
+        let (mut pool, mut backend) = setup(2);
+        pool.new_page(&mut backend, 0, 1, |d| d[0] = 1).unwrap();
+        pool.new_page(&mut backend, 0, 2, |d| d[0] = 2).unwrap();
+        backend.write_page(0, 5, &vec![5u8; 512]).unwrap();
+        backend.write_page(0, 6, &vec![6u8; 512]).unwrap();
+        pool.prefetch(&mut backend, 0, &[5, 6]).unwrap();
+        assert!(pool.contains(5) && pool.contains(6));
+        assert!(pool.stats().dirty_evictions >= 1);
+        // The evicted dirty pages are durable.
+        let mut buf = vec![0u8; 512];
+        for p in [1u64, 2] {
+            backend.read_page(0, p, &mut buf).unwrap();
+            assert_eq!(buf[0], p as u8);
+        }
+        // A failing prefetch (out-of-range page) leaves no partial state:
+        // claimed frames stay empty and re-claimable, no mapping is added.
+        assert!(pool.prefetch(&mut backend, 0, &[9999]).is_err());
+        assert!(!pool.contains(9999));
+        pool.prefetch(&mut backend, 0, &[1]).unwrap();
+        let (seen, _) = pool.with_page(&mut backend, 0, 1, |d| d[0]).unwrap();
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn prefetch_never_evicts_a_requested_resident_page() {
+        // Regression (code review): a resident requested page used to be
+        // skipped without a pin, so a later miss in the same batch could
+        // victimize its frame — violating "make the pages of ids resident".
+        let (mut pool, mut backend) = setup(2);
+        backend.write_page(0, 5, &vec![55u8; 512]).unwrap();
+        pool.new_page(&mut backend, 0, 0, |d| d[0] = 10).unwrap();
+        pool.new_page(&mut backend, 0, 1, |d| d[0] = 11).unwrap();
+        pool.prefetch(&mut backend, 0, &[0, 5]).unwrap();
+        assert!(pool.contains(0), "requested resident page must survive the batch");
+        assert!(pool.contains(5));
+        let (seen, _) = pool.with_page(&mut backend, 0, 0, |d| d[0]).unwrap();
+        assert_eq!(seen, 10, "page 0 kept its in-pool content");
+        // The temporary pins are released: both frames evict normally.
+        pool.new_page(&mut backend, 0, 20, |_| ()).unwrap();
+        pool.new_page(&mut backend, 0, 21, |_| ()).unwrap();
+        assert!(!pool.contains(0) && !pool.contains(5));
+    }
+
+    #[test]
+    fn prefetch_is_best_effort_when_misses_outnumber_frames() {
+        // Regression (code review): running out of evictable frames used to
+        // fail the whole batch with OutOfSpareBlocks; it now fills what fits
+        // and leaves the overflow to on-demand misses.
+        let (mut pool, mut backend) = setup(2);
+        for p in 0..6u64 {
+            backend.write_page(0, p, &vec![p as u8 + 1; 512]).unwrap();
+        }
+        let t = pool.prefetch(&mut backend, 0, &[0, 1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(t, 0);
+        let filled = (0..6u64).filter(|&p| pool.contains(p)).count();
+        assert_eq!(filled, 2, "exactly the pool capacity is prefetched");
+        // Requested resident pages are pinned during the call, so a batch of
+        // "residents + too many misses" keeps the residents and claims none.
+        let resident_before: Vec<u64> = (0..6).filter(|&p| pool.contains(p)).collect();
+        pool.prefetch(&mut backend, 0, &[resident_before[0], resident_before[1], 4, 5])
+            .unwrap();
+        for &p in &resident_before {
+            assert!(pool.contains(p), "resident page {p} must survive the overflow");
+        }
+    }
+
+    #[test]
+    fn drain_reads_honours_entries_left_from_a_deeper_setting() {
+        // Regression (code review): drain_reads used to return `now` at depth
+        // 1 even when the window still held completions recorded at a deeper
+        // setting, letting a checkpoint barrier predate an in-flight fill.
+        use crate::backend::{NoFtlBackend, StorageBackend as _};
+        use nand_flash::FlashGeometry;
+        use noftl_core::{NoFtl, NoFtlConfig};
+
+        let noftl = NoFtl::new(NoFtlConfig::new(FlashGeometry::small()));
+        let mut backend = NoFtlBackend::new(noftl);
+        backend.set_async_depth(4);
+        let mut pool = BufferPool::new(8, 4096);
+        pool.set_async_depth(4);
+        backend.write_page(0, 0, &vec![1u8; 4096]).unwrap();
+        let (_, fill_done) = pool.with_page(&mut backend, 0, 0, |d| d[0]).unwrap();
+        assert!(pool.inflight_reads() > 0);
+        pool.set_async_depth(1);
+        assert_eq!(
+            pool.drain_reads(0),
+            fill_done,
+            "the barrier must cover fills recorded before the depth change"
+        );
+    }
+
+    #[test]
+    fn async_miss_fills_track_in_the_read_window_and_drain() {
+        use crate::backend::{NoFtlBackend, StorageBackend as _};
+        use nand_flash::FlashGeometry;
+        use noftl_core::{NoFtl, NoFtlConfig};
+
+        let noftl = NoFtl::new(NoFtlConfig::new(FlashGeometry::small()));
+        let mut backend = NoFtlBackend::new(noftl);
+        backend.set_async_depth(4);
+        let mut pool = BufferPool::new(16, 4096);
+        for p in 0..8u64 {
+            backend.write_page(0, p, &vec![p as u8; 4096]).unwrap();
+        }
+        pool.set_async_depth(4);
+        let mut end = 0;
+        for p in 0..4u64 {
+            let (seen, t) = pool.with_page(&mut backend, 0, p, |d| d[0]).unwrap();
+            assert_eq!(seen, p as u8);
+            end = end.max(t);
+        }
+        assert!(pool.inflight_reads() > 0, "fills stay in the window");
+        let done = pool.drain_reads(0);
+        assert_eq!(done, end, "barrier covers the slowest fill");
+        assert_eq!(pool.inflight_reads(), 0);
+        // Depth 1: the window stays empty and the barrier is a no-op.
+        pool.set_async_depth(1);
+        pool.with_page(&mut backend, 0, 5, |_| ()).unwrap();
+        assert_eq!(pool.inflight_reads(), 0);
+        assert_eq!(pool.drain_reads(123), 123);
     }
 
     #[test]

@@ -78,8 +78,14 @@ impl StorageEngine {
         let data_pages = total_pages - config.log_pages;
         let mut wal = WalManager::new(data_pages, config.log_pages, page_size);
         wal.set_group_commit(config.wal_group_commit);
+        // The pool's miss-fill reads join the same asynchronous submission
+        // model as the db-writers (both default to the `NOFTL_ASYNC` knob via
+        // the flusher config), so point reads overlap in-flight flush and WAL
+        // traffic on the device's per-die queues.
+        let mut pool = BufferPool::new(config.buffer_frames, page_size);
+        pool.set_async_depth(config.flushers.async_depth);
         Self {
-            pool: BufferPool::new(config.buffer_frames, page_size),
+            pool,
             fsm: FreeSpaceManager::new(0, data_pages),
             wal,
             txns: TransactionManager::new(),
@@ -379,25 +385,40 @@ impl StorageEngine {
         }
     }
 
-    /// Barrier over all asynchronous submissions — db-writer windows, WAL
-    /// window and the backend's device queues: the instant by which
-    /// everything in flight has completed (at least `now`).  A no-op under
-    /// the synchronous model.
+    /// Barrier over all asynchronous submissions — db-writer windows, the
+    /// buffer pool's miss-fill reads, the WAL window and the backend's device
+    /// queues: the instant by which everything in flight has completed (at
+    /// least `now`).  A no-op under the synchronous model.
     pub fn quiesce(&mut self, now: SimInstant) -> SimInstant {
         let t = self.flushers.drain(now);
+        let t = self.pool.drain_reads(t);
         let t = self.wal.drain(t);
         self.backend.drain(t)
     }
 
+    /// Drain the completions of queued asynchronous submissions recorded
+    /// since the last poll, in submit order.  A poll-driven driver advances
+    /// its virtual clock off this stream instead of per-call returns, which
+    /// is what exposes queue-depth effects (host-link NCQ vs native per-die
+    /// depth) in the Figure 4 sweep.
+    pub fn poll_completions(&mut self) -> Vec<nand_flash::QueuedCompletion> {
+        self.backend.poll_completions()
+    }
+
     /// Force a full flush of every dirty page plus a WAL force (checkpoint).
     /// Quiesces in-flight asynchronous submissions first so the checkpoint
-    /// really covers everything submitted before it.
+    /// really covers everything submitted before it, and advances the WAL's
+    /// start-of-log pointer — everything logged before the checkpoint is now
+    /// redundant, so recovery of a wrapped log segment can start its scan
+    /// here ([`WalManager::recover_records_from`]).
     pub fn checkpoint(&mut self, now: SimInstant) -> FlashResult<SimInstant> {
         let now = self.quiesce(now);
         let t = self.wal.flush(self.backend.as_mut(), now)?;
         let t = self.pool.flush_all(self.backend.as_mut(), t)?;
         self.wal.append(crate::wal::LogRecord::Checkpoint);
-        self.wal.flush(self.backend.as_mut(), t)
+        let t = self.wal.flush(self.backend.as_mut(), t)?;
+        self.wal.note_checkpoint();
+        Ok(t)
     }
 
     /// Dirty fraction of the buffer pool (drivers use this to decide when to
@@ -536,6 +557,46 @@ mod tests {
         now = e.commit(txn, t).unwrap();
         e.checkpoint(now).unwrap();
         assert_eq!(e.wal().flushed_lsn(), e.wal().current_lsn());
+    }
+
+    #[test]
+    fn poll_driven_engine_surfaces_queued_completions_under_async() {
+        use crate::flusher::FlusherConfig;
+        use noftl_core::FlusherAssignment;
+
+        let noftl = NoFtl::new(NoFtlConfig::new(FlashGeometry::small()));
+        let mut backend = NoFtlBackend::new(noftl);
+        backend.set_async_depth(8);
+        let mut cfg = EngineConfig::new();
+        cfg.buffer_frames = 64;
+        cfg.flushers = FlusherConfig {
+            writers: 2,
+            assignment: FlusherAssignment::DieWise,
+            dirty_high_watermark: 0.1,
+            dirty_low_watermark: 0.0,
+            batch_pages: 8,
+            batch_global: false,
+            async_depth: 8,
+        };
+        let mut e = StorageEngine::new(Box::new(backend), cfg);
+        e.create_table("t");
+        let txn = e.begin();
+        let rec = vec![1u8; 2000];
+        let mut now = 0;
+        for _ in 0..40 {
+            let (_, t) = e.insert("t", txn, now, &rec).unwrap();
+            now = t;
+        }
+        let submitted = e.maybe_flush(now).unwrap();
+        // The flush went through the queued interface: its completions are
+        // pollable in submit order, and the poll drains the stream.
+        let polled = e.poll_completions();
+        assert!(!polled.is_empty(), "async flush must surface completions");
+        assert!(e.poll_completions().is_empty());
+        // Quiesce barriers everything in flight (fills, flush runs, WAL).
+        let done = e.quiesce(submitted);
+        assert!(done >= submitted);
+        assert_eq!(e.quiesce(done), done, "drained engine quiesces to now");
     }
 
     #[test]

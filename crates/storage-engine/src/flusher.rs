@@ -39,7 +39,10 @@ use noftl_core::FlusherAssignment;
 use serde::{Deserialize, Serialize};
 use sim_utils::time::SimInstant;
 
-use crate::backend::{async_depth_from_env, batch_pages_from_env, InflightWindow, StorageBackend};
+use crate::backend::{
+    async_depth_from_env, batch_global_from_env, batch_pages_from_env, InflightWindow,
+    StorageBackend,
+};
 use crate::buffer::BufferPool;
 use crate::page::PageId;
 
@@ -59,6 +62,12 @@ pub struct FlusherConfig {
     /// assignment; `0` keeps the legacy one-`write_page`-per-page model.
     /// Defaults to the `NOFTL_BATCH` environment knob.
     pub batch_pages: usize,
+    /// Ablation: let the conventional **global** writers batch too (defaults
+    /// to the `NOFTL_BATCH_GLOBAL` environment knob, off).  Off preserves the
+    /// paper's Figure 4 asymmetry — global writers model the legacy per-page
+    /// path; on quantifies how much of that gap NCQ-style batching alone
+    /// closes without the writer-to-region association.
+    pub batch_global: bool,
     /// Submissions each writer may keep in flight before gating on the
     /// oldest one's completion.  Depth 1 (the default, from the `NOFTL_ASYNC`
     /// environment knob) is the synchronous model — every submission waits
@@ -78,6 +87,7 @@ impl FlusherConfig {
             dirty_high_watermark: 0.5,
             dirty_low_watermark: 0.1,
             batch_pages: batch_pages_from_env(),
+            batch_global: batch_global_from_env(),
             async_depth: async_depth_from_env(),
         }
     }
@@ -92,10 +102,12 @@ impl FlusherConfig {
 
     /// Pages per batched submission actually in effect: batching requires
     /// the region knowledge of the die-wise assignment; the conventional
-    /// global writers always run the legacy per-page model.
+    /// global writers run the legacy per-page model unless the
+    /// [`FlusherConfig::batch_global`] ablation is switched on.
     pub fn effective_batch_pages(&self) -> usize {
         match self.assignment {
             FlusherAssignment::DieWise => self.batch_pages,
+            FlusherAssignment::Global if self.batch_global => self.batch_pages,
             FlusherAssignment::Global => 0,
         }
     }
@@ -366,6 +378,7 @@ mod tests {
             dirty_high_watermark: 0.2,
             dirty_low_watermark: 0.0,
             batch_pages: 0,
+            batch_global: false,
             async_depth: 1,
         });
         assert!(flushers.should_flush(&pool));
@@ -400,6 +413,7 @@ mod tests {
                 // Per-page model on both sides: this test reproduces the
                 // paper's Figure 4 mechanism, which predates batching.
                 batch_pages: 0,
+                batch_global: false,
                 async_depth: 1,
             });
             flushers.run_cycle(&mut pool, &mut backend, 0).unwrap()
@@ -436,6 +450,7 @@ mod tests {
             dirty_high_watermark: 0.1,
             dirty_low_watermark: 0.0,
             batch_pages,
+            batch_global: false,
             async_depth: 1,
         });
         let end = flushers.run_cycle(&mut pool, &mut backend, 0).unwrap();
@@ -478,6 +493,7 @@ mod tests {
             dirty_high_watermark: 0.1,
             dirty_low_watermark: 0.0,
             batch_pages: 8,
+            batch_global: false,
             async_depth: 1,
         });
         let end = flushers.run_cycle(&mut pool, &mut backend, 0).unwrap();
@@ -498,6 +514,7 @@ mod tests {
             dirty_high_watermark: 0.1,
             dirty_low_watermark: 0.0,
             batch_pages: 64,
+            batch_global: false,
             async_depth: 1,
         });
         assert_eq!(flushers.config().effective_batch_pages(), 0);
@@ -515,6 +532,7 @@ mod tests {
             dirty_high_watermark: 0.5,
             dirty_low_watermark: 0.0,
             batch_pages: 8,
+            batch_global: false,
             async_depth: 1,
         });
         flushers.run_cycle(&mut pool, &mut backend, 0).unwrap();
@@ -533,6 +551,7 @@ mod tests {
             dirty_high_watermark: 0.5,
             dirty_low_watermark: 0.5,
             batch_pages: 4,
+            batch_global: false,
             async_depth: 1,
         });
         assert!(flushers.should_flush(&pool));
@@ -561,6 +580,7 @@ mod tests {
                 dirty_high_watermark: 0.1,
                 dirty_low_watermark: 0.0,
                 batch_pages,
+                batch_global: false,
                 async_depth: 1,
             });
             let batches = flushers.partition(&backend, &pool.dirty_pages());
@@ -614,6 +634,7 @@ mod tests {
                 dirty_high_watermark: 0.1,
                 dirty_low_watermark: 0.0,
                 batch_pages: 64,
+                batch_global: false,
                 async_depth,
             });
             dirty_subset(&mut pool, &mut backend, 8, 0..4, 8);
@@ -642,6 +663,7 @@ mod tests {
             dirty_high_watermark: 0.1,
             dirty_low_watermark: 0.0,
             batch_pages: 8,
+            batch_global: false,
             async_depth: 4,
         });
         let submitted = flushers.run_cycle(&mut pool, &mut backend, 0).unwrap();
@@ -662,6 +684,59 @@ mod tests {
         // Cycle statistics stay completion-based (the cycle started at 0, so
         // its recorded duration is the completion barrier itself).
         assert!(flushers.stats().total_cycle_time >= done);
+    }
+
+    #[test]
+    fn global_batching_ablation_quantifies_the_batching_share_of_the_gap() {
+        // NOFTL_BATCH_GLOBAL off (the default): global writers run the legacy
+        // per-page model even with a batch size configured.  On: they batch,
+        // quantifying how much of the Figure 4 gap NCQ-style batching alone
+        // closes — without the writer-to-region association.
+        let run = |assignment: FlusherAssignment, batch_global: bool| -> (u64, FlusherStats) {
+            let (mut pool, mut backend) = noftl_fixture(8, 64);
+            let mut flushers = FlusherPool::new(FlusherConfig {
+                writers: 2,
+                assignment,
+                dirty_high_watermark: 0.1,
+                dirty_low_watermark: 0.0,
+                batch_pages: 64,
+                batch_global,
+                async_depth: 1,
+            });
+            let end = flushers.run_cycle(&mut pool, &mut backend, 0).unwrap();
+            assert_eq!(pool.dirty_count(), 0);
+            (end, flushers.stats())
+        };
+        let (global_legacy, s_legacy) = run(FlusherAssignment::Global, false);
+        let (global_batched, s_batched) = run(FlusherAssignment::Global, true);
+        let (die_wise, _) = run(FlusherAssignment::DieWise, false);
+        assert_eq!(s_legacy.batch_submissions, 0, "ablation off keeps the per-page model");
+        assert!(s_batched.batch_submissions > 0, "ablation on must batch");
+        assert!(
+            global_batched < global_legacy,
+            "batching alone must close part of the gap: legacy={global_legacy} batched={global_batched}"
+        );
+        assert!(
+            die_wise < global_legacy,
+            "the full Figure 4 gap stays visible: die_wise={die_wise} global={global_legacy}"
+        );
+    }
+
+    #[test]
+    fn batch_global_knob_parses_all_spellings() {
+        use crate::backend::parse_batch_global;
+        for (v, expect) in [
+            ("", false),
+            ("off", false),
+            ("0", false),
+            ("garbage", false),
+            ("on", true),
+            ("TRUE", true),
+            ("1", true),
+            (" yes ", true),
+        ] {
+            assert_eq!(parse_batch_global(v), expect, "spelling {v:?}");
+        }
     }
 
     #[test]

@@ -46,6 +46,43 @@
 //! (`NOFTL_BATCH=off`) and batch size 1 produce bit-identical results —
 //! the golden-trace equivalence suite (`tests/equivalence.rs`) enforces
 //! this against the Figure 3 / Figure 4 reproductions.
+//!
+//! The `NOFTL_BATCH_GLOBAL` ablation ([`flusher::FlusherConfig::batch_global`],
+//! default off) lets the conventional global writers batch too — isolating
+//! how much of the Figure 4 gap is NCQ-style batching versus the
+//! writer-to-region association itself.
+//!
+//! ## The asynchronous read/completion pipeline (PR 4)
+//!
+//! Under `NOFTL_ASYNC` (depth > 1) reads share the write path's per-die
+//! command queues end to end:
+//!
+//! * **Buffer pool** ([`buffer`]) — a miss fill is gated by the pool's
+//!   bounded read window (an [`backend::InflightWindow`] lane of read-class
+//!   entries) and its completion is recorded for the poll-driven scheduler;
+//!   [`buffer::BufferPool::prefetch`] turns a burst of misses into one
+//!   batched [`backend::StorageBackend::read_pages`] submission — one
+//!   multi-page read dispatch per die on the NoFTL backend.
+//! * **Shared scheduler** — [`backend::InflightWindow`] entries carry an
+//!   [`backend::OpClass`] (read or write), so db-writer windows, the WAL's
+//!   group-submission window and the pool's fill window are one mechanism;
+//!   the device-side per-die queues are where reads and writes genuinely
+//!   contend, which is what makes a point read honestly queue behind
+//!   in-flight flush, WAL and GC traffic.
+//! * **Poll-driven engine** ([`engine`]) — `StorageEngine::poll_completions`
+//!   drains the queued completion stream (submit order);
+//!   `StorageEngine::quiesce` barriers flusher windows, the read window, the
+//!   WAL window and the device queues.  Depth 1 of every lane is bit- and
+//!   cycle-identical to the synchronous code.
+//!
+//! ## Wrapped-log recovery
+//!
+//! [`wal::WalManager::note_checkpoint`] checkpoints a start-of-log pointer;
+//! [`wal::WalManager::recover_records_from`] scans the segment in *sequence*
+//! order from that pointer (slot = `seq % log_pages`), so recovery replays
+//! the post-checkpoint stream across the wrap point — a stale-sequence slot
+//! marks the durable frontier.  `StorageEngine::checkpoint` advances the
+//! pointer automatically.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -192,6 +192,19 @@ pub struct WalManager {
     group_commit: usize,
     /// Commits appended since the last force.
     pending_commits: u64,
+    /// Start-of-log pointer: the sequence number of the oldest log page
+    /// recovery must scan from.  Advanced by [`WalManager::note_checkpoint`]
+    /// (a checkpoint makes everything earlier redundant); what a real system
+    /// would persist in its checkpoint record.  When the log laps a stale
+    /// pointer, [`WalManager::flush`] advances it to the oldest fully-live
+    /// force start — only force starts are guaranteed record-aligned.
+    recovery_start_seq: u64,
+    /// LSN at the last checkpoint mark (start of the recoverable stream).
+    checkpoint_lsn: Lsn,
+    /// Start (sequence, LSN) of recent forces still within one segment lap:
+    /// the record-aligned points the start-of-log pointer may advance to when
+    /// a wrap overruns it.  Bounded by the number of forces per lap.
+    force_starts: std::collections::VecDeque<(u64, Lsn)>,
     /// Complete, decoded copy of everything appended (recovery source).
     records: Vec<(Lsn, LogRecord)>,
 }
@@ -223,8 +236,42 @@ impl WalManager {
             inflight: InflightWindow::new(),
             group_commit: 1,
             pending_commits: 0,
+            recovery_start_seq: 0,
+            checkpoint_lsn: 0,
+            force_starts: std::collections::VecDeque::new(),
             records: Vec::new(),
         }
+    }
+
+    /// Checkpoint the start-of-log pointer: everything flushed so far is
+    /// covered by the checkpoint (data pages durable), so recovery may start
+    /// its scan at the *next* log page instead of page-sequence 0 — which is
+    /// what lets [`WalManager::recover_records_from`] handle a wrapped
+    /// segment.  Returns the new start sequence (the value a real system
+    /// would persist in its checkpoint record).  Call after a flush; any
+    /// still-buffered tail stays recoverable (it lands at or after the
+    /// returned sequence).
+    pub fn note_checkpoint(&mut self) -> u64 {
+        self.recovery_start_seq = self.next_log_page;
+        // The buffer holds exactly [flushed_lsn, next_lsn): the first record
+        // that can land at the new start sequence begins at flushed_lsn.
+        self.checkpoint_lsn = self.flushed_lsn;
+        // Force starts behind the pointer can never be recovery targets.
+        self.force_starts
+            .retain(|&(seq, _)| seq >= self.recovery_start_seq);
+        self.recovery_start_seq
+    }
+
+    /// The checkpointed start-of-log pointer (page sequence recovery scans
+    /// from).
+    pub fn recovery_start_seq(&self) -> u64 {
+        self.recovery_start_seq
+    }
+
+    /// LSN of the first record recovery can see (records before the last
+    /// checkpoint mark may have been overwritten by a log wrap).
+    pub fn checkpoint_lsn(&self) -> Lsn {
+        self.checkpoint_lsn
     }
 
     /// Set the maximum pages per batched log write (0 disables batching).
@@ -360,6 +407,36 @@ impl WalManager {
             seq += 1;
             offset += chunk;
         }
+        // Keep the start-of-log pointer live across wraps.  This force's
+        // pages overwrite every slot whose sequence lies more than one lap
+        // behind its end; if that overruns the checkpointed pointer, advance
+        // it to the oldest force start that is still fully live (force
+        // starts are the only record-aligned scan points).  A force larger
+        // than the segment destroys its own head: nothing record-aligned
+        // survives, and the pointer moves past it.
+        let force_start_seq = self.next_log_page;
+        self.force_starts.push_back((force_start_seq, self.flushed_lsn));
+        let end_seq = force_start_seq + frames.len() as u64;
+        let oldest_live = end_seq.saturating_sub(self.log_pages);
+        while self
+            .force_starts
+            .front()
+            .is_some_and(|&(seq, _)| seq < oldest_live)
+        {
+            self.force_starts.pop_front();
+        }
+        if self.recovery_start_seq < oldest_live {
+            match self.force_starts.front() {
+                Some(&(seq, lsn)) => {
+                    self.recovery_start_seq = seq;
+                    self.checkpoint_lsn = lsn;
+                }
+                None => {
+                    self.recovery_start_seq = end_seq;
+                    self.checkpoint_lsn = self.next_lsn;
+                }
+            }
+        }
         if self.batch_pages == 0 {
             for (page_id, page, wraps) in &frames {
                 let submit_at = self.inflight.gate(self.async_depth, now);
@@ -403,12 +480,8 @@ impl WalManager {
     }
 
     /// Rebuild the durable record stream from the backend alone — what crash
-    /// recovery sees.  Scans the log segment in page order, accepts pages
-    /// whose header carries the right magic and the expected monotone
-    /// sequence number, concatenates their payloads (skipping end-of-force
-    /// padding via the per-page payload length) and decodes records until
-    /// the stream ends.  Handles logs that have not wrapped; a wrapped
-    /// segment terminates at the first stale-sequence page.
+    /// recovery sees for a log that never wrapped (start-of-log pointer 0).
+    /// See [`WalManager::recover_records_from`] for the wrapped-segment form.
     pub fn recover_records(
         backend: &mut dyn StorageBackend,
         log_start: PageId,
@@ -416,11 +489,40 @@ impl WalManager {
         page_size: usize,
         now: SimInstant,
     ) -> Vec<(Lsn, LogRecord)> {
+        Self::recover_records_from(backend, log_start, log_pages, page_size, 0, now)
+    }
+
+    /// Rebuild the durable record stream from the backend alone, starting at
+    /// the checkpointed start-of-log pointer `start_seq` (see
+    /// [`WalManager::note_checkpoint`]) — what crash recovery sees.
+    ///
+    /// Scans up to one full lap of the segment in *sequence* order
+    /// (`start_seq, start_seq + 1, …`, each mapped to its slot
+    /// `log_start + seq % log_pages`), accepts pages whose header carries the
+    /// right magic and the expected monotone sequence number, concatenates
+    /// their payloads (skipping end-of-force padding via the per-page payload
+    /// length) and decodes records until the stream ends.  A slot still
+    /// holding a page from an earlier lap has a stale sequence number and
+    /// terminates the scan — which is exactly what makes the scan correct on
+    /// a wrapped segment: the start pointer says where the oldest live page
+    /// is, and staleness marks the durable frontier.
+    ///
+    /// Returned LSNs are relative to the scan start (recovery has no older
+    /// context by construction — everything before the checkpoint is gone).
+    pub fn recover_records_from(
+        backend: &mut dyn StorageBackend,
+        log_start: PageId,
+        log_pages: u64,
+        page_size: usize,
+        start_seq: u64,
+        now: SimInstant,
+    ) -> Vec<(Lsn, LogRecord)> {
         let payload_cap = page_size - LOG_PAGE_HEADER;
         let mut stream = Vec::new();
         let mut buf = vec![0u8; page_size];
-        for seq in 0..log_pages {
-            if backend.read_page(now, log_start + seq, &mut buf).is_err() {
+        for seq in start_seq..start_seq + log_pages {
+            let slot = log_start + (seq % log_pages);
+            if backend.read_page(now, slot, &mut buf).is_err() {
                 break;
             }
             let magic = u16::from_le_bytes([buf[0], buf[1]]);
@@ -756,6 +858,104 @@ mod tests {
         assert_eq!(wal.drain(t), t, "depth 1 has nothing in flight to wait for");
     }
 
+    #[test]
+    fn wrapped_segment_recovers_from_checkpoint_pointer() {
+        let mut backend = MemBackend::new(512, 64);
+        // A 4-page segment wraps after four single-page forces.
+        let mut wal = WalManager::new(8, 4, 512);
+        let update = |i: u64| LogRecord::Update {
+            txn: i,
+            page: i,
+            slot: 0,
+            bytes: vec![i as u8; 300], // one log page per force
+        };
+        for i in 0..6u64 {
+            wal.append(update(i));
+            wal.flush(&mut backend, 0).unwrap();
+        }
+        let start = wal.note_checkpoint();
+        assert_eq!(start, 6, "six pages written before the checkpoint");
+        for i in 6..9u64 {
+            wal.append(update(i));
+            wal.flush(&mut backend, 0).unwrap();
+        }
+        // The un-pointered scan (seq 0 at slot 0) finds only stale pages: the
+        // segment wrapped, so slot 0 now holds a later lap's sequence.
+        let flat = WalManager::recover_records(&mut backend, 8, 4, 512, 0);
+        assert!(flat.is_empty(), "a wrapped log is invisible without the pointer");
+        // The checkpointed pointer recovers exactly the post-checkpoint
+        // records — across the wrap (seqs 6, 7 at slots 2, 3; seq 8 at 0).
+        let recovered =
+            WalManager::recover_records_from(&mut backend, 8, 4, 512, start, 0);
+        let expected: Vec<LogRecord> = wal
+            .records()
+            .iter()
+            .filter(|(lsn, _)| *lsn >= wal.checkpoint_lsn())
+            .map(|(_, r)| r.clone())
+            .collect();
+        assert_eq!(expected.len(), 3);
+        assert_eq!(
+            recovered.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
+            expected,
+            "recovery must replay the wrapped post-checkpoint stream"
+        );
+    }
+
+    #[test]
+    fn lapping_the_checkpoint_pointer_advances_it_to_a_live_force_start() {
+        // Regression (code review): wrapping more than one full segment past
+        // the last checkpoint used to leave the pointer aimed at an
+        // overwritten slot, so recovery silently returned an empty stream
+        // even though newer durable records were physically present.  The
+        // pointer now rides forward to the oldest fully-live force start.
+        let mut backend = MemBackend::new(512, 64);
+        let mut wal = WalManager::new(8, 4, 512);
+        let update = |i: u64| LogRecord::Update {
+            txn: i,
+            page: i,
+            slot: 0,
+            bytes: vec![i as u8; 300], // one log page per force
+        };
+        for i in 0..6u64 {
+            wal.append(update(i));
+            wal.flush(&mut backend, 0).unwrap();
+        }
+        assert_eq!(wal.note_checkpoint(), 6);
+        // Five more single-page forces: seqs 6..11, overrunning the pointer
+        // (the 4-slot segment only keeps seqs 7..11 live).
+        for i in 6..11u64 {
+            wal.append(update(i));
+            wal.flush(&mut backend, 0).unwrap();
+        }
+        assert_eq!(
+            wal.recovery_start_seq(),
+            7,
+            "the pointer must ride forward to the oldest fully-live force"
+        );
+        let recovered = WalManager::recover_records_from(
+            &mut backend,
+            8,
+            4,
+            512,
+            wal.recovery_start_seq(),
+            0,
+        );
+        let expected: Vec<LogRecord> = (7..11).map(update).collect();
+        assert_eq!(
+            recovered.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
+            expected,
+            "recovery must replay every still-live durable force"
+        );
+        // The in-memory durable view agrees with the pointer.
+        let durable: Vec<&LogRecord> = wal
+            .records()
+            .iter()
+            .filter(|(lsn, _)| *lsn >= wal.checkpoint_lsn())
+            .map(|(_, r)| r)
+            .collect();
+        assert_eq!(durable.len(), 4);
+    }
+
     fn record_strategy() -> impl Strategy<Value = LogRecord> {
         prop_oneof![
             2 => (1..40u64).prop_map(|txn| LogRecord::Begin { txn }),
@@ -802,6 +1002,47 @@ mod tests {
                 // The in-memory durable view agrees with the backend view.
                 let durable: Vec<&LogRecord> = wal.durable_records().map(|(_, r)| r).collect();
                 prop_assert_eq!(durable.len(), cut);
+            }
+        }
+
+        /// Wrap the log across a tiny segment and kill at *every* record
+        /// boundary: recovery from the checkpointed start-of-log pointer must
+        /// replay exactly the records forced since the last checkpoint —
+        /// every one of them, nothing older (overwritten laps), nothing from
+        /// the unflushed tail — in order, across the wrap point.
+        #[test]
+        fn wrapped_log_crash_replays_exactly_the_post_checkpoint_records(
+            records in prop::collection::vec(record_strategy(), 4..24),
+        ) {
+            const SEG: u64 = 6;
+            for cut in 0..=records.len() {
+                let mut backend = MemBackend::new(256, 1024);
+                let mut wal = WalManager::new(64, SEG, 256);
+                wal.set_batch_pages(2);
+                let mut last_cp = 0usize;
+                for (i, r) in records[..cut].iter().enumerate() {
+                    wal.append(r.clone());
+                    wal.flush(&mut backend, 0).unwrap();
+                    // Checkpoint every 4 forces: the pointer always advances
+                    // before a full lap could overwrite the live head.
+                    if (i + 1) % 4 == 0 {
+                        wal.note_checkpoint();
+                        last_cp = i + 1;
+                    }
+                }
+                for r in &records[cut..] {
+                    wal.append(r.clone()); // unflushed tail dies in the crash
+                }
+                let recovered = WalManager::recover_records_from(
+                    &mut backend, 64, SEG, 256, wal.recovery_start_seq(), 0);
+                prop_assert_eq!(
+                    recovered.len(),
+                    cut - last_cp,
+                    "cut={} last_cp={}", cut, last_cp
+                );
+                for (j, (_, rec)) in recovered.iter().enumerate() {
+                    prop_assert_eq!(rec, &records[last_cp + j]);
+                }
             }
         }
 

@@ -108,6 +108,7 @@ fn traced_flush_cycles(batch_pages: usize, async_depth: usize) -> (Vec<String>, 
         dirty_high_watermark: 0.1,
         dirty_low_watermark: 0.0,
         batch_pages,
+        batch_global: false,
         async_depth,
     });
     let t = flushers.run_cycle(&mut pool, &mut backend, 0).unwrap();
@@ -235,6 +236,141 @@ fn page_contents_identical_for_all_async_depths() {
     assert!(
         end_async < end_sync,
         "two async cycles must overlap on the device: {end_async} vs {end_sync}"
+    );
+}
+
+/// Mixed read/write fixture with real GC pressure: a small over-provisioned
+/// device, repeated skewed overwrite waves (which cross the GC watermarks and
+/// force relocations) flushed by die-wise writers, interleaved with batched
+/// miss-fill reads ([`BufferPool::prefetch`]) and point reads.  The driver is
+/// poll-driven: reads return completion tickets that are collected, not
+/// chained, and the final barrier is the quiesce over all windows and queues.
+/// Returns (command trace, final per-lpn contents, completion barrier).
+fn traced_mixed_read_write(async_depth: usize) -> (Vec<String>, Vec<Vec<u8>>, u64) {
+    let geometry = FlashGeometry::with_dies(4, 16, 8, 2048);
+    let mut dev_cfg = DeviceConfig::new(geometry);
+    dev_cfg.trace_capacity = 1 << 16;
+    let device = NandDevice::new(dev_cfg);
+    let mut cfg = NoFtlConfig::new(geometry);
+    cfg.op_ratio = 0.40;
+    cfg.gc_low_watermark = 2;
+    cfg.gc_high_watermark = 3;
+    cfg.async_queue_depth = async_depth;
+    let noftl = NoFtl::with_device(device, cfg);
+    let mut backend = NoFtlBackend::new(noftl);
+
+    let lpns = backend.num_pages();
+    let page_size = backend.page_size();
+    let mut pool = BufferPool::new(96, page_size);
+    pool.set_async_depth(async_depth);
+    let mut flushers = FlusherPool::new(FlusherConfig {
+        writers: 2,
+        assignment: FlusherAssignment::DieWise,
+        dirty_high_watermark: 0.1,
+        dirty_low_watermark: 0.0,
+        batch_pages: 16,
+        batch_global: false,
+        async_depth,
+    });
+
+    let mut now = 0u64;
+    let mut read_horizon = 0u64;
+    for round in 0u8..6 {
+        // Dirty this round's pages in waves and flush each wave.  Under async
+        // the cycle returns its submission time, so successive waves pipeline
+        // on the per-die queues; at depth 1 every wave waits (sync).
+        let targets: Vec<u64> = (0..lpns)
+            .filter(|l| round == 0 || l % 3 != 0)
+            .collect();
+        for wave in targets.chunks(64) {
+            for &l in wave {
+                pool.new_page(&mut backend, now, l, |d| {
+                    d[0] = round ^ l as u8;
+                    d[page_size - 1] = !(round ^ l as u8);
+                })
+                .unwrap();
+            }
+            now = flushers.run_cycle(&mut pool, &mut backend, now).unwrap();
+        }
+        // Batched miss fills of a rotating subset, submitted at the driver's
+        // clock while this round's writes may still be in flight on the
+        // queues; their completion tickets are collected, not chained.
+        let subset: Vec<u64> = (0..lpns).filter(|l| l % 5 == (round as u64) % 5).collect();
+        let done = pool.prefetch(&mut backend, now, &subset).unwrap();
+        read_horizon = read_horizon.max(done);
+        // A few point reads straight through the backend.
+        let mut buf = vec![0u8; page_size];
+        for l in (0..lpns).step_by(37) {
+            let c = backend.read_page(now, l, &mut buf).unwrap();
+            read_horizon = read_horizon.max(c.completed_at);
+        }
+    }
+    // Quiesce: flusher windows, pool read window, device queues.
+    let t = flushers.drain(now.max(read_horizon));
+    let t = pool.drain_reads(t);
+    let end = backend.drain(t);
+    pool.flush_all(&mut backend, end).unwrap();
+    let end = backend.drain(end);
+
+    let trace: Vec<String> = backend
+        .noftl()
+        .device()
+        .tracer()
+        .entries()
+        .iter()
+        .map(|e| format!("{e:?}"))
+        .collect();
+    let mut contents = Vec::new();
+    let mut buf = vec![0u8; page_size];
+    for l in 0..lpns {
+        backend.noftl_mut().read(end, l, &mut buf).unwrap();
+        contents.push(buf.clone());
+    }
+    (trace, contents, end)
+}
+
+#[test]
+fn read_command_traces_identical_for_sync_vs_async_depth_one() {
+    // Depth 1 must be cycle-identical to the synchronous dispatch on a mixed
+    // read/write workload with GC running: same commands, same addresses,
+    // same stamps — for reads, programs, erases and relocations alike.
+    let (trace_sync, contents_sync, end_sync) = traced_mixed_read_write(1);
+    let (trace_one, contents_one, end_one) =
+        traced_mixed_read_write(storage_engine_parse_async("1"));
+    assert!(!trace_sync.is_empty());
+    assert!(
+        trace_sync.iter().any(|e| e.contains("Read")),
+        "fixture must issue reads"
+    );
+    assert!(
+        trace_sync.iter().any(|e| e.contains("Erase")),
+        "fixture must trigger GC"
+    );
+    assert_eq!(trace_sync, trace_one);
+    assert_eq!(contents_sync, contents_one);
+    assert_eq!(end_sync, end_one);
+}
+
+#[test]
+fn page_contents_identical_for_all_async_read_depths_with_concurrent_gc() {
+    // Deeper queues change timing (that is the point) but never contents —
+    // even with GC relocating pages between and under the reads.
+    let (_, reference, end_sync) = traced_mixed_read_write(1);
+    for depth in [2usize, 4, 8, 16] {
+        let (_, contents, end) = traced_mixed_read_write(depth);
+        assert_eq!(
+            contents, reference,
+            "async depth {depth} changed page contents under GC"
+        );
+        assert!(
+            end <= end_sync,
+            "async depth {depth} must never be slower than sync ({end} vs {end_sync})"
+        );
+    }
+    let (_, _, end_async) = traced_mixed_read_write(8);
+    assert!(
+        end_async < end_sync,
+        "the mixed workload must genuinely overlap under async: {end_async} vs {end_sync}"
     );
 }
 

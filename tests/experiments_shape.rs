@@ -97,6 +97,7 @@ fn figure4_shape_die_wise_flushers_scale_better() {
             // Per-page model on both sides: this experiment reproduces the
             // paper's Figure 4 contention mechanism, which predates batching.
             batch_pages: 0,
+            batch_global: false,
             async_depth: 1,
         });
         flushers.run_cycle(&mut pool, &mut backend, 0).unwrap()
