@@ -1,11 +1,15 @@
 //! Reproduces **Figure 4** of the paper: TPC-C / TPC-B throughput with
 //! die-wise striping under *global* vs *die-wise* association of db-writers,
-//! as the number of NAND dies (= db-writers) grows.
+//! as the number of NAND dies (= db-writers) grows — plus the §3.2
+//! NCQ-vs-native companion: the same flush-wave burst swept over per-die
+//! queue depth × host link.
 //!
 //! Usage:
 //!   `cargo run --release -p noftl-bench --bin fig4_dbwriters [tpcc|tpcb] [--full]`
 
-use noftl_bench::dbwriters::{render_table, run_dbwriter_scaling};
+use noftl_bench::dbwriters::{
+    render_depth_link_table, render_table, run_dbwriter_scaling, run_depth_link_sweep,
+};
 use noftl_bench::setup::{Benchmark, Scale};
 
 fn main() {
@@ -31,4 +35,13 @@ fn main() {
         let result = run_dbwriter_scaling(b, scale, &die_counts);
         println!("{}", render_table(&result));
     }
+    // The NCQ-vs-native argument as a figure table: per-die queue depth
+    // (the NOFTL_ASYNC axis) × host link on the flush-wave burst.
+    eprintln!("running queue depth x host link sweep...");
+    let depths: Vec<usize> = match scale {
+        Scale::Quick => vec![1, 2, 4, 8],
+        Scale::Full => vec![1, 2, 4, 8, 16, 32],
+    };
+    let sweep = run_depth_link_sweep(8, &depths);
+    println!("{}", render_depth_link_table(&sweep));
 }

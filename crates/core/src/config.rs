@@ -30,6 +30,14 @@ pub struct NoFtlConfig {
     /// Maximum pages per batched GC relocation dispatch (`0`/`1` keeps the
     /// legacy one-relocation-at-a-time path, which is trace-identical).
     pub gc_batch_pages: usize,
+    /// Read-heat penalty of GC victim scoring (`0.0` = off, the default:
+    /// victim selection is read-blind and identical to the legacy scorer).
+    /// When positive, a candidate block on a die whose
+    /// [`nand_flash::FlashStats::per_die_reads`] occupancy is `h`× the
+    /// per-die mean has its score divided by `1 + penalty × h`, steering
+    /// reclamation toward read-cold dies so relocations interfere less with
+    /// foreground read traffic.
+    pub gc_read_heat_penalty: f64,
     /// Override of the device's per-block P/E endurance (tests use tiny
     /// values so wear-out paths are reachable).
     pub endurance_override: Option<u64>,
@@ -49,6 +57,7 @@ impl NoFtlConfig {
             store_data: true,
             async_queue_depth: 1,
             gc_batch_pages: 0,
+            gc_read_heat_penalty: 0.0,
             endurance_override: None,
         }
     }

@@ -52,6 +52,17 @@ pub struct NoFtl {
     async_depth: usize,
     /// Pages per batched GC relocation dispatch (<= 1 = legacy per-page path).
     gc_batch_pages: usize,
+    /// Read-heat penalty of GC victim scoring (0.0 = read-blind, identical
+    /// to the legacy scorer; see [`crate::gc::select_victim`]).
+    gc_read_heat_penalty: f64,
+    /// Decaying per-die recent-read accumulator feeding victim scoring:
+    /// halved and topped up with the [`FlashStats::per_die_reads`] delta at
+    /// every victim selection, so heat tracks *current* interference rather
+    /// than lifetime totals (stale skew decays away).  Maintained only while
+    /// the penalty is on.
+    gc_read_heat: Vec<u64>,
+    /// `per_die_reads` snapshot the last heat update was taken against.
+    gc_read_marker: Vec<u64>,
 }
 
 impl NoFtl {
@@ -89,6 +100,9 @@ impl NoFtl {
             scratch: vec![0u8; geometry.page_size as usize],
             async_depth: config.async_queue_depth.max(1),
             gc_batch_pages: config.gc_batch_pages,
+            gc_read_heat_penalty: config.gc_read_heat_penalty,
+            gc_read_heat: Vec::new(),
+            gc_read_marker: Vec::new(),
         }
     }
 
@@ -148,6 +162,12 @@ impl NoFtl {
     /// keeps the legacy per-relocation path).
     pub fn set_gc_batch_pages(&mut self, pages: usize) {
         self.gc_batch_pages = pages;
+    }
+
+    /// Set the read-heat penalty of GC victim scoring (`0.0` restores the
+    /// read-blind legacy scorer; see [`crate::gc::select_victim`]).
+    pub fn set_gc_read_heat_penalty(&mut self, penalty: f64) {
+        self.gc_read_heat_penalty = penalty;
     }
 
     /// Barrier over the device command queues: the instant by which every
@@ -711,8 +731,32 @@ impl NoFtl {
         now: SimInstant,
         region: RegionId,
     ) -> FlashResult<Option<SimInstant>> {
-        let Some(victim) = select_victim(&self.device, &self.regions, region, self.gc_policy)
-        else {
+        if self.gc_read_heat_penalty > 0.0 {
+            // Decay-and-top-up the recent-read heat: halve the accumulator
+            // and add the reads since the last selection, so victim scoring
+            // reacts to current read traffic and old skew fades out.
+            let cur = &self.device.stats().per_die_reads;
+            self.gc_read_heat.resize(cur.len(), 0);
+            self.gc_read_marker.resize(cur.len(), 0);
+            for ((heat, marker), &reads) in self
+                .gc_read_heat
+                .iter_mut()
+                .zip(self.gc_read_marker.iter_mut())
+                .zip(cur.iter())
+            {
+                let delta = reads.saturating_sub(*marker);
+                *heat = *heat / 2 + delta;
+                *marker = reads;
+            }
+        }
+        let Some(victim) = select_victim(
+            &self.device,
+            &self.regions,
+            region,
+            self.gc_policy,
+            self.gc_read_heat_penalty,
+            &self.gc_read_heat,
+        ) else {
             return Ok(None);
         };
         let g = *self.device.geometry();
@@ -1221,6 +1265,69 @@ mod tests {
         }
         let s = n.stats();
         (trace, contents, s.gc_page_copies, s.gc_erases, s.gc_batch_dispatches)
+    }
+
+    #[test]
+    fn gc_read_heat_penalty_plumbs_from_config_and_steers_victims() {
+        // End-to-end knob check: equal garbage on two dies, all read traffic
+        // on the first — the read-blind default reclaims the read-hot die's
+        // block (die-order tie-break), the penalty steers GC to the cold die.
+        let victim_for = |penalty: f64| -> BlockAddr {
+            let g = FlashGeometry::small();
+            let mut cfg = NoFtlConfig::new(g);
+            cfg.striping = StripingMode::Single;
+            cfg.gc_read_heat_penalty = penalty;
+            let mut n = NoFtl::new(cfg);
+            let data = vec![1u8; n.page_size];
+            let ppb = g.pages_per_block as u64;
+            // Fill two blocks (single striping round-robins dies at block
+            // boundaries: block 0 → die 0, block 1 → die 1) plus one page so
+            // both close.
+            for lpn in 0..(2 * ppb + 1) {
+                n.write(0, lpn, &data).unwrap();
+            }
+            // Equal garbage in both closed blocks.
+            for lpn in 0..4u64 {
+                n.write(0, lpn, &data).unwrap();
+            }
+            for lpn in ppb..ppb + 4 {
+                n.write(0, lpn, &data).unwrap();
+            }
+            // Hammer reads on the first block's survivors (die 0 only).
+            let mut buf = vec![0u8; n.page_size];
+            for _ in 0..10 {
+                for lpn in 4..8u64 {
+                    n.read(0, lpn, &mut buf).unwrap();
+                }
+            }
+            // One GC pass through the full plumbing (recent-heat decay +
+            // scorer); the erased victim identifies the chosen block.
+            n.gc_region_once(1_000, 0).unwrap().expect("garbage to reclaim");
+            let mut erased = Vec::new();
+            for ch in 0..g.channels {
+                for d in 0..g.dies_per_channel {
+                    for pl in 0..g.planes_per_die {
+                        for b in 0..g.blocks_per_plane {
+                            let addr = BlockAddr::new(ch, d, pl, b);
+                            if n.device.block_info(addr).unwrap().erase_count > 0 {
+                                erased.push(addr);
+                            }
+                        }
+                    }
+                }
+            }
+            assert_eq!(erased.len(), 1, "exactly one block reclaimed");
+            erased[0]
+        };
+        assert_eq!(NoFtlConfig::new(FlashGeometry::small()).gc_read_heat_penalty, 0.0);
+        let read_blind = victim_for(0.0);
+        let read_aware = victim_for(4.0);
+        assert_ne!(
+            read_blind.die_addr(),
+            read_aware.die_addr(),
+            "the penalty must move the victim off the read-hot die"
+        );
+        assert_eq!(read_blind, BlockAddr::new(0, 0, 0, 0));
     }
 
     #[test]

@@ -67,6 +67,36 @@ pub fn parse_batch_global(value: &str) -> bool {
     )
 }
 
+/// Default readahead window cap (pages) when `NOFTL_READAHEAD` is unset or
+/// `on` without a number.
+pub const DEFAULT_READAHEAD_WINDOW: usize = 64;
+
+/// Resolve the streaming-readahead window cap from the `NOFTL_READAHEAD`
+/// environment variable:
+///
+/// * unset / `on` — readahead enabled with a [`DEFAULT_READAHEAD_WINDOW`]
+///   cap (it still only *issues* at `NOFTL_ASYNC` depth > 1 — at depth 1 the
+///   scan paths stay frame-at-a-time, bit- and cycle-identical to the
+///   pre-readahead code);
+/// * `off` / `0` — readahead disabled at any depth;
+/// * a number `k` — readahead enabled with a window cap of `k` pages.
+pub fn readahead_window_from_env() -> usize {
+    match std::env::var("NOFTL_READAHEAD") {
+        Ok(v) => parse_readahead_window(&v),
+        Err(_) => DEFAULT_READAHEAD_WINDOW,
+    }
+}
+
+/// Parse one `NOFTL_READAHEAD` spelling (see [`readahead_window_from_env`]).
+pub fn parse_readahead_window(value: &str) -> usize {
+    let v = value.trim().to_ascii_lowercase();
+    match v.as_str() {
+        "" | "on" | "true" => DEFAULT_READAHEAD_WINDOW,
+        "off" | "false" => 0,
+        _ => v.parse::<usize>().unwrap_or(DEFAULT_READAHEAD_WINDOW),
+    }
+}
+
 /// Default per-die queue depth when `NOFTL_ASYNC` is `on` without a number.
 pub const DEFAULT_ASYNC_DEPTH: usize = 8;
 
@@ -883,6 +913,23 @@ mod tests {
         assert_eq!(t, 0);
         assert_eq!(buf[0], 7);
         assert!(m.poll_completions().is_empty(), "mem backend has no queues");
+    }
+
+    #[test]
+    fn readahead_knob_parses_all_spellings() {
+        for (v, expect) in [
+            ("", DEFAULT_READAHEAD_WINDOW),
+            ("on", DEFAULT_READAHEAD_WINDOW),
+            ("TRUE", DEFAULT_READAHEAD_WINDOW),
+            ("off", 0),
+            ("False", 0),
+            ("0", 0),
+            ("1", 1),
+            (" 32 ", 32),
+            ("garbage", DEFAULT_READAHEAD_WINDOW),
+        ] {
+            assert_eq!(parse_readahead_window(v), expect, "spelling {v:?}");
+        }
     }
 
     #[test]

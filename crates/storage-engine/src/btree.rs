@@ -15,6 +15,7 @@ use crate::backend::StorageBackend;
 use crate::buffer::BufferPool;
 use crate::free_space::FreeSpaceManager;
 use crate::page::PageId;
+use crate::readahead::ScanPrefetcher;
 
 const LEAF_TAG: u8 = 1;
 const INTERNAL_TAG: u8 = 2;
@@ -415,31 +416,77 @@ impl BTree {
         now: SimInstant,
         lo: u64,
         hi: u64,
+        visit: impl FnMut(u64, u64),
+    ) -> FlashResult<(u64, SimInstant)> {
+        self.range_with_readahead(pool, backend, &mut ScanPrefetcher::disabled(), now, lo, hi, visit)
+    }
+
+    /// [`BTree::range`] with streaming readahead: when the last internal
+    /// level is decoded during the descent, the child run covering
+    /// `[lo, hi]` — exactly the leaf chain the walk below visits — is fed to
+    /// `ra` and prefetched ahead of consumption.  Past the fed run (a range
+    /// spanning several last-level parents) each leaf's `next` pointer is
+    /// fed as it is discovered — a 1-ahead fallback that keeps the plan
+    /// anchored but cannot overlap fills with visits, since a sibling is
+    /// only known one leaf in advance (prefetching the *next parent's* child
+    /// run is a ROADMAP follow-on).  With an inert prefetcher this is the
+    /// frame-at-a-time path, call for call.
+    #[allow(clippy::too_many_arguments)]
+    pub fn range_with_readahead(
+        &self,
+        pool: &mut BufferPool,
+        backend: &mut dyn StorageBackend,
+        ra: &mut ScanPrefetcher,
+        now: SimInstant,
+        lo: u64,
+        hi: u64,
         mut visit: impl FnMut(u64, u64),
     ) -> FlashResult<(u64, SimInstant)> {
         let mut t = now;
-        // Descend to the leaf containing `lo`.
+        // Descend to the leaf containing `lo`, remembering the child run of
+        // the node we are descending *from*: when the descent bottoms out,
+        // that run is the leaf chain covering the range.
         let mut page = self.root;
+        let mut covering_run: Vec<PageId> = Vec::new();
         loop {
             let (node, t2) = self.read_node(pool, backend, t, page)?;
             t = t2;
             match node {
                 Node::Internal { keys, children } => {
                     let idx = keys.partition_point(|&k| k <= lo);
+                    if ra.is_enabled() {
+                        // An inverted range (lo > hi) puts hi's child before
+                        // lo's; clamp so the run is never back-to-front (the
+                        // walk below then terminates on its first key).
+                        let hi_idx = keys.partition_point(|&k| k <= hi).max(idx);
+                        covering_run = children[idx..=hi_idx].to_vec();
+                    }
                     page = children[idx];
                 }
                 Node::Leaf { .. } => break,
             }
         }
+        if covering_run.len() > 1 {
+            // The first entry is the leaf the descent just read (resident);
+            // feeding the full run keeps the consume cursor aligned.
+            ra.feed(&covering_run);
+        }
         // Walk the leaf chain.
         let mut visited = 0;
         let mut current = Some(page);
         while let Some(p) = current {
+            t = ra.on_access(pool, backend, t, p)?;
             let (node, t2) = self.read_node(pool, backend, t, p)?;
             t = t2;
             let Node::Leaf { keys, values, next } = node else {
                 break;
             };
+            // Keep the sibling window warm beyond the fed covering run.
+            if let Some(sibling) = next {
+                if !ra.planned(sibling) {
+                    ra.feed(&[sibling]);
+                }
+            }
             for (k, v) in keys.iter().zip(values.iter()) {
                 if *k > hi {
                     return Ok((visited, t));
@@ -567,6 +614,33 @@ mod tests {
         assert_eq!(count, 100);
         let expected: Vec<u64> = (100..200).collect();
         assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn inverted_range_is_empty_on_both_scan_paths() {
+        // Regression (code review): the covering-run slice used to panic on
+        // lo > hi (`children[idx..=hi_idx]` with hi_idx < idx); both the
+        // frame-at-a-time and readahead paths must return an empty result
+        // like the pre-readahead code did.
+        let mut c = setup();
+        let (mut tree, _) = BTree::create(&mut c.pool, &mut c.backend, &mut c.fsm, 0).unwrap();
+        for k in 0..2000u64 {
+            tree.insert(&mut c.pool, &mut c.backend, &mut c.fsm, 0, k, k).unwrap();
+        }
+        let (count, _) = tree
+            .range(&mut c.pool, &mut c.backend, 0, 1500, 100, |_, _| {
+                panic!("inverted range must visit nothing")
+            })
+            .unwrap();
+        assert_eq!(count, 0);
+        let mut ra = crate::readahead::ScanPrefetcher::new(64, 8);
+        assert!(ra.is_enabled());
+        let (count, _) = tree
+            .range_with_readahead(&mut c.pool, &mut c.backend, &mut ra, 0, 1500, 100, |_, _| {
+                panic!("inverted range must visit nothing")
+            })
+            .unwrap();
+        assert_eq!(count, 0);
     }
 
     #[test]

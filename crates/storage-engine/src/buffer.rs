@@ -38,6 +38,21 @@ pub struct BufferStats {
     pub flushed_by_writers: u64,
 }
 
+/// Readahead statistics of the pool's prefetch path (the
+/// [`crate::readahead::ScanPrefetcher`] feeds these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadaheadStats {
+    /// Pages fetched from the backend by prefetch batches.
+    pub prefetch_issued: u64,
+    /// Prefetched pages later consumed by an access while still resident.
+    pub prefetch_useful: u64,
+    /// Prefetched pages evicted or discarded before any access — wasted
+    /// device work the adaptive window exists to minimise.
+    pub prefetch_wasted: u64,
+    /// High-water mark of the readahead window size a scan reached.
+    pub window_high_water: usize,
+}
+
 /// Frame metadata; page bytes live in the pool's arena.
 #[derive(Debug)]
 struct Frame {
@@ -45,6 +60,9 @@ struct Frame {
     dirty: bool,
     pins: u32,
     referenced: bool,
+    /// Filled by a prefetch batch and not yet consumed by an access — the
+    /// marker behind the useful/wasted readahead accounting.
+    prefetched: bool,
 }
 
 /// Sentinel page id marking a frame that holds no page.
@@ -82,6 +100,7 @@ pub struct BufferPool {
     dirty: FlatBitSet,
     clock_hand: usize,
     stats: BufferStats,
+    readahead: ReadaheadStats,
     /// Miss-fill submissions kept in flight before gating on the oldest
     /// completion (1 = the synchronous model: every fill is waited for
     /// inline, bit- and cycle-identical to the pre-async code).
@@ -106,6 +125,7 @@ impl BufferPool {
             dirty: FlatBitSet::with_index_capacity(capacity),
             clock_hand: 0,
             stats: BufferStats::default(),
+            readahead: ReadaheadStats::default(),
             async_depth: 1,
             read_window: InflightWindow::new(),
         }
@@ -115,6 +135,11 @@ impl BufferPool {
     /// (clamped to at least 1; 1 restores the synchronous model).
     pub fn set_async_depth(&mut self, depth: usize) {
         self.async_depth = depth.max(1);
+    }
+
+    /// The pool's asynchronous miss-fill depth (1 = synchronous).
+    pub fn async_depth(&self) -> usize {
+        self.async_depth
     }
 
     /// Miss-fill reads currently in flight.
@@ -144,6 +169,37 @@ impl BufferPool {
     /// Pool statistics.
     pub fn stats(&self) -> BufferStats {
         self.stats
+    }
+
+    /// Readahead statistics (prefetch issued/useful/wasted, window mark).
+    pub fn readahead_stats(&self) -> ReadaheadStats {
+        self.readahead
+    }
+
+    /// Record the readahead window size a scan is running at (keeps the
+    /// high-water mark).
+    pub fn note_readahead_window(&mut self, window: usize) {
+        self.readahead.window_high_water = self.readahead.window_high_water.max(window);
+    }
+
+    /// Consume a frame's prefetched marker as *useful* (an access reached the
+    /// page while it was still resident).
+    #[inline]
+    fn consume_prefetched(&mut self, frame: usize) {
+        if self.frames[frame].prefetched {
+            self.frames[frame].prefetched = false;
+            self.readahead.prefetch_useful += 1;
+        }
+    }
+
+    /// Retire a frame's prefetched marker as *wasted* (the frame is being
+    /// evicted or discarded before any access consumed it).
+    #[inline]
+    fn waste_prefetched(&mut self, frame: usize) {
+        if self.frames[frame].prefetched {
+            self.frames[frame].prefetched = false;
+            self.readahead.prefetch_wasted += 1;
+        }
     }
 
     /// Number of resident pages.
@@ -290,6 +346,7 @@ impl BufferPool {
                 dirty: false,
                 pins: 0,
                 referenced: false,
+                prefetched: false,
             });
             self.arena.resize(self.frames.len() * self.page_size, 0);
             return Some(self.frames.len() - 1);
@@ -326,6 +383,7 @@ impl BufferPool {
             let i = i as usize;
             self.frames[i].referenced = true;
             self.stats.hits += 1;
+            self.consume_prefetched(i);
             if !read_from_backend {
                 self.data_mut(i).fill(0);
                 self.set_dirty(i);
@@ -346,6 +404,7 @@ impl BufferPool {
                 self.stats.dirty_evictions += 1;
             }
             self.map.remove(self.frames[victim].page_id);
+            self.waste_prefetched(victim);
             // Detach the frame *before* the fallible backend read below: if
             // the read errors out, a frame still carrying the old page_id
             // (with no map entry) would later poison the map when this frame
@@ -473,6 +532,7 @@ impl BufferPool {
                 // A requested resident page is a pool hit, exactly as the
                 // per-page access path would count it.
                 self.stats.hits += 1;
+                self.consume_prefetched(i);
                 if !resident.contains(&i) {
                     self.frames[i].pins += 1;
                     self.frames[i].referenced = true;
@@ -508,6 +568,7 @@ impl BufferPool {
                     }
                 }
                 self.map.remove(self.frames[victim].page_id);
+                self.waste_prefetched(victim);
                 self.frames[victim].page_id = NO_PAGE;
                 self.stats.evictions += 1;
             }
@@ -551,6 +612,8 @@ impl BufferPool {
             self.frames[frame].referenced = true;
             if result.is_ok() {
                 self.frames[frame].page_id = page_id;
+                self.frames[frame].prefetched = true;
+                self.readahead.prefetch_issued += 1;
                 self.set_clean(frame);
                 self.map.insert(page_id, frame as u64);
             }
@@ -586,6 +649,7 @@ impl BufferPool {
         if let Some(i) = self.map.remove(page_id) {
             let i = i as usize;
             self.set_clean(i);
+            self.waste_prefetched(i);
             self.frames[i].page_id = NO_PAGE;
             self.frames[i].pins = 0;
             self.frames[i].referenced = false;
@@ -994,6 +1058,34 @@ mod tests {
         pool.with_page(&mut backend, 0, 5, |_| ()).unwrap();
         assert_eq!(pool.inflight_reads(), 0);
         assert_eq!(pool.drain_reads(123), 123);
+    }
+
+    #[test]
+    fn readahead_accounting_tracks_useful_and_wasted() {
+        let (mut pool, mut backend) = setup(4);
+        for p in 0..8u64 {
+            backend.write_page(0, p, &vec![p as u8; 512]).unwrap();
+        }
+        pool.prefetch(&mut backend, 0, &[0, 1, 2]).unwrap();
+        assert_eq!(pool.readahead_stats().prefetch_issued, 3);
+        // Consuming a prefetched page counts it useful exactly once.
+        pool.with_page(&mut backend, 0, 0, |_| ()).unwrap();
+        pool.with_page(&mut backend, 0, 0, |_| ()).unwrap();
+        assert_eq!(pool.readahead_stats().prefetch_useful, 1);
+        // Discarding an unconsumed prefetched page counts it wasted.
+        pool.discard(1);
+        assert_eq!(pool.readahead_stats().prefetch_wasted, 1);
+        // Evicting the other unconsumed one (page 2) also counts it wasted.
+        for p in 4..8u64 {
+            pool.new_page(&mut backend, 0, p, |_| ()).unwrap();
+        }
+        assert!(!pool.contains(2));
+        assert_eq!(pool.readahead_stats().prefetch_wasted, 2);
+        assert_eq!(pool.readahead_stats().prefetch_useful, 1);
+        // The window high-water mark is monotone.
+        pool.note_readahead_window(8);
+        pool.note_readahead_window(4);
+        assert_eq!(pool.readahead_stats().window_high_water, 8);
     }
 
     #[test]

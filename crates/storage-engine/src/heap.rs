@@ -13,6 +13,7 @@ use crate::backend::StorageBackend;
 use crate::buffer::BufferPool;
 use crate::free_space::FreeSpaceManager;
 use crate::page::{PageId, SlottedPage};
+use crate::readahead::ScanPrefetcher;
 use crate::transaction::TxnId;
 use crate::wal::{LogRecord, WalManager};
 
@@ -221,11 +222,30 @@ impl HeapFile {
         pool: &mut BufferPool,
         backend: &mut dyn StorageBackend,
         now: SimInstant,
+        visit: impl FnMut(Rid, &[u8]),
+    ) -> FlashResult<(u64, SimInstant)> {
+        self.scan_with_readahead(pool, backend, &mut ScanPrefetcher::disabled(), now, visit)
+    }
+
+    /// [`HeapFile::scan`] with streaming readahead: the page list is fully
+    /// known, so the whole extent is fed to `ra`, which keeps a window of
+    /// upcoming pages in flight ([`BufferPool::prefetch`] batches — one
+    /// multi-page read dispatch per die) while records of already-filled
+    /// pages are visited.  With an inert prefetcher this is the
+    /// frame-at-a-time path, call for call.
+    pub fn scan_with_readahead(
+        &self,
+        pool: &mut BufferPool,
+        backend: &mut dyn StorageBackend,
+        ra: &mut ScanPrefetcher,
+        now: SimInstant,
         mut visit: impl FnMut(Rid, &[u8]),
     ) -> FlashResult<(u64, SimInstant)> {
+        ra.feed(&self.pages);
         let mut t = now;
         let mut visited = 0;
         for &page_id in &self.pages {
+            t = ra.on_access(pool, backend, t, page_id)?;
             let (count, t2) = pool.with_page(backend, t, page_id, |bytes| {
                 let page = SlottedPage::from_bytes(bytes);
                 let mut n = 0;

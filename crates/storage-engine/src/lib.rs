@@ -75,6 +75,39 @@
 //!   WAL window and the device queues.  Depth 1 of every lane is bit- and
 //!   cycle-identical to the synchronous code.
 //!
+//! ## Streaming readahead for sequential scans (PR 5)
+//!
+//! Heap scans and B+-tree range reads know their upcoming page runs in
+//! advance — the heap file owns its page list, an internal B+-tree node
+//! names the leaf run covering a query range — so the read pipeline can be
+//! kept full instead of filling the pool one frame at a time:
+//!
+//! * **[`readahead::ScanPrefetcher`]** maintains a sliding window of
+//!   upcoming page ids and issues [`buffer::BufferPool::prefetch`] batches
+//!   *ahead of consumption*; on the NoFTL backend each batch becomes one
+//!   multi-page read dispatch per die, and at `NOFTL_ASYNC` depth > 1 the
+//!   batches pipeline on the pool's bounded read window and the per-die
+//!   device queues, so miss fills overlap with record visits.
+//! * **Adaptive window ramp** — the window starts at
+//!   [`readahead::MIN_READAHEAD_WINDOW`] pages, doubles (up to the
+//!   `NOFTL_READAHEAD` cap) after a full window of consecutive useful
+//!   prefetches, and halves whenever a prefetched page was evicted before
+//!   the scan reached it (pool pressure: running further ahead than the
+//!   pool can hold is pure waste).  The pool tracks `prefetch_issued` /
+//!   `prefetch_useful` / `prefetch_wasted` and the window high-water mark
+//!   ([`buffer::ReadaheadStats`], surfaced through
+//!   `StorageEngine::readahead_stats`).
+//! * **Interaction with the knobs** — `NOFTL_READAHEAD` caps the window
+//!   (`off`/`0` disables; default 64).  Readahead only *issues* at
+//!   `NOFTL_ASYNC` depth > 1: with the window at 0 **or** depth 1 every
+//!   scan stays on the frame-at-a-time path, bit- and cycle-identical to
+//!   the pre-readahead code (pinned by `tests/equivalence.rs`).  The
+//!   batches themselves ride the `NOFTL_BATCH`-era multi-page read
+//!   dispatches, so readahead composes with — rather than bypasses — the
+//!   batched I/O protocol; a prefetch never evicts a pinned frame, and a
+//!   dirty victim is written back before its frame is reused, exactly like
+//!   a demand miss.
+//!
 //! ## Wrapped-log recovery
 //!
 //! [`wal::WalManager::note_checkpoint`] checkpoints a start-of-log pointer;
@@ -96,11 +129,13 @@ pub mod flusher;
 pub mod free_space;
 pub mod heap;
 pub mod page;
+pub mod readahead;
 pub mod transaction;
 pub mod wal;
 
 pub use backend::{BlockDeviceBackend, MemBackend, NoFtlBackend, StorageBackend};
-pub use buffer::BufferPool;
+pub use buffer::{BufferPool, ReadaheadStats};
+pub use readahead::ScanPrefetcher;
 pub use engine::{EngineConfig, StorageEngine};
 pub use flusher::{FlusherConfig, FlusherStats};
 pub use heap::{HeapFile, Rid};

@@ -58,6 +58,13 @@ pub struct TpcHReport {
     pub q3_ns: u64,
     /// Rows produced by Q3.
     pub q3_rows: u64,
+    /// Readahead pages issued across the three queries (0 when readahead is
+    /// off or the engine runs synchronously).
+    pub prefetch_issued: u64,
+    /// Issued readahead pages the scans actually consumed.
+    pub prefetch_useful: u64,
+    /// Issued readahead pages evicted before use (wasted device work).
+    pub prefetch_wasted: u64,
 }
 
 /// The TPC-H workload driver.
@@ -145,6 +152,7 @@ impl TpcH {
         now: SimInstant,
     ) -> FlashResult<(TpcHReport, SimInstant)> {
         let mut report = TpcHReport::default();
+        let ra_before = engine.readahead_stats();
         let (rows, _qty, t1) = self.q1(engine, now)?;
         report.q1_rows = rows;
         report.q1_ns = t1.saturating_sub(now);
@@ -154,6 +162,10 @@ impl TpcH {
         let (q3_rows, t3) = self.q3(engine, t2)?;
         report.q3_rows = q3_rows;
         report.q3_ns = t3.saturating_sub(t2);
+        let ra = engine.readahead_stats();
+        report.prefetch_issued = ra.prefetch_issued - ra_before.prefetch_issued;
+        report.prefetch_useful = ra.prefetch_useful - ra_before.prefetch_useful;
+        report.prefetch_wasted = ra.prefetch_wasted - ra_before.prefetch_wasted;
         self.query_cursor += 1;
         Ok((report, t3))
     }

@@ -374,6 +374,243 @@ fn page_contents_identical_for_all_async_read_depths_with_concurrent_gc() {
     );
 }
 
+/// Heap-scan fixture over a traced NoFTL device: seeds a heap file of `pages`
+/// slotted pages (several records each), checkpoints it to the backend, then
+/// runs one full scan through a [`ScanPrefetcher`] with the given window cap
+/// at the given async depth.  Returns (visit sequence, device command trace
+/// of the scan, scan end time).
+fn traced_heap_scan(
+    window: usize,
+    async_depth: usize,
+) -> (Vec<(u64, u16, u8)>, Vec<String>, u64) {
+    use noftl::storage_engine::free_space::FreeSpaceManager;
+    use noftl::storage_engine::readahead::ScanPrefetcher;
+    use noftl::storage_engine::{HeapFile, WalManager};
+
+    let geometry = FlashGeometry::with_dies(4, 64, 32, 4096);
+    let mut dev_cfg = DeviceConfig::new(geometry);
+    dev_cfg.trace_capacity = 1 << 16;
+    let device = NandDevice::new(dev_cfg);
+    let mut cfg = NoFtlConfig::new(geometry);
+    cfg.async_queue_depth = async_depth;
+    let noftl = NoFtl::with_device(device, cfg);
+    let mut backend = NoFtlBackend::new(noftl);
+
+    let mut pool = BufferPool::new(24, 4096);
+    pool.set_async_depth(async_depth);
+    let mut fsm = FreeSpaceManager::new(0, 2000);
+    let mut wal = WalManager::new(2000, 64, 4096);
+    let mut heap = HeapFile::new("t");
+    let mut now = 0u64;
+    for i in 0..600u64 {
+        let mut rec = vec![0u8; 800];
+        rec[..8].copy_from_slice(&i.to_le_bytes());
+        rec[8] = i as u8;
+        let (_, t) = heap
+            .insert(&mut pool, &mut backend, &mut fsm, &mut wal, 1, now, &rec)
+            .unwrap();
+        now = t;
+    }
+    now = pool.flush_all(&mut backend, now).unwrap();
+    let t0 = backend.drain(pool.drain_reads(now));
+    let trace_before = backend.noftl().device().tracer().entries().len();
+
+    let mut ra = ScanPrefetcher::new(window, async_depth);
+    let mut seen: Vec<(u64, u16, u8)> = Vec::new();
+    let (count, end) = heap
+        .scan_with_readahead(&mut pool, &mut backend, &mut ra, t0, |rid, r| {
+            seen.push((rid.page, rid.slot, r[8]));
+        })
+        .unwrap();
+    assert_eq!(count, 600);
+    let end = backend.drain(pool.drain_reads(end));
+    let trace: Vec<String> = backend
+        .noftl()
+        .device()
+        .tracer()
+        .entries()
+        .iter()
+        .skip(trace_before)
+        .map(|e| format!("{e:?}"))
+        .collect();
+    (seen, trace, end - t0)
+}
+
+#[test]
+fn heap_scan_readahead_off_and_depth_one_are_cycle_identical_to_frame_at_a_time() {
+    // Window 0 (readahead off) and window > 0 at depth 1 must both be
+    // command- and cycle-identical to the frame-at-a-time scan: same device
+    // commands, same addresses, same stamps, same scan duration.
+    let (seq_base, trace_base, dur_base) = traced_heap_scan(0, 1);
+    assert!(!trace_base.is_empty(), "the scan must read from the device");
+    for (window, depth, label) in [
+        (64, 1, "window 64 / depth 1"),
+        (0, 8, "window 0 / depth 8"),
+    ] {
+        let (seq, trace, dur) = traced_heap_scan(window, depth);
+        assert_eq!(seq, seq_base, "{label} changed the visit sequence");
+        if depth == 1 {
+            assert_eq!(trace, trace_base, "{label} changed the device trace");
+            assert_eq!(dur, dur_base, "{label} changed the scan duration");
+        }
+    }
+    // Window 0 at depth 8 is the frame-at-a-time path of *that* depth: its
+    // trace must equal a second run of itself (determinism) and its visit
+    // sequence the baseline's.
+    let (seq_a, trace_a, dur_a) = traced_heap_scan(0, 8);
+    let (seq_b, trace_b, dur_b) = traced_heap_scan(0, 8);
+    assert_eq!(seq_a, seq_b);
+    assert_eq!(trace_a, trace_b);
+    assert_eq!(dur_a, dur_b);
+    assert_eq!(seq_a, seq_base);
+}
+
+#[test]
+fn heap_scan_readahead_visits_identical_sequence_at_any_window_and_depth() {
+    let (seq_base, _, dur_base) = traced_heap_scan(0, 1);
+    for window in [4usize, 16, 64] {
+        for depth in [2usize, 4, 8] {
+            let (seq, _, dur) = traced_heap_scan(window, depth);
+            assert_eq!(
+                seq, seq_base,
+                "window {window} depth {depth} changed the record sequence"
+            );
+            assert!(
+                dur <= dur_base,
+                "readahead must never slow a scan down (window {window} depth {depth}: {dur} vs {dur_base})"
+            );
+        }
+    }
+    // And the streaming pipeline genuinely overlaps: the widest window at
+    // depth 8 strictly beats frame-at-a-time.
+    let (_, _, dur_ra) = traced_heap_scan(64, 8);
+    assert!(
+        dur_ra < dur_base,
+        "readahead at 4 dies depth 8 must beat frame-at-a-time: {dur_ra} vs {dur_base}"
+    );
+}
+
+#[test]
+fn btree_range_readahead_visits_identical_key_sequence() {
+    use noftl::storage_engine::free_space::FreeSpaceManager;
+    use noftl::storage_engine::readahead::ScanPrefetcher;
+    use noftl::storage_engine::btree::BTree;
+
+    let run = |window: usize, depth: usize| -> (Vec<(u64, u64)>, u64) {
+        let geometry = FlashGeometry::with_dies(4, 64, 32, 4096);
+        let mut cfg = NoFtlConfig::new(geometry);
+        cfg.async_queue_depth = depth;
+        let noftl = NoFtl::new(cfg);
+        let mut backend = NoFtlBackend::new(noftl);
+        let mut pool = BufferPool::new(8, 4096);
+        pool.set_async_depth(depth);
+        let mut fsm = FreeSpaceManager::new(0, 2000);
+        let (mut tree, _) = BTree::create(&mut pool, &mut backend, &mut fsm, 0).unwrap();
+        let mut now = 0u64;
+        for k in 0..3000u64 {
+            // Insert in a shuffled-ish order so leaves split realistically.
+            let key = (k * 7919) % 3000;
+            let (_, t) = tree
+                .insert(&mut pool, &mut backend, &mut fsm, now, key, key * 13)
+                .unwrap();
+            now = t;
+        }
+        now = pool.flush_all(&mut backend, now).unwrap();
+        let t0 = backend.drain(pool.drain_reads(now));
+        let mut ra = ScanPrefetcher::new(window, depth);
+        let mut seen = Vec::new();
+        let (count, end) = tree
+            .range_with_readahead(&mut pool, &mut backend, &mut ra, t0, 100, 2700, |k, v| {
+                seen.push((k, v))
+            })
+            .unwrap();
+        assert_eq!(count, 2601);
+        let end = backend.drain(pool.drain_reads(end));
+        (seen, end - t0)
+    };
+    let (seq_base, dur_base) = run(0, 1);
+    assert_eq!(seq_base.len(), 2601);
+    assert!(seq_base.windows(2).all(|w| w[0].0 < w[1].0), "keys in order");
+    for (window, depth) in [(4, 2), (16, 8), (64, 8), (64, 1), (0, 8)] {
+        let (seq, dur) = run(window, depth);
+        assert_eq!(seq, seq_base, "window {window} depth {depth} changed the key sequence");
+        assert!(dur <= dur_base, "window {window} depth {depth} slowed the range read");
+    }
+    let (_, dur_ra) = run(64, 8);
+    assert!(
+        dur_ra < dur_base,
+        "leaf-chain readahead at depth 8 must beat frame-at-a-time: {dur_ra} vs {dur_base}"
+    );
+}
+
+#[test]
+fn readahead_never_evicts_pinned_pages_and_never_loses_dirty_data() {
+    use noftl::storage_engine::free_space::FreeSpaceManager;
+    use noftl::storage_engine::readahead::ScanPrefetcher;
+    use noftl::storage_engine::{HeapFile, StorageBackend as _, WalManager};
+
+    let geometry = FlashGeometry::with_dies(4, 64, 32, 4096);
+    let mut cfg = NoFtlConfig::new(geometry);
+    cfg.async_queue_depth = 8;
+    let noftl = NoFtl::new(cfg);
+    let mut backend = NoFtlBackend::new(noftl);
+    let mut pool = BufferPool::new(12, 4096);
+    pool.set_async_depth(8);
+    let mut fsm = FreeSpaceManager::new(0, 2000);
+    let mut wal = WalManager::new(2000, 64, 4096);
+    let mut heap = HeapFile::new("t");
+    let mut now = 0u64;
+    for i in 0..400u64 {
+        let mut rec = vec![0u8; 900];
+        rec[..8].copy_from_slice(&i.to_le_bytes());
+        let (_, t) = heap
+            .insert(&mut pool, &mut backend, &mut fsm, &mut wal, 1, now, &rec)
+            .unwrap();
+        now = t;
+    }
+    now = pool.flush_all(&mut backend, now).unwrap();
+    now = backend.drain(pool.drain_reads(now));
+    // A page the "scan" (some other operator) holds pinned, plus a dirty
+    // page awaiting flush, both resident while readahead floods the pool.
+    let pinned_page = heap.pages()[0];
+    let dirty_page = heap.pages()[1];
+    let (_, t) = pool
+        .with_page(&mut backend, now, pinned_page, |_| ())
+        .unwrap();
+    now = t;
+    assert!(pool.pin(pinned_page));
+    let (_, t) = pool
+        .with_page_mut(&mut backend, now, dirty_page, |d| d[4000] = 0xEE)
+        .unwrap();
+    now = t;
+    // Scan the whole table with an aggressive window through the tiny pool.
+    let mut ra = ScanPrefetcher::new(64, 8);
+    let (count, end) = heap
+        .scan_with_readahead(&mut pool, &mut backend, &mut ra, now, |_, _| {})
+        .unwrap();
+    assert_eq!(count, 400);
+    let end = backend.drain(pool.drain_reads(end));
+    // The pinned page must have survived every prefetch batch.
+    assert!(
+        pool.contains(pinned_page),
+        "readahead must never evict a pinned page"
+    );
+    pool.unpin(pinned_page);
+    // The dirty page's update must not have been lost: either still resident
+    // and dirty, or written back to the backend during a (legitimate)
+    // dirty-victim eviction.
+    let mut buf = vec![0u8; 4096];
+    if pool.is_dirty(dirty_page) {
+        let (seen, _) = pool
+            .with_page(&mut backend, end, dirty_page, |d| d[4000])
+            .unwrap();
+        assert_eq!(seen, 0xEE, "dirty page content lost in the pool");
+    } else {
+        backend.read_page(end, dirty_page, &mut buf).unwrap();
+        assert_eq!(buf[4000], 0xEE, "dirty page evicted without write-back");
+    }
+}
+
 #[test]
 fn async_crash_with_commands_in_flight_recovers_exact_durable_prefix() {
     // A WAL force submitted through the asynchronous path with commands still
