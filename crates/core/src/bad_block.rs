@@ -32,9 +32,20 @@ impl BadBlockManager {
     }
 
     /// Record a retired block. Returns `false` if it was already known.
+    ///
+    /// A block can only ever be in one of the two sets: re-retiring a
+    /// factory-bad block as grown is rejected, and a factory retirement of a
+    /// block previously seen as grown *promotes* it (factory classification
+    /// wins) without double counting it in [`BadBlockManager::total`].
     pub fn retire(&mut self, block: BlockAddr, reason: RetireReason) -> bool {
         match reason {
-            RetireReason::Factory => self.factory.insert(block),
+            RetireReason::Factory => {
+                if self.grown.remove(&block) {
+                    self.factory.insert(block);
+                    return false;
+                }
+                self.factory.insert(block)
+            }
             RetireReason::Grown => {
                 if self.factory.contains(&block) {
                     return false;
@@ -102,5 +113,44 @@ mod tests {
         bbm.retire(BlockAddr::new(0, 0, 0, 1), RetireReason::Factory);
         bbm.retire(BlockAddr::new(0, 0, 0, 2), RetireReason::Grown);
         assert_eq!(bbm.iter().count(), 2);
+    }
+
+    #[test]
+    fn grown_then_factory_promotes_without_double_counting() {
+        let mut bbm = BadBlockManager::new();
+        let b = BlockAddr::new(0, 0, 0, 3);
+        assert!(bbm.retire(b, RetireReason::Grown));
+        // A later format-time scan classifies the same block factory-bad:
+        // the block moves sets instead of being counted twice.
+        assert!(!bbm.retire(b, RetireReason::Factory));
+        assert_eq!(bbm.total(), 1);
+        assert_eq!(bbm.factory_count(), 1);
+        assert_eq!(bbm.grown_count(), 0);
+        assert!(bbm.is_bad(b));
+    }
+
+    #[test]
+    fn total_is_monotone_under_any_retire_sequence() {
+        // total() must never decrease and never exceed the number of
+        // distinct blocks, whatever order retirements arrive in.
+        let blocks = [
+            (BlockAddr::new(0, 0, 0, 1), RetireReason::Grown),
+            (BlockAddr::new(0, 0, 0, 1), RetireReason::Factory),
+            (BlockAddr::new(0, 0, 0, 1), RetireReason::Grown),
+            (BlockAddr::new(0, 0, 0, 2), RetireReason::Factory),
+            (BlockAddr::new(0, 0, 0, 2), RetireReason::Factory),
+            (BlockAddr::new(0, 0, 0, 2), RetireReason::Grown),
+            (BlockAddr::new(0, 1, 0, 1), RetireReason::Grown),
+        ];
+        let mut bbm = BadBlockManager::new();
+        let mut prev = 0;
+        for (b, reason) in blocks {
+            bbm.retire(b, reason);
+            let t = bbm.total();
+            assert!(t >= prev, "total went backwards: {prev} -> {t}");
+            assert_eq!(t, bbm.factory_count() + bbm.grown_count());
+            prev = t;
+        }
+        assert_eq!(prev, 3, "three distinct blocks were retired");
     }
 }

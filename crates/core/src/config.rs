@@ -41,6 +41,12 @@ pub struct NoFtlConfig {
     /// Override of the device's per-block P/E endurance (tests use tiny
     /// values so wear-out paths are reachable).
     pub endurance_override: Option<u64>,
+    /// Read-disturb scrub threshold: when a block serves this many reads
+    /// since its last erase, the scrubber relocates its live pages and
+    /// erases it preventively.  Only consulted while the device runs with a
+    /// fault plan (`NOFTL_FAULTS`); without one the device does not even
+    /// maintain the counter.
+    pub scrub_read_disturb_threshold: u64,
 }
 
 impl NoFtlConfig {
@@ -59,6 +65,7 @@ impl NoFtlConfig {
             gc_batch_pages: 0,
             gc_read_heat_penalty: 0.0,
             endurance_override: None,
+            scrub_read_disturb_threshold: 10_000,
         }
     }
 

@@ -86,6 +86,43 @@
 //! runs flush before any interleaved copyback so the destination block's
 //! sequential-programming order holds).  Batch size 1 is command- and
 //! cycle-identical to the legacy per-relocation path.
+//!
+//! ## Flash-fault recovery (PR 6)
+//!
+//! With NoFTL there is no device firmware to paper over media errors — the
+//! DBMS layer *is* the error-handling layer.  The device model injects
+//! deterministic, seeded program/erase/read failures
+//! (`nand_flash::fault::FaultPlan`, enabled via the `NOFTL_FAULTS` knob;
+//! off is bit- and cycle-identical to a fault-free build), and this crate
+//! recovers from every class without losing committed data:
+//!
+//! * **Program failure** — the failing page is consumed by the device and its
+//!   block is worn out for writes.  [`NoFtl::write_batch`] commits the
+//!   mappings of the pages that landed, rolls the un-programmed tail of the
+//!   aborted run back into the allocator
+//!   ([`regions::RegionManager::rollback_unprogrammed`] — otherwise the
+//!   region's write pointer desynchronises from the device's sequential
+//!   programming rule), retires the block (relocating its live pages), and
+//!   re-programs the remainder on fresh blocks.  GC's batched relocation path
+//!   does the same unwind for its pending destination runs.
+//! * **Erase failure** — the victim block is retired permanently through
+//!   [`bad_block::BadBlockManager`] (grown defect, spare capacity shrinks);
+//!   already-relocated survivors keep their new homes and GC restarts victim
+//!   selection rather than aborting the collection.
+//! * **Read errors** — correctable ECC flips are counted and served; an
+//!   uncorrectable page gets a bounded retry ladder
+//!   (`NoFtl::read_page_retrying`), and only a page that stays unreadable
+//!   surfaces a typed error for the storage engine's WAL-replay page rebuild.
+//!   Blocks whose read-disturb counters cross
+//!   [`NoFtlConfig`]`::scrub_read_disturb_threshold` are scrubbed in the
+//!   background (live pages relocated, block erased) before disturb
+//!   accumulates into data loss.
+//!
+//! [`stats::NoFtlStats`] reports the recovery truthfully (retirement counts
+//! per failure class, retry/scrub counters) — the chaos storms in
+//! `tests/chaos.rs` drive TPC-B/TPC-C mixes under seeded fault plans, with
+//! and without crash-recovery at commit boundaries, and assert zero
+//! committed-data loss against those stats.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

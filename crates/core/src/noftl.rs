@@ -63,7 +63,18 @@ pub struct NoFtl {
     gc_read_heat: Vec<u64>,
     /// `per_die_reads` snapshot the last heat update was taken against.
     gc_read_marker: Vec<u64>,
+    /// Whether the device runs with a fault plan (cached at construction so
+    /// the fault-free hot paths pay nothing for the recovery machinery).
+    faults_active: bool,
+    /// Read-disturb scrub threshold (see
+    /// [`NoFtlConfig::scrub_read_disturb_threshold`]).
+    scrub_threshold: u64,
 }
+
+/// Additional read attempts the retry ladder issues after an uncorrectable
+/// ECC result before giving up (each attempt draws the read-error model
+/// independently, the way real controllers step through retry voltages).
+const READ_RETRY_LIMIT: u32 = 3;
 
 impl NoFtl {
     /// Build a NoFTL instance and its backing device from `config`.
@@ -78,17 +89,47 @@ impl NoFtl {
 
     /// Build NoFTL on top of an existing device (e.g. one shared with an
     /// emulator front-end).
+    ///
+    /// Blocks the device reports as factory-bad are retired up front, and
+    /// the exported logical capacity (and thus the OP headroom the GC
+    /// watermarks defend) is derived from the *post-retirement* physical
+    /// capacity — a device shipped with bad blocks must not promise logical
+    /// pages it cannot back.
     pub fn with_device(device: NandDevice, config: NoFtlConfig) -> Self {
         let geometry = *device.geometry();
-        let logical_pages = config.logical_pages();
+        let mut regions = RegionManager::new(geometry, config.striping);
+        let mut bad_blocks = BadBlockManager::new();
+        let mut factory_bad_pages: u64 = 0;
+        for channel in 0..geometry.channels {
+            for die in 0..geometry.dies_per_channel {
+                for plane in 0..geometry.planes_per_die {
+                    for block in 0..geometry.blocks_per_plane {
+                        let addr = BlockAddr::new(channel, die, plane, block);
+                        let usable = device.block_info(addr).map(|i| i.usable).unwrap_or(false);
+                        if !usable {
+                            bad_blocks.retire(addr, RetireReason::Factory);
+                            regions.retire_block(addr);
+                            factory_bad_pages += geometry.pages_per_block as u64;
+                        }
+                    }
+                }
+            }
+        }
+        let usable_pages = geometry.total_pages() - factory_bad_pages;
+        let logical_pages = config
+            .logical_pages()
+            .min(((usable_pages as f64) * (1.0 - config.op_ratio)).floor() as u64);
         assert!(logical_pages > 0, "no logical capacity left after OP");
         let mut device = device;
         device.set_queue_depth(config.async_queue_depth.max(1));
+        let faults_active = device.faults_enabled();
         Self {
+            faults_active,
+            scrub_threshold: config.scrub_read_disturb_threshold.max(1),
             device,
             map: HostMappingTable::with_physical_pages(logical_pages, geometry.total_pages()),
-            regions: RegionManager::new(geometry, config.striping),
-            bad_blocks: BadBlockManager::new(),
+            regions,
+            bad_blocks,
             wear: WearLeveler::new(config.wear_leveling_threshold),
             gc_policy: GcPolicy::Greedy,
             stats: NoFtlStats::new(),
@@ -251,14 +292,47 @@ impl NoFtl {
             return Err(FlashError::ReadOfUnwrittenPage(Ppa::from_flat(&g, 0)));
         };
         let ppa = Ppa::from_flat(&g, flat);
-        let completion = if self.async_depth > 1 {
-            self.device.submit_read_page(now, ppa, buf)?.1.completion
-        } else {
-            self.device.read_page(now, ppa, buf)?.1
-        };
+        let (_, completion) = self.read_page_retrying(now, ppa, buf)?;
         self.stats.host_reads += 1;
         self.stats.read_latency.record(completion.latency_from(now));
+        self.maybe_scrub(completion.completed_at, ppa.block_addr())?;
         Ok(completion)
+    }
+
+    /// One logical read with the bounded read-retry ladder: an uncorrectable
+    /// ECC result is re-attempted up to [`READ_RETRY_LIMIT`] more times (each
+    /// attempt draws the error model independently and charges real device
+    /// time) before the failure is surfaced to the caller.  Fault-free
+    /// devices never retry, so this is exactly the legacy single read.
+    fn read_page_retrying(
+        &mut self,
+        now: SimInstant,
+        ppa: Ppa,
+        buf: &mut [u8],
+    ) -> FlashResult<(Oob, OpCompletion)> {
+        let mut attempt = 0;
+        loop {
+            let res = if self.async_depth > 1 {
+                self.device
+                    .submit_read_page(now, ppa, buf)
+                    .map(|(oob, q)| (oob, q.completion))
+            } else {
+                self.device.read_page(now, ppa, buf)
+            };
+            match res {
+                Ok(oc) => {
+                    if attempt > 0 {
+                        self.stats.read_retry_successes += 1;
+                    }
+                    return Ok(oc);
+                }
+                Err(FlashError::UncorrectableEcc(_)) if attempt < READ_RETRY_LIMIT => {
+                    attempt += 1;
+                    self.stats.read_retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Read a batch of logical pages as die-wise multi-page read dispatches —
@@ -313,17 +387,51 @@ impl NoFtl {
                 continue;
             }
             let pages = ops.len() as u64;
-            let completion = if self.async_depth > 1 {
-                self.device.submit_read_pages(now, &mut ops)?.completion
+            let res = if self.async_depth > 1 {
+                self.device.submit_read_pages(now, &mut ops).map(|q| q.completion)
             } else {
-                self.device.read_pages(now, &mut ops)?
+                self.device.read_pages(now, &mut ops)
             };
-            end = end.max(completion.completed_at);
-            self.stats.host_reads += pages;
-            for _ in 0..pages {
-                self.stats
-                    .read_latency
-                    .record(completion.completed_at.saturating_sub(now));
+            match res {
+                Ok(completion) => {
+                    end = end.max(completion.completed_at);
+                    self.stats.host_reads += pages;
+                    for _ in 0..pages {
+                        self.stats
+                            .read_latency
+                            .record(completion.completed_at.saturating_sub(now));
+                    }
+                }
+                Err(FlashError::UncorrectableEcc(_)) => {
+                    // One page of the run overwhelmed ECC; the multi-page
+                    // dispatch aborted there.  Fall back to per-page reads so
+                    // a single bad page cannot fail the whole run — each page
+                    // gets its own retry ladder.  The fallback is itself a
+                    // retry of the failed run (each per-page read re-senses),
+                    // so it counts even when every page then reads clean on
+                    // its first attempt.
+                    self.stats.read_retries += 1;
+                    for (ppa, buf) in ops.iter_mut() {
+                        let (_, c) = self.read_page_retrying(now, *ppa, buf)?;
+                        end = end.max(c.completed_at);
+                        self.stats.host_reads += 1;
+                        self.stats
+                            .read_latency
+                            .record(c.completed_at.saturating_sub(now));
+                    }
+                    self.stats.read_retry_successes += 1;
+                }
+                Err(e) => return Err(e),
+            }
+            if self.faults_active {
+                let mut seen: Vec<BlockAddr> = Vec::new();
+                for (ppa, _) in ops.iter() {
+                    let block = ppa.block_addr();
+                    if !seen.contains(&block) {
+                        seen.push(block);
+                        self.maybe_scrub(end, block)?;
+                    }
+                }
             }
         }
         Ok(end)
@@ -350,23 +458,45 @@ impl NoFtl {
         self.check_buf(data.len())?;
         let g = *self.device.geometry();
         let start = now;
-        let mut t = self.ensure_region_space(now, region)?;
-        let ppa = match self.regions.allocate_page_in(region) {
-            Some(p) => p,
-            None => {
-                // The region is genuinely full (e.g. severely skewed
-                // placement): fall back to any region with space.
-                let mut found = None;
-                for r in 0..self.regions.regions() {
-                    if let Some(p) = self.regions.allocate_page_in(r) {
-                        found = Some(p);
-                        break;
-                    }
+        let mut t = now;
+        // Program-failure recovery loop: a failed PAGE PROGRAM consumes the
+        // attempted page, so the block is retired (after relocating its
+        // still-valid pages) and the write repeats on a fresh allocation.
+        // The loop terminates because every retry removes a block; when the
+        // device runs out the allocation itself fails.
+        let (ppa, completion) = loop {
+            match self.ensure_region_space(t, region) {
+                Ok(end) => t = end,
+                Err(FlashError::ProgramFailed(failed)) => {
+                    // GC relocation hit a failing destination block.
+                    t = self.retire_failed_block(t, failed.block_addr())?;
+                    continue;
                 }
-                found.ok_or(FlashError::OutOfSpareBlocks)?
+                Err(e) => return Err(e),
+            }
+            let ppa = match self.regions.allocate_page_in(region) {
+                Some(p) => p,
+                None => {
+                    // The region is genuinely full (e.g. severely skewed
+                    // placement): fall back to any region with space.
+                    let mut found = None;
+                    for r in 0..self.regions.regions() {
+                        if let Some(p) = self.regions.allocate_page_in(r) {
+                            found = Some(p);
+                            break;
+                        }
+                    }
+                    found.ok_or(FlashError::OutOfSpareBlocks)?
+                }
+            };
+            match self.device.program_page(t, ppa, data, Oob::data(lpn, 0)) {
+                Ok(c) => break (ppa, c),
+                Err(FlashError::ProgramFailed(failed)) => {
+                    t = self.retire_failed_block(t, failed.block_addr())?;
+                }
+                Err(e) => return Err(e),
             }
         };
-        let completion = self.device.program_page(t, ppa, data, Oob::data(lpn, 0))?;
         t = t.max(completion.completed_at);
         if let Some(old) = self.map.update(lpn, ppa.flat(&g)) {
             self.device.invalidate_page(Ppa::from_flat(&g, old))?;
@@ -429,7 +559,20 @@ impl NoFtl {
             }
             // Each region is a disjoint die set: its GC (if needed) and its
             // program dispatch run on their own timeline starting at `now`.
-            let t0 = self.ensure_region_space(now, region)?;
+            let mut t0 = now;
+            loop {
+                match self.ensure_region_space(t0, region) {
+                    Ok(end) => {
+                        t0 = end;
+                        break;
+                    }
+                    Err(FlashError::ProgramFailed(failed)) => {
+                        // GC relocation hit a failing destination block.
+                        t0 = self.retire_failed_block(t0, failed.block_addr())?;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
             let run = self.regions.allocate_run_in(region, idxs.len());
             let mut allocs: Vec<(Ppa, usize)> = run
                 .iter()
@@ -465,21 +608,67 @@ impl NoFtl {
                 // stamps).  Deeper: submit into the die's command queue, so
                 // this run pipelines behind whatever earlier submissions
                 // (previous flush cycles, WAL forces) still occupy the die.
-                let completion = if self.async_depth > 1 {
-                    self.device.submit_program_pages(t0, &ops)?.completion
+                let res = if self.async_depth > 1 {
+                    self.device.submit_program_pages(t0, &ops).map(|q| q.completion)
                 } else {
-                    self.device.program_pages(t0, &ops)?
+                    self.device.program_pages(t0, &ops)
                 };
-                let t_run = completion.completed_at;
-                end = end.max(t_run);
-                for &(ppa, i) in &allocs[j..k] {
-                    let lpn = pages[i].0;
-                    if let Some(old) = self.map.update(lpn, ppa.flat(&g)) {
-                        self.device.invalidate_page(Ppa::from_flat(&g, old))?;
-                        self.dead_hinted.remove(&old);
+                match res {
+                    Ok(completion) => {
+                        let t_run = completion.completed_at;
+                        end = end.max(t_run);
+                        for &(ppa, i) in &allocs[j..k] {
+                            let lpn = pages[i].0;
+                            if let Some(old) = self.map.update(lpn, ppa.flat(&g)) {
+                                self.device.invalidate_page(Ppa::from_flat(&g, old))?;
+                                self.dead_hinted.remove(&old);
+                            }
+                            self.stats.host_writes += 1;
+                            self.stats.write_latency.record(t_run.saturating_sub(start));
+                        }
                     }
-                    self.stats.host_writes += 1;
-                    self.stats.write_latency.record(t_run.saturating_sub(start));
+                    Err(FlashError::ProgramFailed(failed)) => {
+                        // The run aborted at `failed`; the pages before it
+                        // are committed on the device, so commit their
+                        // mappings, then retire the failing block and
+                        // re-write the rest of the run one page at a time.
+                        // The tail's allocations must be unwound first:
+                        // leaked pages in blocks the device never touched
+                        // would desynchronise the allocator from the blocks'
+                        // sequential write pointers (the failing block's own
+                        // pages are covered by its retirement).
+                        let fail_pos = allocs[j..k]
+                            .iter()
+                            .position(|&(ppa, _)| ppa == failed)
+                            .unwrap_or(0);
+                        // The aborted dispatch charged its partial timing up
+                        // to the failing page.
+                        let t_run = t0.max(self.device.die_busy_until(die));
+                        end = end.max(t_run);
+                        for &(ppa, i) in &allocs[j..j + fail_pos] {
+                            let lpn = pages[i].0;
+                            if let Some(old) = self.map.update(lpn, ppa.flat(&g)) {
+                                self.device.invalidate_page(Ppa::from_flat(&g, old))?;
+                                self.dead_hinted.remove(&old);
+                            }
+                            self.stats.host_writes += 1;
+                            self.stats.write_latency.record(t_run.saturating_sub(start));
+                        }
+                        let leaked: Vec<Ppa> = allocs[j + fail_pos..k]
+                            .iter()
+                            .map(|&(ppa, _)| ppa)
+                            .filter(|p| p.block_addr() != failed.block_addr())
+                            .collect();
+                        self.regions.rollback_unprogrammed(&leaked);
+                        let t_retired = self.retire_failed_block(t_run, failed.block_addr())?;
+                        end = end.max(t_retired);
+                        for &(_, i) in &allocs[j + fail_pos..k] {
+                            let (lpn, data) = pages[i];
+                            let c = self.write_in_region(t_retired, region, lpn, data)?;
+                            end = end.max(c.completed_at);
+                        }
+                    }
+                    Err(e) => return Err(e),
                 }
                 j = k;
             }
@@ -529,6 +718,33 @@ impl NoFtl {
         Ok(t)
     }
 
+    /// Unwind the destination allocations of a relocation run that errored
+    /// out: `pending` holds the entries that were never committed (after a
+    /// failed dispatch, [`NoFtl::flush_relocations`] commits and drains the
+    /// prefix, so what remains is the failing entry and everything after it),
+    /// and `extra` is a destination allocated *after* the run.  Pages of a
+    /// failing block are skipped — that block is retired wholesale by the
+    /// caller — while the rest must be returned to the allocator so it stays
+    /// in lockstep with the blocks' sequential write pointers.
+    fn rollback_pending_relocations(
+        &mut self,
+        err: &FlashError,
+        pending: &[(Ppa, Ppa, u64, Vec<u8>, Oob)],
+        extra: Option<Ppa>,
+    ) {
+        let failed_block = match err {
+            FlashError::ProgramFailed(p) => Some(p.block_addr()),
+            _ => None,
+        };
+        let leaked: Vec<Ppa> = pending
+            .iter()
+            .map(|(_, dst, _, _, _)| *dst)
+            .chain(extra)
+            .filter(|p| Some(p.block_addr()) != failed_block)
+            .collect();
+        self.regions.rollback_unprogrammed(&leaked);
+    }
+
     /// Relocate `survivors` — (source page, logical page) pairs — into
     /// `region`, invalidating each source *as it moves* so an interrupted
     /// migration can never leave stale-`Valid` pages whose reverse mappings
@@ -569,7 +785,13 @@ impl NoFtl {
             let dst = match self.regions.allocate_page_in(region) {
                 Some(p) => p,
                 None => {
-                    t = self.flush_relocations(t.max(pending_ready), &mut pending)?;
+                    t = match self.flush_relocations(t.max(pending_ready), &mut pending) {
+                        Ok(end) => end,
+                        Err(e) => {
+                            self.rollback_pending_relocations(&e, &pending, None);
+                            return Err(e);
+                        }
+                    };
                     if abort_on_full {
                         return Ok((t, false));
                     }
@@ -585,34 +807,48 @@ impl NoFtl {
             let queued = self.async_depth > 1;
             if self.gc_batch_pages <= 1 {
                 // Legacy per-relocation path.
-                let completion = if same_plane {
+                let res = if same_plane {
                     if queued {
-                        self.device.submit_copyback(t, src, dst, None)?.completion
+                        self.device.submit_copyback(t, src, dst, None).map(|q| q.completion)
                     } else {
-                        self.device.copyback(t, src, dst, None)?
+                        self.device.copyback(t, src, dst, None)
                     }
                 } else {
                     let mut buf = std::mem::take(&mut self.scratch);
-                    let c = if queued {
-                        // The program may not issue before its source read
-                        // produced the data (the destination die can differ).
-                        match self.device.submit_read_page(t, src, &mut buf) {
-                            Ok((oob, q)) => self
-                                .device
-                                .submit_program_pages(
-                                    q.completion.completed_at,
-                                    &[(dst, buf.as_slice(), oob)],
-                                )
-                                .map(|p| p.completion),
-                            Err(e) => Err(e),
+                    // The source read gets the retry ladder: a survivor whose
+                    // first read overwhelms ECC is usually recoverable on a
+                    // re-sense, and GC must not lose it over one bad draw.
+                    let c = match self.read_page_retrying(t, src, &mut buf) {
+                        Ok((oob, rc)) => {
+                            if queued {
+                                // The program may not issue before its source
+                                // read produced the data (the destination die
+                                // can differ).
+                                self.device
+                                    .submit_program_pages(
+                                        rc.completed_at,
+                                        &[(dst, buf.as_slice(), oob)],
+                                    )
+                                    .map(|p| p.completion)
+                            } else {
+                                self.device.program_page(t, dst, &buf, oob)
+                            }
                         }
-                    } else {
-                        self.device
-                            .read_page(t, src, &mut buf)
-                            .and_then(|(oob, _)| self.device.program_page(t, dst, &buf, oob))
+                        Err(e) => Err(e),
                     };
                     self.scratch = buf;
-                    c?
+                    c
+                };
+                let completion = match res {
+                    Ok(c) => c,
+                    Err(e) => {
+                        // A failed program consumed `dst` (its block is
+                        // retired by the caller); any other error — e.g. an
+                        // unreadable source — leaves `dst` un-programmed and
+                        // it must go back to the allocator.
+                        self.rollback_pending_relocations(&e, &pending, Some(dst));
+                        return Err(e);
+                    }
                 };
                 t = t.max(completion.completed_at);
                 self.map.update(lpn, dst.flat(&g));
@@ -621,12 +857,25 @@ impl NoFtl {
             } else if same_plane {
                 // A copyback programs the destination block's next page, so
                 // the pending run must land first to keep program order.
-                t = self.flush_relocations(t.max(pending_ready), &mut pending)?;
+                t = match self.flush_relocations(t.max(pending_ready), &mut pending) {
+                    Ok(end) => end,
+                    Err(e) => {
+                        self.rollback_pending_relocations(&e, &pending, Some(dst));
+                        return Err(e);
+                    }
+                };
                 pending_ready = 0;
-                let c = if queued {
-                    self.device.submit_copyback(t, src, dst, None)?.completion
+                let res = if queued {
+                    self.device.submit_copyback(t, src, dst, None).map(|q| q.completion)
                 } else {
-                    self.device.copyback(t, src, dst, None)?
+                    self.device.copyback(t, src, dst, None)
+                };
+                let c = match res {
+                    Ok(c) => c,
+                    Err(e) => {
+                        self.rollback_pending_relocations(&e, &pending, Some(dst));
+                        return Err(e);
+                    }
                 };
                 t = t.max(c.completed_at);
                 self.map.update(lpn, dst.flat(&g));
@@ -639,21 +888,36 @@ impl NoFtl {
                         .last()
                         .is_some_and(|(_, d, _, _, _)| d.die_addr() != dst.die_addr())
                 {
-                    t = self.flush_relocations(t.max(pending_ready), &mut pending)?;
+                    t = match self.flush_relocations(t.max(pending_ready), &mut pending) {
+                        Ok(end) => end,
+                        Err(e) => {
+                            self.rollback_pending_relocations(&e, &pending, Some(dst));
+                            return Err(e);
+                        }
+                    };
                     pending_ready = 0;
                 }
                 let mut buf = vec![0u8; self.page_size];
-                let (oob, c) = if queued {
-                    let (oob, q) = self.device.submit_read_page(t, src, &mut buf)?;
-                    (oob, q.completion)
-                } else {
-                    self.device.read_page(t, src, &mut buf)?
+                let (oob, c) = match self.read_page_retrying(t, src, &mut buf) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        // Nothing dispatched: the whole pending run plus this
+                        // destination goes back to the allocator.
+                        self.rollback_pending_relocations(&e, &pending, Some(dst));
+                        return Err(e);
+                    }
                 };
                 pending_ready = pending_ready.max(c.completed_at);
                 pending.push((src, dst, lpn, buf, oob));
             }
         }
-        t = self.flush_relocations(t.max(pending_ready), &mut pending)?;
+        t = match self.flush_relocations(t.max(pending_ready), &mut pending) {
+            Ok(end) => end,
+            Err(e) => {
+                self.rollback_pending_relocations(&e, &pending, None);
+                return Err(e);
+            }
+        };
         Ok((t, true))
     }
 
@@ -672,10 +936,40 @@ impl NoFtl {
             .iter()
             .map(|(_, dst, _, data, oob)| (*dst, data.as_slice(), *oob))
             .collect();
-        let completion = if self.async_depth > 1 {
-            self.device.submit_program_pages(now, &ops)?.completion
+        let res = if self.async_depth > 1 {
+            self.device.submit_program_pages(now, &ops).map(|q| q.completion)
         } else {
-            self.device.program_pages(now, &ops)?
+            self.device.program_pages(now, &ops)
+        };
+        let completion = match res {
+            Ok(c) => c,
+            Err(FlashError::ProgramFailed(failed)) => {
+                // The dispatch aborted at `failed`: the pages before it are
+                // committed on the device, so their mapping updates must land
+                // now (a valid page without a reverse mapping would never be
+                // reclaimed).  The failing relocation and the rest of the
+                // run stay uncommitted — their sources are still valid and
+                // mapped, so the caller can re-collect them after retiring
+                // the failed block, and it rolls their un-programmed
+                // destination allocations back
+                // ([`NoFtl::rollback_pending_relocations`] — the drained
+                // `pending` suffix is exactly that leaked set).
+                let pos = ops
+                    .iter()
+                    .position(|&(dst, _, _)| dst == failed)
+                    .unwrap_or(0);
+                let committed: Vec<(Ppa, Ppa, u64)> = pending
+                    .drain(..pos)
+                    .map(|(src, dst, lpn, _, _)| (src, dst, lpn))
+                    .collect();
+                for (src, dst, lpn) in committed {
+                    self.map.update(lpn, dst.flat(&g));
+                    self.device.invalidate_page(src)?;
+                    self.stats.gc_page_copies += 1;
+                }
+                return Err(FlashError::ProgramFailed(failed));
+            }
+            Err(e) => return Err(e),
         };
         let t = now.max(completion.completed_at);
         if pending.len() > 1 {
@@ -712,7 +1006,15 @@ impl NoFtl {
                 self.regions.release_block(block);
                 Ok((now.max(c.completed_at), true))
             }
-            Err(FlashError::WornOut(b)) => {
+            Err(e @ (FlashError::WornOut(_) | FlashError::EraseFailed(_))) => {
+                let b = match e {
+                    FlashError::WornOut(b) => b,
+                    FlashError::EraseFailed(b) => {
+                        self.stats.erase_fail_retirements += 1;
+                        b
+                    }
+                    _ => unreachable!(),
+                };
                 // The failed erase still held the die until it reported.
                 let t = now.max(self.device.die_busy_until(b.die_addr()));
                 self.bad_blocks.retire(b, RetireReason::Grown);
@@ -722,6 +1024,124 @@ impl NoFtl {
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// Retire a block one of whose PAGE PROGRAMs reported failure.  The
+    /// failed page is consumed but the rest of the block stays readable, so
+    /// its still-valid pages are relocated into the block's region first —
+    /// only then is the block handed to the bad-block manager.  A *nested*
+    /// program failure during the relocation retires that block too
+    /// (recursively) and the relocation resumes with whatever survivors
+    /// remain; the recursion is bounded because every level permanently
+    /// removes one block.
+    fn retire_failed_block(
+        &mut self,
+        now: SimInstant,
+        block: BlockAddr,
+    ) -> FlashResult<SimInstant> {
+        let g = *self.device.geometry();
+        let region = self.regions.region_of_block(block);
+        // Out of the allocation pools first, so relocation destinations can
+        // never land in the block being retired.
+        self.regions.retire_block(block);
+        let mut t = now;
+        loop {
+            let mut survivors: Vec<(Ppa, u64)> = Vec::new();
+            for page_idx in 0..g.pages_per_block {
+                let src = block.page(page_idx);
+                if self.device.page_state(src)? != PageState::Valid {
+                    continue;
+                }
+                let Some(lpn) = self.map.reverse(src.flat(&g)) else {
+                    continue;
+                };
+                survivors.push((src, lpn));
+            }
+            if survivors.is_empty() {
+                break;
+            }
+            match self.relocate_survivors(t, region, &survivors, false) {
+                Ok((end, _)) => {
+                    t = end;
+                    break;
+                }
+                Err(FlashError::ProgramFailed(failed)) => {
+                    // Survivors moved before the nested failure are already
+                    // invalidated on `block`; the re-collection above picks
+                    // up only what remains.
+                    t = self.retire_failed_block(t, failed.block_addr())?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Write the device-side bad-block mark last: the survivors above had
+        // to be readable while the relocation ran.  From here on the device
+        // rejects every access, so neither GC victim selection nor the wear
+        // leveler can resurrect the block into the free pool.
+        self.device.mark_block_bad(block)?;
+        self.bad_blocks.retire(block, RetireReason::Grown);
+        self.stats.retired_blocks += 1;
+        self.stats.program_fail_retirements += 1;
+        Ok(t)
+    }
+
+    /// Read-disturb scrubbing: when a block has served
+    /// [`NoFtlConfig::scrub_read_disturb_threshold`] reads since its last
+    /// erase, relocate its live pages and erase it preventively, before
+    /// accumulated disturb pushes its raw bit-error rate past what ECC can
+    /// correct.  The relocations and the erase ride the per-die command
+    /// queues exactly like GC traffic.  A no-op (zero device calls) unless
+    /// the device runs with a fault plan — without one the disturb counter
+    /// is not even maintained.
+    fn maybe_scrub(&mut self, now: SimInstant, block: BlockAddr) -> FlashResult<SimInstant> {
+        if !self.faults_active {
+            return Ok(now);
+        }
+        if self.device.read_disturb(block)? < self.scrub_threshold {
+            return Ok(now);
+        }
+        // The active allocation block cannot be erased out from under the
+        // region's write pointer; it rotates out on its own soon enough.
+        if self.bad_blocks.is_bad(block) || self.regions.is_active(block) {
+            return Ok(now);
+        }
+        let g = *self.device.geometry();
+        let region = self.regions.region_of_block(block);
+        let mut t = now;
+        let mut relocated: u64 = 0;
+        loop {
+            let mut survivors: Vec<(Ppa, u64)> = Vec::new();
+            for page_idx in 0..g.pages_per_block {
+                let src = block.page(page_idx);
+                if self.device.page_state(src)? != PageState::Valid {
+                    continue;
+                }
+                let Some(lpn) = self.map.reverse(src.flat(&g)) else {
+                    continue;
+                };
+                survivors.push((src, lpn));
+            }
+            if survivors.is_empty() {
+                break;
+            }
+            match self.relocate_survivors(t, region, &survivors, false) {
+                Ok((end, _)) => {
+                    relocated += survivors.len() as u64;
+                    t = end;
+                    break;
+                }
+                Err(FlashError::ProgramFailed(failed)) => {
+                    t = self.retire_failed_block(t, failed.block_addr())?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Erasing resets the disturb counter; a worn-out or failing erase
+        // retires the block instead (erase_reclaimed handles both).
+        t = self.erase_reclaimed(t, block)?.0;
+        self.stats.scrubbed_blocks += 1;
+        self.stats.scrub_relocations += relocated;
+        Ok(t)
     }
 
     /// Reclaim one block in `region`. Returns the completion time of the last
@@ -1662,5 +2082,270 @@ mod tests {
             n.write(0, 0, &[0u8; 7]),
             Err(FlashError::BufferSizeMismatch { .. })
         ));
+    }
+
+    use nand_flash::fault::FaultPlan;
+
+    /// NoFTL over a device with an explicit fault plan (independent of the
+    /// `NOFTL_FAULTS` env knob, so these tests are deterministic anywhere).
+    fn faulty_noftl(plan: FaultPlan, config: NoFtlConfig) -> NoFtl {
+        let mut dev_cfg = DeviceConfig::new(config.geometry);
+        dev_cfg.store_data = config.store_data;
+        dev_cfg.endurance_override = config.endurance_override;
+        dev_cfg.faults = Some(plan);
+        NoFtl::with_device(NandDevice::new(dev_cfg), config)
+    }
+
+    #[test]
+    fn writes_survive_program_failures() {
+        let mut plan = FaultPlan::seeded(11);
+        plan.program_fail_base = 0.03;
+        plan.program_fail_wear_scale = 0.0;
+        plan.read_error_base = 0.0;
+        let mut n = faulty_noftl(plan, NoFtlConfig::new(FlashGeometry::small()));
+        let lpns: u64 = 200;
+        let mut t = 0;
+        for round in 0..3u64 {
+            for lpn in 0..lpns {
+                let data = vec![(lpn as u8) ^ (round as u8); 4096];
+                t = n.write(t, lpn, &data).unwrap().completed_at;
+            }
+        }
+        assert!(
+            n.stats().program_fail_retirements > 0,
+            "600 writes at 3% failure rate must have tripped recovery"
+        );
+        assert!(n.stats().retired_blocks >= n.stats().program_fail_retirements);
+        assert_eq!(n.bad_blocks().grown_count() as u64, n.stats().retired_blocks);
+        // Zero data loss: every logical page reads back its newest version.
+        let mut buf = vec![0u8; 4096];
+        for lpn in 0..lpns {
+            n.read(t, lpn, &mut buf).unwrap();
+            assert_eq!(buf, vec![(lpn as u8) ^ 2u8; 4096], "lpn {lpn}");
+        }
+        // The device saw the failures the DBMS recovered from.
+        assert_eq!(
+            n.flash_stats().program_failures > 0,
+            n.stats().program_fail_retirements > 0
+        );
+    }
+
+    #[test]
+    fn batched_writes_survive_program_failures() {
+        let mut plan = FaultPlan::seeded(12);
+        plan.program_fail_base = 0.03;
+        plan.program_fail_wear_scale = 0.0;
+        plan.read_error_base = 0.0;
+        let mut cfg = NoFtlConfig::new(FlashGeometry::small());
+        cfg.async_queue_depth = 8;
+        let mut n = faulty_noftl(plan, cfg);
+        let lpns: u64 = 192;
+        let mut t = 0;
+        for round in 0..3u64 {
+            let payloads: Vec<Vec<u8>> = (0..lpns)
+                .map(|lpn| vec![(lpn as u8).wrapping_add(round as u8); 4096])
+                .collect();
+            for chunk in (0..lpns).collect::<Vec<_>>().chunks(16) {
+                let batch: Vec<(u64, &[u8])> = chunk
+                    .iter()
+                    .map(|&lpn| (lpn, payloads[lpn as usize].as_slice()))
+                    .collect();
+                t = n.write_batch(t, &batch).unwrap();
+            }
+        }
+        t = n.drain(t);
+        assert!(n.stats().program_fail_retirements > 0);
+        let mut buf = vec![0u8; 4096];
+        for lpn in 0..lpns {
+            n.read(t, lpn, &mut buf).unwrap();
+            assert_eq!(buf, vec![(lpn as u8).wrapping_add(2); 4096], "lpn {lpn}");
+        }
+    }
+
+    #[test]
+    fn uncorrectable_reads_recover_through_the_retry_ladder() {
+        let mut plan = FaultPlan::seeded(13);
+        plan.program_fail_base = 0.0;
+        plan.read_error_base = 0.4;
+        plan.read_error_wear_scale = 0.0;
+        plan.read_error_retention_scale = 0.0;
+        plan.read_error_disturb_scale = 0.0;
+        plan.uncorrectable_fraction = 0.25;
+        let mut cfg = NoFtlConfig::new(FlashGeometry::small());
+        cfg.scrub_read_disturb_threshold = u64::MAX; // isolate the ladder
+        let mut n = faulty_noftl(plan, cfg);
+        let mut buf = vec![0u8; 4096];
+        for lpn in 0..32u64 {
+            let data = vec![lpn as u8; 4096];
+            n.write(0, lpn, &data).unwrap();
+        }
+        for round in 1..10u64 {
+            for lpn in 0..32u64 {
+                n.read(round * 1_000_000, lpn, &mut buf).unwrap();
+                assert_eq!(buf, vec![lpn as u8; 4096]);
+            }
+        }
+        assert!(n.stats().read_retries > 0, "10% uncorrectable per attempt");
+        assert!(n.stats().read_retry_successes > 0);
+        assert!(n.flash_stats().uncorrectable_reads >= n.stats().read_retries);
+        assert!(n.flash_stats().corrected_reads > 0);
+    }
+
+    #[test]
+    fn erase_failures_retire_blocks_mid_gc_without_losing_survivors() {
+        let mut plan = FaultPlan::seeded(14);
+        plan.program_fail_base = 0.0;
+        plan.read_error_base = 0.0;
+        plan.erase_fail_knee = 0.0;
+        plan.erase_fail_prob = 0.08;
+        let mut g = FlashGeometry::tiny();
+        g.planes_per_die = 2; // 2 planes x 8 blocks x 8 pages
+        let mut cfg = NoFtlConfig::new(g);
+        cfg.op_ratio = 0.30;
+        cfg.gc_low_watermark = 2;
+        cfg.gc_high_watermark = 3;
+        // Endurance 0 pins the plan's wear fraction at 1.0, so every erase
+        // draws the full `erase_fail_prob` — and the hard WornOut model is
+        // switched off so only the injected failures retire blocks.
+        cfg.endurance_override = Some(0);
+        let mut dev_cfg = DeviceConfig::new(g);
+        dev_cfg.endurance_override = Some(0);
+        dev_cfg.bad_blocks = nand_flash::bad_block::BadBlockPolicy {
+            factory_bad_fraction: 0.0,
+            wear_out_failure_prob: 0.0,
+            seed: 1,
+        };
+        dev_cfg.faults = Some(plan);
+        let mut n = NoFtl::with_device(NandDevice::new(dev_cfg), cfg);
+        let lpns = n.logical_pages();
+        let mut t = 0;
+        // Seed everything, then overwrite a skewed subset so GC erases
+        // constantly (and its victims carry survivors).
+        for lpn in 0..lpns {
+            let data = vec![lpn as u8; 512];
+            t = n.write(t, lpn, &data).unwrap().completed_at;
+        }
+        let mut last = vec![0u8; lpns as usize];
+        for (i, d) in last.iter_mut().enumerate() {
+            *d = i as u8;
+        }
+        // Overwrite until the injected erase failures have fired a couple of
+        // times (the early exit keeps the shrinking block pool comfortable —
+        // every failure permanently retires a block).
+        'storm: for round in 1u8..32 {
+            for lpn in (0..lpns).filter(|l| l % 3 != 0) {
+                let data = vec![round ^ lpn as u8; 512];
+                t = n.write(t, lpn, &data).unwrap().completed_at;
+                last[lpn as usize] = round ^ lpn as u8;
+                if n.stats().erase_fail_retirements >= 2 {
+                    break 'storm;
+                }
+            }
+        }
+        assert!(n.stats().gc_erases > 0, "workload must have forced GC");
+        assert!(
+            n.stats().erase_fail_retirements > 0,
+            "wear-ramped erase failures across {} erases must have fired",
+            n.stats().gc_erases
+        );
+        assert_eq!(
+            n.flash_stats().erase_failures,
+            n.stats().erase_fail_retirements
+        );
+        assert!(n.stats().retired_blocks >= n.stats().erase_fail_retirements);
+        let mut buf = vec![0u8; 512];
+        for lpn in 0..lpns {
+            n.read(t, lpn, &mut buf).unwrap();
+            assert_eq!(buf, vec![last[lpn as usize]; 512], "lpn {lpn}");
+        }
+    }
+
+    #[test]
+    fn read_disturb_scrubber_rewrites_hot_blocks() {
+        let mut plan = FaultPlan::seeded(15);
+        plan.program_fail_base = 0.0;
+        plan.read_error_base = 0.0; // isolate the scrubber from the ladder
+        let mut cfg = NoFtlConfig::new(FlashGeometry::tiny());
+        cfg.op_ratio = 0.30;
+        cfg.scrub_read_disturb_threshold = 40;
+        let mut n = faulty_noftl(plan, cfg);
+        // Fill several blocks so the hot page's block is sealed (the active
+        // allocation block is exempt from scrubbing).
+        let lpns = n.logical_pages();
+        for lpn in 0..lpns {
+            let data = vec![lpn as u8; 512];
+            n.write(0, lpn, &data).unwrap();
+        }
+        let mut buf = vec![0u8; 512];
+        for i in 0..60u64 {
+            n.read(1_000 + i, 5, &mut buf).unwrap();
+        }
+        assert!(n.stats().scrubbed_blocks >= 1, "threshold 40 < 60 reads");
+        assert!(n.stats().scrub_relocations > 0, "live pages moved out");
+        // The hot page survived the scrub and every other page is intact.
+        for lpn in 0..lpns {
+            n.read(2_000_000, lpn, &mut buf).unwrap();
+            assert_eq!(buf, vec![lpn as u8; 512], "lpn {lpn}");
+        }
+    }
+
+    #[test]
+    fn exhausting_the_block_pool_fails_typed_not_panicking() {
+        // Every program fails, so every write retires another block; once
+        // the last free block is gone the write must surface
+        // OutOfSpareBlocks as an error instead of panicking or looping.
+        let mut plan = FaultPlan::seeded(16);
+        plan.program_fail_base = 1.0;
+        plan.read_error_base = 0.0;
+        let mut cfg = NoFtlConfig::new(FlashGeometry::tiny());
+        cfg.op_ratio = 0.30;
+        let mut n = faulty_noftl(plan, cfg);
+        let data = vec![0xAB; 512];
+        let err = n.write(0, 0, &data).unwrap_err();
+        assert_eq!(err, FlashError::OutOfSpareBlocks);
+        // The pool is genuinely gone: every block was retired exactly once.
+        assert_eq!(
+            n.stats().retired_blocks,
+            FlashGeometry::tiny().total_blocks()
+        );
+        assert_eq!(n.bad_blocks().grown_count() as u64, n.stats().retired_blocks);
+    }
+
+    #[test]
+    fn factory_bad_blocks_shrink_exported_capacity() {
+        use nand_flash::bad_block::BadBlockPolicy;
+        let g = FlashGeometry::small();
+        let cfg = NoFtlConfig::new(g);
+        let full_capacity = cfg.logical_pages();
+        let mut dev_cfg = DeviceConfig::new(g);
+        dev_cfg.bad_blocks = BadBlockPolicy {
+            factory_bad_fraction: 0.10,
+            wear_out_failure_prob: 1.0,
+            seed: 99,
+        };
+        let mut n = NoFtl::with_device(NandDevice::new(dev_cfg), cfg);
+        let factory = n.bad_blocks().factory_count();
+        assert!(factory > 0, "10% of 256 blocks must mark some factory-bad");
+        assert!(
+            n.logical_pages() < full_capacity,
+            "capacity must shrink with the factory-bad pool ({} vs {})",
+            n.logical_pages(),
+            full_capacity
+        );
+        // The shrunken promise is honest: every exported page is writable
+        // and readable even though the physical pool lost blocks.
+        let mut t = 0;
+        for lpn in 0..n.logical_pages() {
+            let data = vec![(lpn % 251) as u8; 4096];
+            t = n.write(t, lpn, &data).unwrap().completed_at;
+        }
+        let mut buf = vec![0u8; 4096];
+        for lpn in 0..n.logical_pages() {
+            n.read(t, lpn, &mut buf).unwrap();
+            assert_eq!(buf[0], (lpn % 251) as u8);
+        }
+        // A pristine device still exports the full configured capacity.
+        let pristine = small_noftl();
+        assert_eq!(pristine.logical_pages(), full_capacity);
     }
 }

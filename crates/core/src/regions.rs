@@ -238,6 +238,43 @@ impl RegionManager {
         run
     }
 
+    /// Roll back the un-programmed tail of an aborted multi-page dispatch.
+    ///
+    /// A failed PAGE PROGRAM aborts its run: the device consumed the pages up
+    /// to and including the failing one, but the allocations past it were
+    /// never transferred.  Left alone they would desynchronise the allocator
+    /// from the device's sequential write pointer — the next program into one
+    /// of those blocks would land past page 0 on an untouched block.  The
+    /// caller passes the leaked suffix in allocation order, *excluding* pages
+    /// of the failing block (that block is retired wholesale); this unwinds
+    /// the active block's pointer and returns blocks the run opened but never
+    /// touched to the free pool.
+    pub fn rollback_unprogrammed(&mut self, leaked: &[Ppa]) {
+        for &ppa in leaked.iter().rev() {
+            let block = ppa.block_addr();
+            let region = self.region_of_block(block);
+            let is_active_tail = matches!(
+                self.active[region],
+                Some((b, next)) if b == block && next == ppa.page + 1
+            );
+            if is_active_tail {
+                if ppa.page == 0 {
+                    // Fully unwound: the block was opened during the aborted
+                    // run and no page of it was consumed.
+                    self.active[region] = None;
+                    self.release_block(block);
+                } else {
+                    self.active[region] = Some((block, ppa.page));
+                }
+            } else if ppa.page == 0 && !self.is_active(block) {
+                // A non-active block of the aborted run was fully allocated
+                // (the run rolled past it); reaching its first page means
+                // every page was leaked — return it to the pool untouched.
+                self.release_block(block);
+            }
+        }
+    }
+
     fn take_free_block_round_robin(&mut self, region: RegionId) -> Option<BlockAddr> {
         let dies = &self.region_dies[region];
         if dies.len() == 1 {
@@ -396,6 +433,52 @@ mod tests {
         let run = rm.allocate_run_in(0, 100);
         assert_eq!(run.len() as u64, g.total_pages());
         assert!(rm.allocate_run_in(0, 4).is_empty());
+    }
+
+    #[test]
+    fn rollback_unwinds_active_block_pointer() {
+        let g = FlashGeometry::small(); // 32 pages per block
+        let mut rm = RegionManager::new(g, StripingMode::DieWise);
+        let run = rm.allocate_run_in(0, 8);
+        // Abort after 3 programmed pages: pages 3..8 leaked.
+        rm.rollback_unprogrammed(&run[3..]);
+        // The next allocations replay the leaked tail exactly.
+        let replay = rm.allocate_run_in(0, 5);
+        assert_eq!(replay, run[3..].to_vec());
+    }
+
+    #[test]
+    fn rollback_releases_blocks_opened_by_the_aborted_run() {
+        let g = FlashGeometry::small();
+        let mut rm = RegionManager::new(g, StripingMode::DieWise);
+        // Position the active block near its end, then allocate a run that
+        // rolls over into two fresh blocks.
+        let ppb = g.pages_per_block as usize;
+        let head = rm.allocate_run_in(0, ppb - 2);
+        let free_before = rm.free_blocks_in(0);
+        let run = rm.allocate_run_in(0, 2 + 2 * ppb);
+        assert_eq!(rm.free_blocks_in(0), free_before - 2);
+        // The whole rolled-over tail aborts un-programmed.
+        rm.rollback_unprogrammed(&run[2..]);
+        assert_eq!(rm.free_blocks_in(0), free_before, "fresh blocks returned");
+        // The committed prefix consumed the old active block, so the next
+        // allocation opens a fresh block at page 0 — never a mid-block page
+        // of an untouched block.
+        let replay = rm.allocate_run_in(0, 2);
+        assert_eq!(replay[0].page, 0, "reopened allocation starts a fresh block");
+        assert_eq!(head.len(), ppb - 2);
+    }
+
+    #[test]
+    fn rollback_of_whole_active_block_closes_it() {
+        let g = FlashGeometry::small();
+        let mut rm = RegionManager::new(g, StripingMode::DieWise);
+        let free_before = rm.free_blocks_in(0);
+        let run = rm.allocate_run_in(0, 4);
+        assert_eq!(run[0].page, 0);
+        rm.rollback_unprogrammed(&run);
+        assert_eq!(rm.free_blocks_in(0), free_before);
+        assert!(!rm.is_active(run[0].block_addr()));
     }
 
     #[test]

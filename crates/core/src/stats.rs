@@ -29,6 +29,21 @@ pub struct NoFtlStats {
     pub wear_migrations: u64,
     /// Blocks retired by the bad-block manager.
     pub retired_blocks: u64,
+    /// Blocks retired because a PAGE PROGRAM into them reported failure
+    /// (their still-valid pages were relocated first).
+    pub program_fail_retirements: u64,
+    /// Blocks retired because a BLOCK ERASE reported failure.
+    pub erase_fail_retirements: u64,
+    /// Additional read attempts issued by the read-retry ladder after an
+    /// uncorrectable ECC result.
+    pub read_retries: u64,
+    /// Reads rescued by the retry ladder (an attempt after the first
+    /// returned correctable data).
+    pub read_retry_successes: u64,
+    /// Blocks preventively rewritten by the read-disturb scrubber.
+    pub scrubbed_blocks: u64,
+    /// Pages the scrubber relocated.
+    pub scrub_relocations: u64,
     /// Host-visible write latency (ns).
     pub write_latency: Histogram,
     /// Host-visible read latency (ns).

@@ -1,6 +1,7 @@
 //! Erase blocks: the unit of erasure, wear and GC victim selection.
 
 use serde::{Deserialize, Serialize};
+use sim_utils::time::SimInstant;
 
 use crate::oob::Oob;
 use crate::page::{Page, PageState};
@@ -31,6 +32,13 @@ pub struct Block {
     invalid_pages: u32,
     /// Health state.
     health: BlockHealth,
+    /// Reads served since the last erase (the read-disturb stress of the
+    /// fault model; maintained only while a fault plan is active).
+    read_disturb: u64,
+    /// Virtual instant of the last program into the block (the retention
+    /// base of the fault model; maintained only while a fault plan is
+    /// active).
+    programmed_at: SimInstant,
 }
 
 impl Block {
@@ -43,6 +51,8 @@ impl Block {
             valid_pages: 0,
             invalid_pages: 0,
             health: BlockHealth::Good,
+            read_disturb: 0,
+            programmed_at: 0,
         }
     }
 
@@ -102,6 +112,28 @@ impl Block {
         self.health == BlockHealth::Good
     }
 
+    /// Reads served since the last erase (read-disturb stress; maintained
+    /// only while a fault plan is active).
+    pub fn read_disturb(&self) -> u64 {
+        self.read_disturb
+    }
+
+    /// Virtual instant of the last program into the block (retention base;
+    /// maintained only while a fault plan is active).
+    pub fn programmed_at(&self) -> SimInstant {
+        self.programmed_at
+    }
+
+    /// Count one read against the block's read-disturb stress.
+    pub(crate) fn note_read_disturb(&mut self) {
+        self.read_disturb += 1;
+    }
+
+    /// Note the virtual instant of a program into the block.
+    pub(crate) fn note_programmed_at(&mut self, now: SimInstant) {
+        self.programmed_at = now;
+    }
+
     /// Mark the block bad (factory or grown).
     pub(crate) fn mark_bad(&mut self, health: BlockHealth) {
         self.health = health;
@@ -146,6 +178,8 @@ impl Block {
         self.valid_pages = 0;
         self.invalid_pages = 0;
         self.erase_count += 1;
+        self.read_disturb = 0;
+        self.programmed_at = 0;
     }
 }
 

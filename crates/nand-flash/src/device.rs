@@ -11,12 +11,13 @@ use crate::bad_block::BadBlockPolicy;
 use crate::block::{Block, BlockHealth};
 use crate::die::Die;
 use crate::error::{FlashError, FlashResult};
+use crate::fault::{fault_plan_from_env, FaultPlan, ReadFaultOutcome};
 use crate::geometry::FlashGeometry;
 use crate::interface::{DeviceIdentification, NativeFlashInterface, OpCompletion, OpKind};
 use crate::nand_type::TimingProfile;
 use crate::oob::Oob;
 use crate::page::PageState;
-use crate::queue::{CommandId, CommandQueues, QueuedCompletion};
+use crate::queue::{CommandId, CommandQueues, CommandStatus, QueuedCompletion};
 use crate::stats::FlashStats;
 use crate::timing::Channel;
 use crate::trace::{TraceEntry, Tracer};
@@ -45,6 +46,11 @@ pub struct DeviceConfig {
     /// endurance).  Wear tests use tiny values so wear-out is reachable
     /// without hundreds of thousands of erases.
     pub endurance_override: Option<u64>,
+    /// Deterministic fault-injection plan (program/erase/read failures).
+    /// `None` — the default unless the `NOFTL_FAULTS` environment knob says
+    /// otherwise — makes the device bit- and cycle-identical to a build
+    /// without fault injection.
+    pub faults: Option<FaultPlan>,
 }
 
 impl DeviceConfig {
@@ -59,6 +65,7 @@ impl DeviceConfig {
             trace_capacity: 0,
             strict_sequential_program: true,
             endurance_override: None,
+            faults: fault_plan_from_env(),
         }
     }
 
@@ -104,6 +111,13 @@ pub struct NandDevice {
     rng: SimRng,
     sequence: u64,
     queues: CommandQueues,
+    /// Fault-injection plan; `None` disables injection entirely (no RNG
+    /// draws, no counter updates — the equivalence baseline).
+    faults: Option<FaultPlan>,
+    /// Completion stamps of the most recent *failed* command (set only at
+    /// fault-injection sites, where timing is still charged).  The queued
+    /// submission spine consumes this to record an error-carrying completion.
+    fault_completion: Option<OpCompletion>,
 }
 
 impl NandDevice {
@@ -142,6 +156,8 @@ impl NandDevice {
             rng: SimRng::new(config.bad_blocks.seed ^ 0x5EED),
             sequence: 0,
             queues: CommandQueues::new(g.total_dies() as usize, 1),
+            faults: config.faults,
+            fault_completion: None,
         };
         for flat in config.bad_blocks.factory_bad_blocks(&g) {
             let addr = BlockAddr::from_flat(&g, flat);
@@ -163,6 +179,30 @@ impl NandDevice {
     /// The P/E endurance per block.
     pub fn endurance(&self) -> u64 {
         self.endurance
+    }
+
+    /// The fault-injection plan in effect, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Whether fault injection is active.
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Install or remove the fault-injection plan at runtime (tests and the
+    /// chaos harness; `None` restores the fault-free equivalence baseline).
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
+    }
+
+    /// Reads a block has served since its last erase (the read-disturb
+    /// stress the scrubber watches; only maintained while a fault plan is
+    /// active).
+    pub fn read_disturb(&self, block: BlockAddr) -> FlashResult<u64> {
+        self.check_block_addr(block)?;
+        Ok(self.block_ref(block).read_disturb())
     }
 
     /// Access the command trace.
@@ -206,6 +246,17 @@ impl NandDevice {
             next_program_page: b.next_program_page(),
             usable: b.is_usable(),
         })
+    }
+
+    /// Host-directed bad-block mark.  Under NoFTL the DBMS owns bad-block
+    /// management: after relocating the surviving pages of a block whose
+    /// PAGE PROGRAM failed, it writes the bad-block marker so the device
+    /// rejects any further use of the block.  Pure state change — no timing
+    /// and no trace entry, like the factory marks applied at construction.
+    pub fn mark_block_bad(&mut self, addr: BlockAddr) -> FlashResult<()> {
+        self.check_block_addr(addr)?;
+        self.block_mut(addr).mark_bad(BlockHealth::GrownBad);
+        Ok(())
     }
 
     /// State of an individual page.
@@ -291,6 +342,65 @@ impl NandDevice {
         self.tracer.record(entry);
     }
 
+    // -- fault injection -----------------------------------------------------
+    //
+    // Every helper below is a no-op performing **zero RNG draws and zero
+    // block-state updates** when no fault plan is installed, so the fault-off
+    // device stays bit- and cycle-identical to a build without injection.
+
+    /// Draw the read-error model for a read of `block` at `now`, counting the
+    /// read against the block's read-disturb stress.
+    fn draw_read_fault(&mut self, now: SimInstant, block: BlockAddr) -> ReadFaultOutcome {
+        if self.faults.is_none() {
+            return ReadFaultOutcome::Clean;
+        }
+        let (erases, age, disturb) = {
+            let b = self.block_ref(block);
+            (
+                b.erase_count(),
+                now.saturating_sub(b.programmed_at()),
+                b.read_disturb(),
+            )
+        };
+        self.block_mut(block).note_read_disturb();
+        let endurance = self.endurance;
+        let plan = self.faults.as_mut().expect("fault plan checked above");
+        plan.read_outcome(erases, endurance, age, disturb + 1)
+    }
+
+    /// Draw the program-failure model for a program into `block`.
+    fn draw_program_fault(&mut self, block: BlockAddr) -> bool {
+        if self.faults.is_none() {
+            return false;
+        }
+        let erases = self.block_ref(block).erase_count();
+        let endurance = self.endurance;
+        self.faults
+            .as_mut()
+            .expect("fault plan checked above")
+            .program_fails(erases, endurance)
+    }
+
+    /// Note a program into `block` at `now` (the retention base of the read
+    /// fault model).
+    fn note_programmed(&mut self, now: SimInstant, block: BlockAddr) {
+        if self.faults.is_some() {
+            self.block_mut(block).note_programmed_at(now);
+        }
+    }
+
+    /// Draw the erase-failure model for the `erase_count`-th cycle.
+    fn draw_erase_fault(&mut self, erase_count: u64) -> bool {
+        if self.faults.is_none() {
+            return false;
+        }
+        let endurance = self.endurance;
+        self.faults
+            .as_mut()
+            .expect("fault plan checked above")
+            .erase_fails(erase_count, endurance)
+    }
+
     // -- queued submission (submit/poll) ------------------------------------
 
     /// Per-die queue depth in effect for queued submissions.
@@ -318,6 +428,20 @@ impl NandDevice {
     /// read stalls are additionally counted per [`FlashStats`]'s read
     /// counters), and record the completion for a later poll.  `run` returns
     /// the command's completion plus any extra payload (e.g. a read's OOB).
+    /// Map an error to the completion status of an *injected* device fault.
+    /// Only fault-plan failures qualify: they charge real timing and occupy
+    /// the die, so their completions belong in the poll stream.  Validation
+    /// errors (and the fault-free `WornOut` wear model) return `None` and
+    /// keep the historical propagate-without-recording behaviour.
+    fn fault_status(e: &FlashError) -> Option<CommandStatus> {
+        match e {
+            FlashError::ProgramFailed(ppa) => Some(CommandStatus::ProgramFailed(*ppa)),
+            FlashError::EraseFailed(b) => Some(CommandStatus::EraseFailed(*b)),
+            FlashError::UncorrectableEcc(ppa) => Some(CommandStatus::Uncorrectable(*ppa)),
+            _ => None,
+        }
+    }
+
     fn submit_queued<T>(
         &mut self,
         die_idx: usize,
@@ -326,7 +450,31 @@ impl NandDevice {
         run: impl FnOnce(&mut Self, SimInstant) -> FlashResult<(T, OpCompletion)>,
     ) -> FlashResult<(T, QueuedCompletion)> {
         let (issue, gated) = self.queues.admit(die_idx, now);
-        let (payload, completion) = run(self, issue)?;
+        let (payload, completion) = match run(self, issue) {
+            Ok(pc) => pc,
+            Err(e) => {
+                // An injected fault charged real timing: record an
+                // error-carrying completion (the command held its die-queue
+                // slot and a poll must report the failure), then propagate.
+                if let (Some(status), Some(completion)) =
+                    (Self::fault_status(&e), self.fault_completion.take())
+                {
+                    self.stats.queued_submissions += 1;
+                    if kind == OpKind::Read {
+                        self.stats.queued_reads += 1;
+                    }
+                    if gated {
+                        self.stats.queue_gated_submissions += 1;
+                        if kind == OpKind::Read {
+                            self.stats.read_stalls += 1;
+                        }
+                    }
+                    self.queues
+                        .record_with_status(die_idx, kind, now, issue, completion, status);
+                }
+                return Err(e);
+            }
+        };
         self.stats.queued_submissions += 1;
         if kind == OpKind::Read {
             self.stats.queued_reads += 1;
@@ -346,6 +494,7 @@ impl NandDevice {
                 submitted_at: now,
                 issued_at: issue,
                 completion,
+                status: CommandStatus::Ok,
             },
         ))
     }
@@ -361,6 +510,7 @@ impl NandDevice {
                 started_at: now,
                 completed_at: now,
             },
+            status: CommandStatus::Ok,
         }
     }
 
@@ -516,6 +666,7 @@ impl NativeFlashInterface for NandDevice {
             }
         }
         let oob = self.block_ref(block_addr).page(ppa.page).oob;
+        let read_fault = self.draw_read_fault(now, block_addr);
 
         // Timing: array read on the die, then transfer over the channel.
         let die_idx = self.die_index(ppa.die_addr());
@@ -543,6 +694,15 @@ impl NativeFlashInterface for NandDevice {
             block: None,
             lpn: oob.has_lpn().then_some(oob.lpn),
         });
+        match read_fault {
+            ReadFaultOutcome::Clean => {}
+            ReadFaultOutcome::Corrected => self.stats.corrected_reads += 1,
+            ReadFaultOutcome::Uncorrectable => {
+                self.stats.uncorrectable_reads += 1;
+                self.fault_completion = Some(completion);
+                return Err(FlashError::UncorrectableEcc(ppa));
+            }
+        }
         Ok((oob, completion))
     }
 
@@ -655,6 +815,7 @@ impl NativeFlashInterface for NandDevice {
                 }
             }
             let oob = self.block_ref(ppa.block_addr()).page(ppa.page).oob;
+            let read_fault = self.draw_read_fault(now, ppa.block_addr());
 
             let (array_start, array_end) = self.dies[die_idx].occupy(issue, self.timing.read_page);
             let (_, done) = self.channels[channel].occupy(array_end, xfer);
@@ -674,6 +835,22 @@ impl NativeFlashInterface for NandDevice {
                 block: None,
                 lpn: oob.has_lpn().then_some(oob.lpn),
             });
+            match read_fault {
+                ReadFaultOutcome::Clean => {}
+                ReadFaultOutcome::Corrected => self.stats.corrected_reads += 1,
+                ReadFaultOutcome::Uncorrectable => {
+                    // The run aborts at the failing page: senses up to and
+                    // including it were charged, later pages were neither
+                    // sensed nor charged.  The issuer falls back to per-page
+                    // reads (each with its own retry draw).
+                    self.stats.uncorrectable_reads += 1;
+                    self.fault_completion = Some(OpCompletion {
+                        started_at: started_at.unwrap_or(issue),
+                        completed_at,
+                    });
+                    return Err(FlashError::UncorrectableEcc(*ppa));
+                }
+            }
         }
         self.stats.multi_page_read_dispatches += 1;
         self.stats.batched_read_pages += ops.len() as u64;
@@ -713,6 +890,7 @@ impl NativeFlashInterface for NandDevice {
             }
         }
 
+        let fails = self.draw_program_fault(block_addr);
         let stored = if self.store_data {
             Some(data.to_vec().into_boxed_slice())
         } else {
@@ -723,6 +901,7 @@ impl NativeFlashInterface for NandDevice {
             oob.sequence = self.next_sequence();
         }
         self.block_mut(block_addr).record_program(ppa.page, stored, oob);
+        self.note_programmed(now, block_addr);
 
         // Timing: transfer over the channel, then array program on the die.
         let die_idx = self.die_index(ppa.die_addr());
@@ -751,6 +930,15 @@ impl NativeFlashInterface for NandDevice {
             block: None,
             lpn: oob.has_lpn().then_some(oob.lpn),
         });
+        if fails {
+            // The page is consumed (NAND cannot retry a page without an
+            // erase) and no longer holds valid data; the full program timing
+            // was charged before the chip reported failure.
+            self.block_mut(block_addr).invalidate_page(ppa.page);
+            self.stats.program_failures += 1;
+            self.fault_completion = Some(completion);
+            return Err(FlashError::ProgramFailed(ppa));
+        }
         Ok(completion)
     }
 
@@ -844,7 +1032,8 @@ impl NativeFlashInterface for NandDevice {
             .transfer((self.geometry.page_size + self.geometry.oob_size) as u64);
         let mut started_at = None;
         let mut completed_at = issue;
-        for (ppa, data, oob) in ops {
+        for (idx, (ppa, data, oob)) in ops.iter().enumerate() {
+            let fails = self.draw_program_fault(ppa.block_addr());
             let stored = if self.store_data {
                 Some(data.to_vec().into_boxed_slice())
             } else {
@@ -855,6 +1044,7 @@ impl NativeFlashInterface for NandDevice {
                 oob.sequence = self.next_sequence();
             }
             self.block_mut(ppa.block_addr()).record_program(ppa.page, stored, oob);
+            self.note_programmed(now, ppa.block_addr());
 
             let (xfer_start, xfer_end) = self.channels[channel].occupy(issue, xfer);
             let (_, done) = self.dies[die_idx].occupy(xfer_end, self.timing.program_page);
@@ -873,6 +1063,21 @@ impl NativeFlashInterface for NandDevice {
                 block: None,
                 lpn: oob.has_lpn().then_some(oob.lpn),
             });
+            if fails {
+                // Pages before this one committed and stay committed (the
+                // failing [`Ppa`] in the error tells the issuer where the
+                // run split); this page is consumed, later pages were never
+                // transferred.
+                self.block_mut(ppa.block_addr()).invalidate_page(ppa.page);
+                self.stats.program_failures += 1;
+                self.stats.multi_page_dispatches += 1;
+                self.stats.batched_pages += (idx + 1) as u64;
+                self.fault_completion = Some(OpCompletion {
+                    started_at: started_at.unwrap_or(issue),
+                    completed_at,
+                });
+                return Err(FlashError::ProgramFailed(*ppa));
+            }
         }
         self.stats.multi_page_dispatches += 1;
         self.stats.batched_pages += ops.len() as u64;
@@ -886,14 +1091,18 @@ impl NativeFlashInterface for NandDevice {
         self.check_block_addr(block)?;
         self.check_usable(block)?;
 
-        // Wear: erasing past the endurance limit may kill the block.
+        // Wear: erasing past the endurance limit may kill the block.  The
+        // fault plan's soft-knee erase failure is drawn only when the hard
+        // wear-out model did not already fire (its own RNG; no draw when the
+        // plan is off).
         let erase_count = self.block_ref(block).erase_count();
         let wears_out = self
             .bad_policy
             .wears_out(&mut self.rng, erase_count + 1, self.endurance);
+        let erase_fails = !wears_out && self.draw_erase_fault(erase_count + 1);
 
         self.block_mut(block).erase();
-        if wears_out {
+        if wears_out || erase_fails {
             self.block_mut(block).mark_bad(BlockHealth::GrownBad);
         }
 
@@ -919,6 +1128,11 @@ impl NativeFlashInterface for NandDevice {
 
         if wears_out {
             return Err(FlashError::WornOut(block));
+        }
+        if erase_fails {
+            self.stats.erase_failures += 1;
+            self.fault_completion = Some(completion);
+            return Err(FlashError::EraseFailed(block));
         }
         Ok(completion)
     }
@@ -958,12 +1172,14 @@ impl NativeFlashInterface for NandDevice {
                 });
             }
         }
+        let fails = self.draw_program_fault(dst.block_addr());
         let mut oob = new_oob.unwrap_or(src_oob);
         if oob.sequence == 0 {
             oob.sequence = self.next_sequence();
         }
         self.block_mut(dst.block_addr())
             .record_program(dst.page, data, oob);
+        self.note_programmed(now, dst.block_addr());
 
         // Timing: array read + array program on the die, no channel transfer.
         let die_idx = self.die_index(src.die_addr());
@@ -988,6 +1204,14 @@ impl NativeFlashInterface for NandDevice {
             block: None,
             lpn: oob.has_lpn().then_some(oob.lpn),
         });
+        if fails {
+            // The program half of the copyback failed: the destination page
+            // is consumed, the source page is untouched and still valid.
+            self.block_mut(dst.block_addr()).invalidate_page(dst.page);
+            self.stats.program_failures += 1;
+            self.fault_completion = Some(completion);
+            return Err(FlashError::ProgramFailed(dst));
+        }
         Ok(completion)
     }
 
@@ -1809,5 +2033,188 @@ mod tests {
         assert_eq!(dev.max_erase_count(), 2);
         let mean = dev.mean_erase_count();
         assert!(mean > 0.0 && mean < 1.0);
+    }
+
+    use crate::fault::FaultPlan;
+
+    /// A device with an explicitly set fault plan (ignores the env knob so
+    /// these tests are deterministic under any `NOFTL_FAULTS` setting).
+    fn faulty_device(plan: FaultPlan) -> NandDevice {
+        let mut cfg = DeviceConfig::new(FlashGeometry::tiny());
+        cfg.faults = Some(plan);
+        NandDevice::new(cfg)
+    }
+
+    fn certain_program_failure() -> FaultPlan {
+        let mut plan = FaultPlan::seeded(7);
+        plan.program_fail_base = 1.0;
+        plan
+    }
+
+    #[test]
+    fn program_failure_consumes_the_page_and_counts() {
+        let mut dev = faulty_device(certain_program_failure());
+        let data = page_of(&dev, 0x11);
+        let ppa = Ppa::new(0, 0, 0, 0, 0);
+        let err = dev.program_page(0, ppa, &data, Oob::data(1, 0)).unwrap_err();
+        assert_eq!(err, FlashError::ProgramFailed(ppa));
+        assert_eq!(dev.stats().program_failures, 1);
+        assert_eq!(dev.stats().programs, 1, "the attempt still cost a program");
+        // The page is consumed: sequential rule moves on, the page is invalid.
+        let info = dev.block_info(ppa.block_addr()).unwrap();
+        assert_eq!(info.valid_pages, 0);
+        assert_eq!(info.invalid_pages, 1);
+        // The block is NOT device-retired: the DBMS decides after relocation.
+        assert!(dev.block_info(ppa.block_addr()).unwrap().usable);
+    }
+
+    #[test]
+    fn batched_program_failure_keeps_the_committed_prefix() {
+        let mut plan = FaultPlan::seeded(7);
+        // Draw order per page: one program draw each; fail the third draw.
+        plan.program_fail_base = 0.0;
+        let mut dev = faulty_device(plan);
+        let data = page_of(&dev, 0x22);
+        let block = BlockAddr::new(0, 0, 0, 0);
+        let ops: Vec<(Ppa, &[u8], Oob)> = (0..3)
+            .map(|p| (block.page(p), data.as_slice(), Oob::data(p as u64, 0)))
+            .collect();
+        // base 0.0 never fails: whole run commits.
+        dev.program_pages(0, &ops).unwrap();
+        dev.erase_block(1, block).unwrap();
+        // Now a certain-failure plan: first page of the run fails, nothing
+        // after it is charged.
+        dev.set_fault_plan(Some(certain_program_failure()));
+        let err = dev.program_pages(2, &ops).unwrap_err();
+        assert_eq!(err, FlashError::ProgramFailed(block.page(0)));
+        let info = dev.block_info(block).unwrap();
+        assert_eq!(info.valid_pages, 0);
+        assert_eq!(info.invalid_pages, 1, "only the failing page was consumed");
+    }
+
+    #[test]
+    fn erase_failure_marks_the_block_grown_bad() {
+        let mut plan = FaultPlan::seeded(3);
+        plan.erase_fail_knee = 0.99;
+        plan.erase_fail_prob = 1.0;
+        let mut cfg = DeviceConfig::new(FlashGeometry::tiny());
+        cfg.faults = Some(plan);
+        cfg.endurance_override = Some(4);
+        let mut dev = NandDevice::new(cfg);
+        let b = BlockAddr::new(0, 0, 0, 0);
+        // Below the knee the plan never even draws; at full wear (the 4th
+        // erase reaches erase_count == endurance) the ramp hits 1.0.
+        for t in 0..3u64 {
+            dev.erase_block(t, b).unwrap();
+        }
+        let err = dev.erase_block(10, b).unwrap_err();
+        assert_eq!(err, FlashError::EraseFailed(b));
+        assert_eq!(dev.stats().erase_failures, 1);
+        assert!(!dev.block_info(b).unwrap().usable);
+        // Further operations on the block are rejected as bad-block ops.
+        let data = page_of(&dev, 0);
+        assert!(matches!(
+            dev.program_page(1, b.page(0), &data, Oob::data(0, 0)),
+            Err(FlashError::BadBlock(_))
+        ));
+    }
+
+    #[test]
+    fn read_faults_split_into_corrected_and_uncorrectable() {
+        let mut plan = FaultPlan::seeded(5);
+        plan.read_error_base = 1.0;
+        plan.uncorrectable_fraction = 0.0;
+        let mut dev = faulty_device(plan);
+        let data = page_of(&dev, 0x33);
+        let ppa = Ppa::new(0, 0, 0, 0, 0);
+        dev.program_page(0, ppa, &data, Oob::data(4, 0)).unwrap();
+        let mut buf = page_of(&dev, 0);
+        // Every read hits bit errors but ECC corrects them all.
+        dev.read_page(1_000, ppa, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(dev.stats().corrected_reads, 1);
+        assert_eq!(dev.stats().uncorrectable_reads, 0);
+        // Now every error overwhelms ECC.
+        let mut plan = FaultPlan::seeded(5);
+        plan.read_error_base = 1.0;
+        plan.uncorrectable_fraction = 1.0;
+        dev.set_fault_plan(Some(plan));
+        let err = dev.read_page(2_000, ppa, &mut buf).unwrap_err();
+        assert_eq!(err, FlashError::UncorrectableEcc(ppa));
+        assert_eq!(dev.stats().uncorrectable_reads, 1);
+        // Read-disturb stress accumulated on the block across both reads.
+        assert_eq!(dev.read_disturb(ppa.block_addr()).unwrap(), 2);
+    }
+
+    #[test]
+    fn failed_submissions_surface_in_the_poll_stream() {
+        let mut dev = faulty_device(certain_program_failure());
+        dev.set_queue_depth(4);
+        let data = page_of(&dev, 0x44);
+        let ppa = Ppa::new(0, 0, 0, 0, 0);
+        let ops: Vec<(Ppa, &[u8], Oob)> = vec![(ppa, data.as_slice(), Oob::data(1, 0))];
+        let err = dev.submit_program_pages(0, &ops).unwrap_err();
+        assert_eq!(err, FlashError::ProgramFailed(ppa));
+        let polled = dev.poll_completions();
+        assert_eq!(polled.len(), 1, "the failed command still completes");
+        assert_eq!(polled[0].status, CommandStatus::ProgramFailed(ppa));
+        assert_eq!(polled[0].result(), Err(FlashError::ProgramFailed(ppa)));
+        assert_eq!(dev.stats().queued_submissions, 1);
+    }
+
+    #[test]
+    fn same_fault_seed_reproduces_the_same_failures() {
+        let run = |seed: u64| -> (Vec<bool>, FlashStats) {
+            let mut plan = FaultPlan::seeded(seed);
+            plan.program_fail_base = 0.3;
+            plan.read_error_base = 0.3;
+            let mut dev = faulty_device(plan);
+            let data = page_of(&dev, 0x55);
+            let block = BlockAddr::new(0, 0, 0, 0);
+            let mut outcomes = Vec::new();
+            let mut buf = page_of(&dev, 0);
+            for p in 0..dev.geometry().pages_per_block {
+                let ppa = block.page(p);
+                let ok = dev.program_page(0, ppa, &data, Oob::data(p as u64, 0)).is_ok();
+                outcomes.push(ok);
+                if ok {
+                    outcomes.push(dev.read_page(1_000, ppa, &mut buf).is_ok());
+                }
+            }
+            (outcomes, dev.stats().clone())
+        };
+        let (a_out, a_stats) = run(42);
+        let (b_out, b_stats) = run(42);
+        assert_eq!(a_out, b_out);
+        assert_eq!(a_stats.program_failures, b_stats.program_failures);
+        assert_eq!(a_stats.uncorrectable_reads, b_stats.uncorrectable_reads);
+        assert_eq!(a_stats.corrected_reads, b_stats.corrected_reads);
+        // A different seed produces a different failure pattern (with these
+        // probabilities the chance of an identical 64+-draw sequence is nil).
+        let (c_out, _) = run(43);
+        assert_ne!(a_out, c_out);
+    }
+
+    #[test]
+    fn faults_off_keeps_the_device_fault_free() {
+        let mut cfg = DeviceConfig::new(FlashGeometry::tiny());
+        cfg.faults = None;
+        let mut dev = NandDevice::new(cfg);
+        let data = page_of(&dev, 0x66);
+        let block = BlockAddr::new(0, 0, 0, 0);
+        let mut buf = page_of(&dev, 0);
+        for p in 0..dev.geometry().pages_per_block {
+            dev.program_page(0, block.page(p), &data, Oob::data(p as u64, 0))
+                .unwrap();
+            dev.read_page(1_000, block.page(p), &mut buf).unwrap();
+        }
+        dev.erase_block(2_000, block).unwrap();
+        assert_eq!(dev.stats().program_failures, 0);
+        assert_eq!(dev.stats().erase_failures, 0);
+        assert_eq!(dev.stats().corrected_reads, 0);
+        assert_eq!(dev.stats().uncorrectable_reads, 0);
+        // Read-disturb bookkeeping is not even maintained when faults are off
+        // (the hot read path must stay untouched).
+        assert_eq!(dev.read_disturb(block).unwrap(), 0);
     }
 }

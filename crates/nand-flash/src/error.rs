@@ -50,6 +50,13 @@ pub enum FlashError {
     },
     /// An uncorrectable bit error was injected on read (ECC failure).
     UncorrectableEcc(Ppa),
+    /// A PAGE PROGRAM reported failure (injected by the fault plan).  The
+    /// attempted page is consumed; the block should be retired after its
+    /// still-valid pages are relocated.
+    ProgramFailed(Ppa),
+    /// A BLOCK ERASE reported failure (injected by the fault plan); the
+    /// block is marked grown-bad.
+    EraseFailed(BlockAddr),
     /// The device ran out of spare blocks to remap grown bad blocks.
     OutOfSpareBlocks,
 }
@@ -81,6 +88,12 @@ impl std::fmt::Display for FlashError {
             }
             FlashError::UncorrectableEcc(ppa) => {
                 write!(f, "uncorrectable ECC error reading {ppa:?}")
+            }
+            FlashError::ProgramFailed(ppa) => {
+                write!(f, "program failure on page {ppa:?} (page consumed, retire the block)")
+            }
+            FlashError::EraseFailed(b) => {
+                write!(f, "erase failure on block {b:?} (block marked grown-bad)")
             }
             FlashError::OutOfSpareBlocks => write!(f, "device out of spare blocks"),
         }

@@ -28,6 +28,31 @@
 //! on any die behind the channel.  A queue depth of 1 reproduces the
 //! synchronous dispatch exactly (the `NOFTL_ASYNC=1` equivalence leg).
 //!
+//! ## Fault model
+//!
+//! [`fault::FaultPlan`] is a seeded, deterministic model of the three ways
+//! real NAND fails in the field, gated by the `NOFTL_FAULTS` environment
+//! knob (off by default — when off, the device draws **zero** random numbers
+//! from the plan and is bit- and cycle-identical to a fault-free build):
+//!
+//! - **Program failures** ([`FlashError::ProgramFailed`]): probability grows
+//!   with block wear.  The attempted page is *consumed* (NAND cannot retry a
+//!   page without an erase); still-valid pages of the block remain readable
+//!   so the DBMS can relocate them before retiring the block.
+//! - **Erase failures** ([`FlashError::EraseFailed`]): drawn only past a
+//!   soft endurance knee; the block is marked grown-bad by the device.
+//! - **Read bit errors**: the raw bit-error rate grows with P/E cycles,
+//!   retention age and per-block read disturb.  Errors within the modelled
+//!   ECC budget are counted as [`FlashStats::corrected_reads`] and the read
+//!   succeeds; beyond it the read fails with [`FlashError::UncorrectableEcc`]
+//!   (each retry draws independently, so a read-retry ladder can succeed).
+//!
+//! Failed queued commands still produce a [`QueuedCompletion`] carrying a
+//! non-Ok [`CommandStatus`], so poll-driven issuers observe faults the same
+//! way a real driver reads a status register.  Recovery (block retirement,
+//! survivor relocation, read retries, scrubbing) is deliberately *not* done
+//! here — it is the DBMS's job (`noftl-core`), per the NoFTL argument.
+//!
 //! The higher layers built on top of this crate are the `ftl` crate
 //! (on-device FTL baselines behind a legacy block interface) and `noftl-core`
 //! (the DBMS-integrated Flash management of the paper).
@@ -41,6 +66,7 @@ pub mod block;
 pub mod device;
 pub mod die;
 pub mod error;
+pub mod fault;
 pub mod geometry;
 pub mod interface;
 pub mod nand_type;
@@ -54,11 +80,12 @@ pub mod trace;
 pub use addr::{BlockAddr, DieAddr, Ppa};
 pub use device::{DeviceConfig, NandDevice};
 pub use error::{FlashError, FlashResult};
+pub use fault::{fault_plan_from_env, parse_fault_plan, FaultPlan, ReadFaultOutcome, DEFAULT_FAULT_SEED};
 pub use geometry::FlashGeometry;
 pub use interface::{DeviceIdentification, NativeFlashInterface, OpCompletion, OpKind};
 pub use nand_type::{NandType, TimingProfile};
 pub use oob::{Oob, PageKind};
 pub use page::PageState;
-pub use queue::{CommandId, CommandQueues, QueuedCompletion};
+pub use queue::{CommandId, CommandQueues, CommandStatus, QueuedCompletion};
 pub use stats::FlashStats;
 pub use trace::{TraceEntry, Tracer};

@@ -29,11 +29,51 @@ use std::collections::VecDeque;
 use serde::{Deserialize, Serialize};
 use sim_utils::time::SimInstant;
 
+use crate::addr::{BlockAddr, Ppa};
+use crate::error::{FlashError, FlashResult};
 use crate::interface::{OpCompletion, OpKind};
 
 /// Identifier of a submitted command (unique per device, monotone).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CommandId(pub u64);
+
+/// Per-command completion status.
+///
+/// With fault injection off every completion is [`CommandStatus::Ok`]; with a
+/// fault plan active, a queued command that fails on the device still
+/// occupies its die-queue slot for its full duration and reports the failure
+/// here — a poll-driven issuer learns about the error from the completion
+/// stream exactly like a real driver reading a status register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommandStatus {
+    /// The command completed successfully.
+    Ok,
+    /// A PAGE PROGRAM (or the program half of a copyback) failed; the page
+    /// is consumed and the block should be retired.
+    ProgramFailed(Ppa),
+    /// A BLOCK ERASE failed; the block is marked grown-bad.
+    EraseFailed(BlockAddr),
+    /// A PAGE READ saw bit errors beyond the ECC correction budget.
+    Uncorrectable(Ppa),
+}
+
+impl CommandStatus {
+    /// Whether the command succeeded.
+    pub fn is_ok(self) -> bool {
+        self == CommandStatus::Ok
+    }
+
+    /// The status as a `Result`, reconstructing the matching [`FlashError`]
+    /// for failed commands.
+    pub fn result(self) -> FlashResult<()> {
+        match self {
+            CommandStatus::Ok => Ok(()),
+            CommandStatus::ProgramFailed(ppa) => Err(FlashError::ProgramFailed(ppa)),
+            CommandStatus::EraseFailed(b) => Err(FlashError::EraseFailed(b)),
+            CommandStatus::Uncorrectable(ppa) => Err(FlashError::UncorrectableEcc(ppa)),
+        }
+    }
+}
 
 /// Completion record of a queued command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -50,12 +90,19 @@ pub struct QueuedCompletion {
     pub issued_at: SimInstant,
     /// Device-computed start/completion stamps.
     pub completion: OpCompletion,
+    /// Whether the command succeeded, and if not, how it failed.
+    pub status: CommandStatus,
 }
 
 impl QueuedCompletion {
     /// Whether the command had finished by `now`.
     pub fn is_done_at(&self, now: SimInstant) -> bool {
         self.completion.completed_at <= now
+    }
+
+    /// The command's outcome as a `Result` (see [`CommandStatus::result`]).
+    pub fn result(&self) -> FlashResult<()> {
+        self.status.result()
     }
 }
 
@@ -154,6 +201,21 @@ impl CommandQueues {
         issued_at: SimInstant,
         completion: OpCompletion,
     ) -> CommandId {
+        self.record_with_status(die, kind, submitted_at, issued_at, completion, CommandStatus::Ok)
+    }
+
+    /// Record a command whose device-side execution failed: it occupied its
+    /// die for the full (charged) duration and its completion carries the
+    /// failure status for the poll stream.
+    pub fn record_with_status(
+        &mut self,
+        die: usize,
+        kind: OpKind,
+        submitted_at: SimInstant,
+        issued_at: SimInstant,
+        completion: OpCompletion,
+        status: CommandStatus,
+    ) -> CommandId {
         self.next_id += 1;
         let id = CommandId(self.next_id);
         let q = &mut self.dies[die].inflight;
@@ -181,6 +243,7 @@ impl CommandQueues {
             submitted_at,
             issued_at,
             completion,
+            status,
         });
         id
     }
@@ -291,6 +354,43 @@ mod tests {
         // No record() call — the failed command never issued.
         assert_eq!(q.inflight_on(0, 0), 1, "in-flight command must survive");
         assert_eq!(q.drain(0), 900, "barrier still covers the live command");
+    }
+
+    #[test]
+    fn failed_commands_carry_status_and_hold_their_slot() {
+        use crate::addr::Ppa;
+        let mut q = CommandQueues::new(1, 1);
+        let (i, _) = q.admit(0, 0);
+        let ppa = Ppa::new(0, 0, 0, 0, 0);
+        q.record_with_status(
+            0,
+            OpKind::Program,
+            0,
+            i,
+            completion(0, 600),
+            CommandStatus::ProgramFailed(ppa),
+        );
+        // The failed program still occupies the die queue until t=600.
+        let (i2, gated) = q.admit(0, 0);
+        assert_eq!((i2, gated), (600, true));
+        let polled = q.poll();
+        assert_eq!(polled.len(), 1);
+        assert!(!polled[0].status.is_ok());
+        assert_eq!(
+            polled[0].result(),
+            Err(FlashError::ProgramFailed(ppa)),
+            "the poll stream must reconstruct the device error"
+        );
+    }
+
+    #[test]
+    fn ok_completions_report_success() {
+        let mut q = CommandQueues::new(1, 2);
+        let (i, _) = q.admit(0, 0);
+        q.record(0, OpKind::Erase, 0, i, completion(0, 100));
+        let polled = q.poll();
+        assert_eq!(polled[0].status, CommandStatus::Ok);
+        assert_eq!(polled[0].result(), Ok(()));
     }
 
     #[test]

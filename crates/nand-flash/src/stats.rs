@@ -38,6 +38,18 @@ pub struct FlashStats {
     /// — the read stalls a host sees when point reads queue behind in-flight
     /// program/erase traffic.
     pub read_stalls: u64,
+    /// PAGE PROGRAM (or copyback) commands that reported failure (fault
+    /// injection; the attempted page is consumed).
+    pub program_failures: u64,
+    /// BLOCK ERASE commands that reported failure (fault injection; the
+    /// block is marked grown-bad).
+    pub erase_failures: u64,
+    /// PAGE READ commands whose bit errors the modelled ECC engine corrected
+    /// (data intact; scrubbers watch this).
+    pub corrected_reads: u64,
+    /// PAGE READ commands whose bit errors exceeded the ECC correction
+    /// budget (each retry of the read-retry ladder counts separately).
+    pub uncorrectable_reads: u64,
     /// Bytes transferred from the device to the host.
     pub bytes_read: u64,
     /// Bytes transferred from the host to the device.
@@ -99,6 +111,10 @@ impl FlashStats {
         self.queue_gated_submissions += other.queue_gated_submissions;
         self.queued_reads += other.queued_reads;
         self.read_stalls += other.read_stalls;
+        self.program_failures += other.program_failures;
+        self.erase_failures += other.erase_failures;
+        self.corrected_reads += other.corrected_reads;
+        self.uncorrectable_reads += other.uncorrectable_reads;
         self.bytes_read += other.bytes_read;
         self.bytes_written += other.bytes_written;
         self.read_latency.merge(&other.read_latency);

@@ -388,6 +388,14 @@ pub trait StorageBackend {
 
     /// Reset statistics between experiment phases.
     fn reset_counters(&mut self);
+
+    /// Downcast hook: the concrete backend behind a `dyn StorageBackend`.
+    /// The engine owns its backend as a trait object; fault-injection tests
+    /// use this to reach the embedded NoFTL's recovery statistics after a
+    /// run.  Backends that do not opt in return `None`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -519,6 +527,10 @@ impl StorageBackend for NoFtlBackend {
 
     fn reset_counters(&mut self) {
         self.noftl.reset_stats();
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

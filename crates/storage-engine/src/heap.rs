@@ -62,6 +62,13 @@ impl HeapFile {
         self.records
     }
 
+    /// Drop the cached append-target page.  The engine calls this when that
+    /// page turns out to be unreadable (uncorrectable ECC): the next insert
+    /// then allocates a fresh page instead of retrying the lost one.
+    pub fn forget_append_hint(&mut self) {
+        self.last_with_space = None;
+    }
+
     /// Insert a record; returns its RID and the virtual time after I/O.
     #[allow(clippy::too_many_arguments)]
     pub fn insert(
@@ -158,6 +165,19 @@ impl HeapFile {
             new_slot
         })?;
         if let Some(slot) = updated {
+            if slot != rid.slot {
+                // The record moved slots within its page (delete + compact +
+                // reinsert).  Log the tombstone of the old slot too, so WAL
+                // replay — crash recovery and the engine's page rescue —
+                // reconstructs the exact slot state, not a page with a ghost
+                // copy of the old record.
+                wal.append(LogRecord::Update {
+                    txn,
+                    page: rid.page,
+                    slot: rid.slot,
+                    bytes: Vec::new(),
+                });
+            }
             wal.append(LogRecord::Update {
                 txn,
                 page: rid.page,
@@ -384,6 +404,41 @@ mod tests {
             .iter()
             .any(|(_, r)| matches!(r, LogRecord::Update { bytes, .. } if bytes == b"logged"));
         assert!(has_update, "insert must be WAL-logged");
+    }
+
+    #[test]
+    fn intra_page_record_move_logs_the_tombstone() {
+        let mut c = setup();
+        let mut heap = HeapFile::new("t");
+        let (rid, _) = heap
+            .insert(&mut c.pool, &mut c.backend, &mut c.fsm, &mut c.wal, 1, 0, b"small")
+            .unwrap();
+        // Growing the record moves it to a new slot within the page; the WAL
+        // must carry the old slot's tombstone so replay reconstructs the
+        // exact slot state (no ghost copy of the old record).
+        let grown = vec![9u8; 64];
+        let (moved, _) = heap
+            .update(&mut c.pool, &mut c.backend, &mut c.fsm, &mut c.wal, 1, 0, rid, &grown)
+            .unwrap();
+        assert_eq!(moved.page, rid.page, "the grown record still fits its page");
+        assert_ne!(moved.slot, rid.slot, "the move gets a fresh slot");
+        let tail: Vec<&LogRecord> = c.wal.records().iter().map(|(_, r)| r).collect();
+        assert!(
+            matches!(
+                tail[tail.len() - 2],
+                LogRecord::Update { page, slot, bytes, .. }
+                    if *page == rid.page && *slot == rid.slot && bytes.is_empty()
+            ),
+            "the old slot's tombstone must be logged before the re-insert"
+        );
+        assert!(
+            matches!(
+                tail[tail.len() - 1],
+                LogRecord::Update { page, slot, bytes, .. }
+                    if *page == moved.page && *slot == moved.slot && bytes == &grown
+            ),
+            "the re-insert carries the new slot and the post-image"
+        );
     }
 
     #[test]

@@ -116,6 +116,28 @@
 //! the post-checkpoint stream across the wrap point — a stale-sequence slot
 //! marks the durable frontier.  `StorageEngine::checkpoint` advances the
 //! pointer automatically.
+//!
+//! ## Flash-fault recovery (PR 6)
+//!
+//! Under a `NOFTL_FAULTS` plan the device injects program, erase and read
+//! failures; the NoFTL core recovers what it can (block retirement with
+//! survivor relocation, a bounded read-retry ladder, read-disturb
+//! scrubbing).  What still surfaces here is handled without panicking:
+//!
+//! * **Writes** — `NoFtl::write`/`write_batch` only return after any failed
+//!   program has been re-programmed onto a fresh block, so flusher and WAL
+//!   submissions need no payload retention: a returned completion *is*
+//!   success.
+//! * **Uncorrectable reads** — the engine's DML entry points reconstruct the
+//!   lost heap page from WAL replay (heap DML is fully redo-logged with
+//!   post-images), rewrite it through the backend and retry once; what
+//!   cannot be rebuilt — index pages, pre-log history — surfaces as the
+//!   typed [`engine::EngineError`].
+//! * **Unreadable log pages** — [`wal::WalManager::recover_records_from`]
+//!   skips the hole and resynchronises at the next record-aligned log page
+//!   (force starts carry an alignment flag) instead of truncating the scan.
+//! * **Buffer pool** — a frame whose fill errors out is detached before the
+//!   read, so no poisoned frame can enter the map.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -136,7 +158,7 @@ pub mod wal;
 pub use backend::{BlockDeviceBackend, MemBackend, NoFtlBackend, StorageBackend};
 pub use buffer::{BufferPool, ReadaheadStats};
 pub use readahead::ScanPrefetcher;
-pub use engine::{EngineConfig, StorageEngine};
+pub use engine::{EngineConfig, EngineError, EngineResult, StorageEngine};
 pub use flusher::{FlusherConfig, FlusherStats};
 pub use heap::{HeapFile, Rid};
 pub use page::{PageId, SlottedPage};

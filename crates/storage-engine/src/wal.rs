@@ -42,6 +42,14 @@ const LOG_PAGE_HEADER: usize = 8;
 /// Magic tag marking a valid log page ("WL").
 const LOG_PAGE_MAGIC: u16 = 0x574C;
 
+/// Flag bit in the header's payload-length field marking a log page whose
+/// payload starts on a record boundary (the first page of a force).  Page
+/// payloads never come close to 32 KiB, so the bit is free — and it is what
+/// lets [`WalManager::recover_records_from`] resynchronise the record decoder
+/// after skipping an unreadable (e.g. retired) log page instead of treating
+/// the hole as the end of the log.
+const LOG_PAGE_ALIGNED: u16 = 0x8000;
+
 /// Log sequence number (byte offset in the logical log).
 pub type Lsn = u64;
 
@@ -218,8 +226,8 @@ impl WalManager {
             "page size must exceed the log page header"
         );
         assert!(
-            page_size - LOG_PAGE_HEADER <= u16::MAX as usize,
-            "log page payload length must fit the header's u16 field"
+            page_size - LOG_PAGE_HEADER < LOG_PAGE_ALIGNED as usize,
+            "log page payload length must fit the header's u16 length field"
         );
         Self {
             log_start,
@@ -394,9 +402,12 @@ impl WalManager {
         let mut seq = self.next_log_page;
         while offset < self.buffer.len() {
             let chunk = (self.buffer.len() - offset).min(payload_cap);
+            // The buffer holds whole records, so the force's first page is
+            // record-aligned — flag it as a recovery resynchronisation point.
+            let len_field = chunk as u16 | if offset == 0 { LOG_PAGE_ALIGNED } else { 0 };
             let mut page = vec![0u8; self.page_size];
             page[0..2].copy_from_slice(&LOG_PAGE_MAGIC.to_le_bytes());
-            page[2..4].copy_from_slice(&(chunk as u16).to_le_bytes());
+            page[2..4].copy_from_slice(&len_field.to_le_bytes());
             page[4..8].copy_from_slice(&(seq as u32).to_le_bytes());
             page[LOG_PAGE_HEADER..LOG_PAGE_HEADER + chunk]
                 .copy_from_slice(&self.buffer[offset..offset + chunk]);
@@ -508,7 +519,18 @@ impl WalManager {
     /// is, and staleness marks the durable frontier.
     ///
     /// Returned LSNs are relative to the scan start (recovery has no older
-    /// context by construction — everything before the checkpoint is gone).
+    /// context by construction — everything before the checkpoint is gone);
+    /// records after a skipped hole keep ascending LSNs, with the lost bytes
+    /// collapsed.
+    ///
+    /// **Unreadable log pages.** A read error (for example an uncorrectable
+    /// ECC result from a log page whose block was later retired) does *not*
+    /// end the scan: the hole's bytes are gone, so the current record run is
+    /// closed, the scan continues, and decoding resynchronises at the next
+    /// page flagged record-aligned (the first page of a force — see
+    /// [`LOG_PAGE_ALIGNED`]).  Only a stale or never-written page — wrong
+    /// magic or out-of-sequence header — marks the durable frontier and
+    /// terminates the scan.
     pub fn recover_records_from(
         backend: &mut dyn StorageBackend,
         log_start: PageId,
@@ -518,29 +540,62 @@ impl WalManager {
         now: SimInstant,
     ) -> Vec<(Lsn, LogRecord)> {
         let payload_cap = page_size - LOG_PAGE_HEADER;
-        let mut stream = Vec::new();
+        // Contiguous, record-aligned byte runs; a hole (or the mid-record
+        // pages following one) separates runs.  The scan start is always
+        // record-aligned: it is page-sequence 0 or a checkpointed force
+        // start.
+        let mut runs: Vec<Vec<u8>> = Vec::new();
+        let mut current: Option<Vec<u8>> = Some(Vec::new());
         let mut buf = vec![0u8; page_size];
         for seq in start_seq..start_seq + log_pages {
             let slot = log_start + (seq % log_pages);
             if backend.read_page(now, slot, &mut buf).is_err() {
-                break;
+                // Unreadable log page: its records are lost, but committed
+                // records on later pages are not — close the run and keep
+                // scanning rather than declaring end-of-log.
+                if let Some(run) = current.take() {
+                    if !run.is_empty() {
+                        runs.push(run);
+                    }
+                }
+                continue;
             }
             let magic = u16::from_le_bytes([buf[0], buf[1]]);
-            let len = u16::from_le_bytes([buf[2], buf[3]]) as usize;
+            let len_field = u16::from_le_bytes([buf[2], buf[3]]);
+            let aligned = len_field & LOG_PAGE_ALIGNED != 0;
+            let len = (len_field & !LOG_PAGE_ALIGNED) as usize;
             let page_seq = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
             if magic != LOG_PAGE_MAGIC || page_seq != seq as u32 || len == 0 || len > payload_cap
             {
                 break;
             }
-            stream.extend_from_slice(&buf[LOG_PAGE_HEADER..LOG_PAGE_HEADER + len]);
+            match current.as_mut() {
+                Some(run) => run.extend_from_slice(&buf[LOG_PAGE_HEADER..LOG_PAGE_HEADER + len]),
+                // Resynchronising after a hole: pages continuing a record
+                // whose head fell into the hole cannot be decoded and are
+                // dropped; the next force start opens a fresh run.
+                None if aligned => {
+                    let mut run = Vec::new();
+                    run.extend_from_slice(&buf[LOG_PAGE_HEADER..LOG_PAGE_HEADER + len]);
+                    current = Some(run);
+                }
+                None => {}
+            }
+        }
+        if let Some(run) = current.take() {
+            if !run.is_empty() {
+                runs.push(run);
+            }
         }
         let mut records = Vec::new();
         let mut lsn: Lsn = 0;
-        let mut cursor = &stream[..];
-        while let Some((record, used)) = LogRecord::decode(cursor) {
-            records.push((lsn, record));
-            lsn += used as u64;
-            cursor = &cursor[used..];
+        for run in &runs {
+            let mut cursor = &run[..];
+            while let Some((record, used)) = LogRecord::decode(cursor) {
+                records.push((lsn, record));
+                lsn += used as u64;
+                cursor = &cursor[used..];
+            }
         }
         records
     }
@@ -954,6 +1009,142 @@ mod tests {
             .map(|(_, r)| r)
             .collect();
         assert_eq!(durable.len(), 4);
+    }
+
+    /// MemBackend wrapper whose `read_page` fails for chosen page ids —
+    /// MemBackend itself never errors, and simulating a retired log block
+    /// needs exactly one unreadable page in the middle of the segment.
+    struct FailingBackend {
+        inner: MemBackend,
+        bad_pages: std::collections::HashSet<PageId>,
+    }
+
+    impl FailingBackend {
+        fn new(inner: MemBackend) -> Self {
+            Self {
+                inner,
+                bad_pages: std::collections::HashSet::new(),
+            }
+        }
+    }
+
+    impl StorageBackend for FailingBackend {
+        fn name(&self) -> String {
+            "failing-mem".into()
+        }
+
+        fn page_size(&self) -> usize {
+            self.inner.page_size()
+        }
+
+        fn num_pages(&self) -> u64 {
+            self.inner.num_pages()
+        }
+
+        fn read_page(
+            &mut self,
+            now: SimInstant,
+            page_id: u64,
+            buf: &mut [u8],
+        ) -> FlashResult<nand_flash::OpCompletion> {
+            if self.bad_pages.contains(&page_id) {
+                return Err(nand_flash::FlashError::UncorrectableEcc(
+                    nand_flash::BlockAddr::new(0, 0, 0, 0).page(0),
+                ));
+            }
+            self.inner.read_page(now, page_id, buf)
+        }
+
+        fn write_page(
+            &mut self,
+            now: SimInstant,
+            page_id: u64,
+            data: &[u8],
+        ) -> FlashResult<nand_flash::OpCompletion> {
+            self.inner.write_page(now, page_id, data)
+        }
+
+        fn free_page_hint(&mut self, now: SimInstant, page_id: u64) -> FlashResult<()> {
+            self.inner.free_page_hint(now, page_id)
+        }
+
+        fn counters(&self) -> crate::backend::BackendCounters {
+            self.inner.counters()
+        }
+
+        fn reset_counters(&mut self) {
+            self.inner.reset_counters()
+        }
+    }
+
+    #[test]
+    fn unreadable_log_page_does_not_truncate_recovery() {
+        // Three single-page forces; the middle one's log page becomes
+        // unreadable (its block was retired).  Recovery must skip the hole
+        // and still replay the third transaction — the old scan treated any
+        // read error as end-of-log and silently dropped everything after it.
+        let mut backend = FailingBackend::new(MemBackend::new(512, 64));
+        let mut wal = WalManager::new(0, 64, 512);
+        for txn in 1..=3u64 {
+            wal.append(LogRecord::Begin { txn });
+            wal.append(LogRecord::Update {
+                txn,
+                page: 40 + txn,
+                slot: 0,
+                bytes: vec![txn as u8; 32],
+            });
+            wal.append(LogRecord::Commit { txn });
+            wal.flush(&mut backend, 0).unwrap();
+        }
+        assert_eq!(wal.log_writes(), 3, "one log page per force");
+        backend.bad_pages.insert(1);
+        let recovered = WalManager::recover_records(&mut backend, 0, 64, 512, 0);
+        let txns: Vec<u64> = recovered
+            .iter()
+            .filter_map(|(_, r)| match r {
+                LogRecord::Commit { txn } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(txns, vec![1, 3], "txn 2 sat on the hole; 1 and 3 survive");
+        assert_eq!(recovered.len(), 6, "three records per surviving txn");
+        let lsns: Vec<Lsn> = recovered.iter().map(|(lsn, _)| *lsn).collect();
+        let mut sorted = lsns.clone();
+        sorted.sort_unstable();
+        assert_eq!(lsns, sorted, "LSNs stay monotone across the hole");
+    }
+
+    #[test]
+    fn hole_mid_force_resyncs_at_the_next_force_start() {
+        // One force spanning three log pages (a single large record), then a
+        // small second force.  Losing the big force's middle page tears the
+        // record across the hole; recovery must drop the torn force but
+        // resynchronise at the next record-aligned page and replay the
+        // second force.
+        let mut backend = FailingBackend::new(MemBackend::new(512, 64));
+        let mut wal = WalManager::new(0, 64, 512);
+        wal.append(LogRecord::Update {
+            txn: 1,
+            page: 50,
+            slot: 0,
+            bytes: vec![0xAB; 1200],
+        });
+        wal.flush(&mut backend, 0).unwrap();
+        assert_eq!(wal.log_writes(), 3, "the big record spans three pages");
+        wal.append(LogRecord::Begin { txn: 2 });
+        wal.append(LogRecord::Commit { txn: 2 });
+        wal.flush(&mut backend, 0).unwrap();
+        backend.bad_pages.insert(1);
+        let recovered = WalManager::recover_records(&mut backend, 0, 64, 512, 0);
+        let expected = vec![
+            LogRecord::Begin { txn: 2 },
+            LogRecord::Commit { txn: 2 },
+        ];
+        assert_eq!(
+            recovered.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
+            expected,
+            "torn force dropped, later force recovered"
+        );
     }
 
     fn record_strategy() -> impl Strategy<Value = LogRecord> {

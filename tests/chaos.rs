@@ -1,0 +1,436 @@
+//! Chaos harness (PR 6): TPC-B / TPC-C storms against the full NoFTL stack
+//! under seeded fault plans — program failures, erase failures and read
+//! errors injected by the device while the DBMS recovers above them.
+//!
+//! Every case asserts the two promises of the recovery machinery:
+//!
+//! * **Zero committed-data loss** — after the storm the workload's own
+//!   consistency conditions hold (TPC-B: branch/teller/account balance sums
+//!   equal the history deltas; TPC-C: warehouse/district YTD sums equal the
+//!   payment history), every loaded row is still present, and — on the
+//!   crash-at-boundary legs — the durable log recovered from the medium
+//!   alone replays every record since the last checkpoint.
+//! * **Truthful statistics** — every device-reported failure is accounted
+//!   for by exactly one DBMS-side recovery action (block retirement, read
+//!   retry), and the grown-bad-block census matches the retirement count.
+//!
+//! The storms run both the synchronous model (depth 1) and the asynchronous
+//! per-die queues at depth 8.  `fault_storm_smoke` honours the
+//! `NOFTL_FAULTS` knob (any seed given there drives the plan) so CI can pin
+//! a seed; the proptest storms draw their own seeds deterministically.
+
+use proptest::prelude::*;
+
+use noftl::nand_flash::fault::{fault_plan_from_env, FaultPlan, DEFAULT_FAULT_SEED};
+use noftl::nand_flash::{DeviceConfig, FlashError, FlashGeometry, NandDevice};
+use noftl::noftl_core::{NoFtl, NoFtlConfig};
+use noftl::sim_utils::time::SimInstant;
+use noftl::storage_engine::backend::NoFtlBackend;
+use noftl::storage_engine::{
+    EngineConfig, FlusherConfig, LogRecord, StorageEngine, WalManager,
+};
+use noftl::workloads::{
+    BenchmarkDriver, DriverConfig, TpcB, TpcBConfig, TpcC, TpcCConfig, Workload,
+};
+
+/// Log segment size used by every chaos engine (must match the crash leg's
+/// recovery scan).
+const LOG_PAGES: u64 = 64;
+
+/// Chaos fault mix: every failure mode is orders of magnitude more likely
+/// than on the default plan, so a short storm actually exercises recovery,
+/// but rates stay low enough that the spare-block pool survives the run.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::seeded(seed);
+    plan.program_fail_base = 2e-3;
+    plan.program_fail_wear_scale = 0.0;
+    plan.erase_fail_knee = 0.0;
+    plan.erase_fail_prob = 0.25;
+    plan.read_error_base = 2e-3;
+    plan.read_error_wear_scale = 1.0;
+    plan.read_error_retention_scale = 0.0;
+    plan.read_error_disturb_scale = 1e-6;
+    plan.uncorrectable_fraction = 0.1;
+    plan
+}
+
+/// Full NoFTL stack with fault injection: device (with `plan`) → NoFTL →
+/// backend → engine, at the given asynchronous submission depth.  The depth
+/// is set explicitly on every layer so the chaos runs are independent of the
+/// `NOFTL_ASYNC` environment leg they happen to execute under.
+fn chaos_engine(plan: FaultPlan, depth: usize, endurance: Option<u64>) -> StorageEngine {
+    chaos_engine_on(FlashGeometry::small(), plan, depth, endurance, None)
+}
+
+/// [`chaos_engine`] on an explicit geometry — the targeted legs use a much
+/// smaller device (and a higher over-provisioning ratio, giving GC spare
+/// room to survive retirements) so GC — and with it the erase-failure model
+/// — demonstrably runs within a short storm.
+fn chaos_engine_on(
+    geometry: FlashGeometry,
+    plan: FaultPlan,
+    depth: usize,
+    endurance: Option<u64>,
+    op_ratio: Option<f64>,
+) -> StorageEngine {
+    chaos_engine_with_frames(geometry, plan, depth, endurance, op_ratio, 48)
+}
+
+/// [`chaos_engine_on`] with an explicit buffer-pool size: the targeted legs
+/// shrink the pool below the working set so foreground reads demonstrably
+/// miss to the device — and through its read-error model — during the storm.
+fn chaos_engine_with_frames(
+    geometry: FlashGeometry,
+    plan: FaultPlan,
+    depth: usize,
+    endurance: Option<u64>,
+    op_ratio: Option<f64>,
+    buffer_frames: usize,
+) -> StorageEngine {
+    let mut cfg = NoFtlConfig::new(geometry);
+    cfg.async_queue_depth = depth;
+    cfg.endurance_override = endurance;
+    if let Some(op) = op_ratio {
+        cfg.op_ratio = op;
+    }
+    let mut dev_cfg = DeviceConfig::new(geometry);
+    dev_cfg.store_data = cfg.store_data;
+    dev_cfg.endurance_override = cfg.endurance_override;
+    dev_cfg.faults = Some(plan);
+    let noftl = NoFtl::with_device(NandDevice::new(dev_cfg), cfg);
+    let mut backend = NoFtlBackend::new(noftl);
+    backend.noftl_mut().set_async_depth(depth);
+
+    let mut ecfg = EngineConfig::new();
+    // A pool far smaller than the database, so reads genuinely hit the
+    // device (and its read-error model) instead of staying cached.
+    ecfg.buffer_frames = buffer_frames;
+    ecfg.log_pages = LOG_PAGES;
+    let mut flushers = FlusherConfig::die_wise(2);
+    flushers.async_depth = depth;
+    ecfg.flushers = flushers;
+    ecfg.readahead_window = 16;
+    StorageEngine::new(Box::new(backend), ecfg)
+}
+
+/// The embedded NoFTL of a chaos engine (via the backend downcast hook).
+fn noftl_of(engine: &StorageEngine) -> &NoFtl {
+    engine
+        .backend()
+        .as_any()
+        .and_then(|a| a.downcast_ref::<NoFtlBackend>())
+        .expect("chaos engines run on the NoFTL backend")
+        .noftl()
+}
+
+/// Scan a table, retrying the whole pass on an uncorrectable read: every
+/// retry redraws the read-error model (the ladder of a real controller), so
+/// a transient uncorrectable never fails verification.  Any other error is a
+/// genuine bug and panics the case.
+fn scan_rows(
+    engine: &mut StorageEngine,
+    table: &str,
+    now: SimInstant,
+) -> (Vec<Vec<u8>>, SimInstant) {
+    let mut last = None;
+    for _ in 0..8 {
+        let mut rows = Vec::new();
+        match engine.scan(table, now, |_, r| rows.push(r.to_vec())) {
+            Ok((_, t)) => return (rows, t),
+            Err(e @ FlashError::UncorrectableEcc(_)) => last = Some(e),
+            Err(e) => panic!("scan of {table} failed with a non-read fault: {e}"),
+        }
+    }
+    panic!("table {table} unreadable after 8 scan attempts: {last:?}");
+}
+
+fn le_i64(bytes: &[u8]) -> i64 {
+    i64::from_le_bytes(bytes.try_into().expect("8-byte field"))
+}
+
+/// Every device-reported failure must be accounted for by the DBMS-side
+/// recovery statistics — injected faults never vanish silently.
+fn assert_truthful_stats(engine: &StorageEngine) {
+    let n = noftl_of(engine);
+    let flash = n.flash_stats();
+    let stats = n.stats();
+    assert_eq!(
+        stats.program_fail_retirements, flash.program_failures,
+        "every device program failure must be recovered by exactly one retirement"
+    );
+    assert_eq!(
+        stats.erase_fail_retirements, flash.erase_failures,
+        "every device erase failure must be recovered by exactly one retirement"
+    );
+    if flash.uncorrectable_reads > 0 {
+        assert!(
+            stats.read_retries > 0,
+            "uncorrectable reads were reported but nothing retried them"
+        );
+    }
+    assert!(
+        stats.read_retry_successes <= stats.read_retries,
+        "retry successes cannot exceed retries"
+    );
+    assert!(
+        stats.retired_blocks >= stats.program_fail_retirements + stats.erase_fail_retirements,
+        "the retirement census must cover every fault-driven retirement"
+    );
+    assert_eq!(
+        n.bad_blocks().grown_count() as u64,
+        stats.retired_blocks,
+        "grown-bad census must match the retirement count"
+    );
+}
+
+/// Crash-at-boundary leg: checkpoint, run a few more transactions, then
+/// rebuild the log from the *medium alone* and demand every record since the
+/// checkpoint — in particular every Commit — is durable, fault storm and
+/// retired log blocks notwithstanding.
+fn assert_committed_log_durable(
+    engine: &mut StorageEngine,
+    workload: &mut dyn Workload,
+    now: SimInstant,
+    extra_txns: usize,
+) {
+    let mut t = engine.checkpoint(now).expect("checkpoint under faults");
+    for _ in 0..extra_txns {
+        let (t2, _) = workload
+            .run_transaction(engine, 0, t)
+            .expect("post-checkpoint transaction");
+        t = t2;
+    }
+    let t = engine.quiesce(t);
+
+    let ckpt_lsn = engine.wal().checkpoint_lsn();
+    let start_seq = engine.wal().recovery_start_seq();
+    let expected: Vec<LogRecord> = engine
+        .wal()
+        .records()
+        .iter()
+        .filter(|(lsn, _)| *lsn >= ckpt_lsn)
+        .map(|(_, r)| r.clone())
+        .collect();
+    let page_size = engine.page_size();
+    let log_start = engine.backend().num_pages() - LOG_PAGES;
+    let recovered: Vec<LogRecord> =
+        WalManager::recover_records_from(engine.backend_mut(), log_start, LOG_PAGES, page_size, start_seq, t)
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+    assert_eq!(
+        recovered, expected,
+        "a crash at the run boundary must find every record since the checkpoint durable"
+    );
+    let commits = recovered
+        .iter()
+        .filter(|r| matches!(r, LogRecord::Commit { .. }))
+        .count();
+    assert_eq!(commits, extra_txns, "every committed transaction must be in the durable log");
+}
+
+// ---------------------------------------------------------------------------
+// TPC-B storm
+// ---------------------------------------------------------------------------
+
+fn tpcb_storm(seed: u64, depth: usize, crash_check: bool) {
+    let mut engine = chaos_engine(chaos_plan(seed), depth, Some(64));
+    let mut w = TpcB::new(TpcBConfig {
+        scale_factor: 1,
+        tellers_per_branch: 10,
+        accounts_per_branch: 400,
+        seed,
+    });
+    let start = w.setup(&mut engine, 0).expect("TPC-B load under faults");
+    let driver = BenchmarkDriver::new(DriverConfig::new(3, 44));
+    driver
+        .run(&mut engine, &mut w, start)
+        .expect("TPC-B storm under faults");
+    let end = engine.quiesce(0);
+
+    // Zero committed-data loss: every loaded row survives and the TPC-B
+    // consistency condition holds — the balance sums of all three levels
+    // equal the sum of the history deltas (all transactions committed).
+    let (accounts, end) = scan_rows(&mut engine, "account", end);
+    assert_eq!(accounts.len(), 400, "account rows lost");
+    let (tellers, end) = scan_rows(&mut engine, "teller", end);
+    assert_eq!(tellers.len(), 10, "teller rows lost");
+    let (branches, end) = scan_rows(&mut engine, "branch", end);
+    assert_eq!(branches.len(), 1, "branch rows lost");
+    let (history, end) = scan_rows(&mut engine, "history", end);
+    // 44 measured + 4 warm-up transactions, one history append each.
+    assert_eq!(history.len(), 48, "history rows lost");
+
+    let history_total: i64 = history.iter().map(|r| le_i64(&r[24..32])).sum();
+    let account_total: i64 = accounts.iter().map(|r| le_i64(&r[16..24])).sum();
+    let teller_total: i64 = tellers.iter().map(|r| le_i64(&r[16..24])).sum();
+    let branch_total: i64 = branches.iter().map(|r| le_i64(&r[8..16])).sum();
+    assert_eq!(account_total, history_total, "account balances diverged from history");
+    assert_eq!(teller_total, history_total, "teller balances diverged from history");
+    assert_eq!(branch_total, history_total, "branch balances diverged from history");
+
+    assert_truthful_stats(&engine);
+    if crash_check {
+        assert_committed_log_durable(&mut engine, &mut w, end, 6);
+        assert_truthful_stats(&engine);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TPC-C storm
+// ---------------------------------------------------------------------------
+
+fn tpcc_storm(seed: u64, depth: usize, crash_check: bool) {
+    let mut engine = chaos_engine(chaos_plan(seed), depth, Some(64));
+    let mut w = TpcC::new(TpcCConfig {
+        warehouses: 1,
+        districts_per_warehouse: 4,
+        customers_per_district: 40,
+        items: 200,
+        seed,
+    });
+    let start = w.setup(&mut engine, 0).expect("TPC-C load under faults");
+    let driver = BenchmarkDriver::new(DriverConfig::new(3, 40));
+    driver
+        .run(&mut engine, &mut w, start)
+        .expect("TPC-C storm under faults");
+    let end = engine.quiesce(0);
+
+    // Zero committed-data loss: loaded rows intact, inserted orders present,
+    // and the money-flow consistency condition — warehouse YTD, district YTD
+    // and the payment history all account for the same total.
+    let (warehouses, end) = scan_rows(&mut engine, "warehouse", end);
+    assert_eq!(warehouses.len(), 1, "warehouse rows lost");
+    let (districts, end) = scan_rows(&mut engine, "district", end);
+    assert_eq!(districts.len(), 4, "district rows lost");
+    let (customers, end) = scan_rows(&mut engine, "customer", end);
+    assert_eq!(customers.len(), 160, "customer rows lost");
+    let (stock, end) = scan_rows(&mut engine, "stock", end);
+    assert_eq!(stock.len(), 200, "stock rows lost");
+    let (orders, end) = scan_rows(&mut engine, "orders", end);
+    assert_eq!(
+        orders.len() as u64, w.mix_counts[0],
+        "every committed New-Order must have its order row"
+    );
+    let (order_lines, end) = scan_rows(&mut engine, "order_line", end);
+    assert!(
+        order_lines.len() >= orders.len() * 5,
+        "order lines lost: {} lines for {} orders",
+        order_lines.len(),
+        orders.len()
+    );
+    let (history, end) = scan_rows(&mut engine, "history", end);
+    assert_eq!(
+        history.len() as u64, w.mix_counts[1],
+        "every committed Payment must have its history row"
+    );
+
+    let paid: i64 = history.iter().map(|r| le_i64(&r[8..16])).sum();
+    let warehouse_ytd: i64 = warehouses.iter().map(|r| le_i64(&r[8..16])).sum();
+    let district_ytd: i64 = districts.iter().map(|r| le_i64(&r[16..24])).sum();
+    assert_eq!(warehouse_ytd, paid, "warehouse YTD diverged from the payment history");
+    assert_eq!(district_ytd, paid, "district YTD diverged from the payment history");
+
+    assert_truthful_stats(&engine);
+    if crash_check {
+        assert_committed_log_durable(&mut engine, &mut w, end, 4);
+        assert_truthful_stats(&engine);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The storms: 104 seeded fault-plan runs (26 cases × {TPC-B, TPC-C} ×
+// {sync, async depth 8}), crash-at-boundary on roughly half of them.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(26))]
+
+    #[test]
+    fn tpcb_storms_survive_fault_plans_sync(seed in any::<u64>(), crash in any::<bool>()) {
+        tpcb_storm(seed, 1, crash);
+    }
+
+    #[test]
+    fn tpcb_storms_survive_fault_plans_async_depth8(seed in any::<u64>(), crash in any::<bool>()) {
+        tpcb_storm(seed, 8, crash);
+    }
+
+    #[test]
+    fn tpcc_storms_survive_fault_plans_sync(seed in any::<u64>(), crash in any::<bool>()) {
+        tpcc_storm(seed, 1, crash);
+    }
+
+    #[test]
+    fn tpcc_storms_survive_fault_plans_async_depth8(seed in any::<u64>(), crash in any::<bool>()) {
+        tpcc_storm(seed, 8, crash);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Targeted legs
+// ---------------------------------------------------------------------------
+
+/// One run with every failure mode cranked high enough that all three fault
+/// classes demonstrably fire — and are all recovered — in a single storm.
+#[test]
+fn storm_injects_and_recovers_every_fault_class() {
+    let mut plan = chaos_plan(0xC4A05);
+    plan.program_fail_base = 0.004;
+    plan.erase_fail_prob = 0.4;
+    plan.read_error_base = 0.02;
+    // Endurance 4: erase failures ramp with wear from the very first P/E
+    // cycle.  A deliberately tiny device (2 dies x 16 blocks x 8 pages) with
+    // 40% over-provisioning keeps GC running throughout the storm — so
+    // erases, and their failure draws, actually happen — while the small
+    // blocks leave enough spares to absorb the retirements the cranked
+    // rates cause.
+    let geometry = FlashGeometry::with_dies(2, 32, 8, 4096);
+    let mut engine = chaos_engine_with_frames(geometry, plan, 8, Some(32), Some(0.5), 12);
+    let mut w = TpcB::new(TpcBConfig {
+        scale_factor: 1,
+        tellers_per_branch: 10,
+        accounts_per_branch: 400,
+        seed: 0xC4A05,
+    });
+    let start = w.setup(&mut engine, 0).expect("load");
+    let driver = BenchmarkDriver::new(DriverConfig::new(3, 250));
+    if let Err(e) = driver.run(&mut engine, &mut w, start) {
+        let n = noftl_of(&engine);
+        let flash = n.flash_stats();
+        panic!(
+            "storm: {e} (programs={} erases={} pf={} ef={} retired={} wearout={:?})",
+            flash.programs, flash.erases, flash.program_failures,
+            flash.erase_failures, n.stats().retired_blocks, n.bad_blocks().grown_count()
+        );
+    }
+    let end = engine.quiesce(0);
+
+    let (history, end) = scan_rows(&mut engine, "history", end);
+    assert_eq!(history.len(), 275); // 250 measured + 25 warm-up
+    let (branches, _end) = scan_rows(&mut engine, "branch", end);
+    let history_total: i64 = history.iter().map(|r| le_i64(&r[24..32])).sum();
+    let branch_total: i64 = branches.iter().map(|r| le_i64(&r[8..16])).sum();
+    assert_eq!(branch_total, history_total);
+
+    assert_truthful_stats(&engine);
+    let n = noftl_of(&engine);
+    let flash = n.flash_stats();
+    assert!(flash.program_failures > 0, "storm must inject program failures");
+    assert!(flash.erase_failures > 0, "storm must inject erase failures");
+    assert!(flash.corrected_reads > 0, "storm must inject correctable read errors");
+    assert!(n.stats().retired_blocks > 0, "recovery must have retired blocks");
+}
+
+/// CI smoke: one TPC-B storm with a crash-at-boundary leg.  The plan's seed
+/// honours the `NOFTL_FAULTS` knob (`NOFTL_FAULTS=12345` pins seed 12345);
+/// with the knob off or unset the default fault seed is used, so the smoke
+/// always exercises the recovery machinery.
+#[test]
+fn fault_storm_smoke() {
+    let seed = fault_plan_from_env()
+        .unwrap_or_else(|| FaultPlan::seeded(DEFAULT_FAULT_SEED))
+        .seed;
+    tpcb_storm(seed, 8, true);
+    tpcb_storm(seed, 1, false);
+}

@@ -52,6 +52,20 @@ fn with_async_env<R>(value: Option<&str>, f: impl FnOnce() -> R) -> R {
     r
 }
 
+fn with_faults_env<R>(value: Option<&str>, f: impl FnOnce() -> R) -> R {
+    let saved = std::env::var("NOFTL_FAULTS").ok();
+    match value {
+        Some(v) => std::env::set_var("NOFTL_FAULTS", v),
+        None => std::env::remove_var("NOFTL_FAULTS"),
+    }
+    let r = f();
+    match saved {
+        Some(v) => std::env::set_var("NOFTL_FAULTS", v),
+        None => std::env::remove_var("NOFTL_FAULTS"),
+    }
+    r
+}
+
 #[test]
 fn fig3_output_identical_with_batching_off_vs_batch_size_one() {
     let _guard = ENV_LOCK.lock().unwrap();
@@ -196,6 +210,35 @@ fn fig4_output_identical_with_async_off_vs_depth_one() {
         off, one,
         "Figure 4 output must be bit-identical with NOFTL_ASYNC unset vs depth 1"
     );
+}
+
+#[test]
+fn fig3_output_identical_with_faults_unset_vs_off() {
+    // The fault-injection plumbing must be a strict no-op when disabled:
+    // `NOFTL_FAULTS=off` has to produce the same figures as a build that never
+    // heard of the knob.
+    let _guard = ENV_LOCK.lock().unwrap();
+    let unset = with_faults_env(None, || render_fig3(&run_gc_overhead(Scale::Quick)));
+    let off = with_faults_env(Some("off"), || render_fig3(&run_gc_overhead(Scale::Quick)));
+    assert_eq!(
+        unset, off,
+        "Figure 3 output must be bit-identical with NOFTL_FAULTS unset vs off"
+    );
+}
+
+#[test]
+fn emulator_command_traces_identical_with_faults_unset_vs_off() {
+    // Stronger than figure identity: the device-level command stream — every
+    // opcode, address, issue and completion stamp — must match cycle for
+    // cycle with the fault knob explicitly off.
+    let _guard = ENV_LOCK.lock().unwrap();
+    let (trace_unset, contents_unset, end_unset) = with_faults_env(None, || traced_flush_cycles(64, 1));
+    let (trace_off, contents_off, end_off) =
+        with_faults_env(Some("off"), || traced_flush_cycles(64, 1));
+    assert!(!trace_unset.is_empty());
+    assert_eq!(trace_unset, trace_off);
+    assert_eq!(contents_unset, contents_off);
+    assert_eq!(end_unset, end_off);
 }
 
 #[test]
