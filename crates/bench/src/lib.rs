@@ -12,11 +12,13 @@
 //! | §3.1 (DFTL up to 3.7× slower than page mapping) | [`dftl_slowdown::run_dftl_slowdown`] | `dftl_slowdown` |
 //! | §3 latency example (0.45 ms avg writes, ~80 ms outliers) | [`latency::run_latency_profile`] | `latency_profile` |
 //! | Demo scenario 1 (emulator validation & parallelism) | [`validation::run_validation`] | `emulator_validation` |
+//! | §4 concurrency argument (N clients over the shared engine) | [`client_scaling::run_client_scaling`] | `client_scaling` |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod ablation;
+pub mod client_scaling;
 pub mod dbwriters;
 pub mod dftl_slowdown;
 pub mod gc_overhead;

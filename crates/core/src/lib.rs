@@ -123,6 +123,19 @@
 //! `tests/chaos.rs` drive TPC-B/TPC-C mixes under seeded fault plans, with
 //! and without crash-recovery at commit boundaries, and assert zero
 //! committed-data loss against those stats.
+//!
+//! ## Concurrency model (PR 7)
+//!
+//! The crate's hot tables split cleanly into `&self` readers and `&mut self`
+//! writers with no interior mutability: [`mapping::HostMappingTable`]
+//! lookups and [`regions::RegionManager`] placement queries are safe for any
+//! number of concurrent readers (`Send + Sync`, shareable behind an
+//! `RwLock`), while mapping updates and block allocation stay single-writer.
+//! The concurrent storage engine (`storage-engine`'s `ConcurrentEngine`,
+//! gated by `NOFTL_THREADS`) relies on exactly that split: device-state
+//! mutation is serialised behind its backend lock — last in the engine's
+//! lock order — and everything `&self` may be read concurrently.  See the
+//! reader-safety sections of [`mapping`] and [`regions`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

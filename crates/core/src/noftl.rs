@@ -199,6 +199,15 @@ impl NoFtl {
         self.device.set_queue_depth(self.async_depth);
     }
 
+    /// Enable or disable gap-backfilling die/channel occupancy on the
+    /// device (default off: the pinned `busy_until` ratchet).  The
+    /// multi-client engine turns it on so concurrent clients whose
+    /// commands arrive out of timestamp order are not charged queue-wait
+    /// on provably-idle resources.
+    pub fn set_backfill_occupancy(&mut self, on: bool) {
+        self.device.set_backfill_occupancy(on);
+    }
+
     /// Set the maximum pages per batched GC relocation dispatch (`0`/`1`
     /// keeps the legacy per-relocation path).
     pub fn set_gc_batch_pages(&mut self, pages: usize) {

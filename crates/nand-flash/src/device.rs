@@ -197,6 +197,20 @@ impl NandDevice {
         self.faults = plan;
     }
 
+    /// Enable or disable gap-backfilling die/channel occupancy.  Off (the
+    /// default) is the pinned `busy_until` ratchet; the multi-client engine
+    /// turns it on so commands arriving out of timestamp order from
+    /// drifting client clocks are not charged queue-wait on provably-idle
+    /// resources (see [`crate::timeline`]).
+    pub fn set_backfill_occupancy(&mut self, on: bool) {
+        for die in &mut self.dies {
+            die.set_backfill_occupancy(on);
+        }
+        for ch in &mut self.channels {
+            ch.set_backfill_occupancy(on);
+        }
+    }
+
     /// Reads a block has served since its last erase (the read-disturb
     /// stress the scrubber watches; only maintained while a fault plan is
     /// active).

@@ -1,21 +1,25 @@
 //! Dies (LUNs): the unit of command parallelism.
 //!
 //! A die can execute one array operation at a time; different dies operate in
-//! parallel.  The die keeps a `busy_until` timestamp so the device can model
+//! parallel.  The die keeps an occupancy [`Timeline`] so the device can model
 //! queueing when several actors (db-writers, GC, foreground reads) target the
-//! same die — the contention effect behind Figure 4 of the paper.
+//! same die — the contention effect behind Figure 4 of the paper.  By default
+//! the timeline is the pinned `busy_until` ratchet; the multi-client engine
+//! enables gap backfilling so concurrent clients whose commands arrive out of
+//! timestamp order are not penalised (see [`crate::timeline`]).
 
 use sim_utils::time::{SimDuration, SimInstant};
 
 use crate::block::Block;
+use crate::timeline::Timeline;
 
 /// A single NAND die (LUN) holding `planes × blocks_per_plane` erase blocks.
 #[derive(Debug, Clone)]
 pub struct Die {
     /// Blocks, indexed by `plane * blocks_per_plane + block`.
     blocks: Vec<Block>,
-    /// The die is busy executing an array operation until this instant.
-    busy_until: SimInstant,
+    /// Busy periods of the die's array (gap-aware).
+    timeline: Timeline,
     /// Total busy time accumulated (for utilisation reporting).
     busy_time: SimDuration,
     /// Number of array operations executed.
@@ -27,7 +31,7 @@ impl Die {
     pub fn new(blocks: u32, pages_per_block: u32) -> Self {
         Self {
             blocks: (0..blocks).map(|_| Block::new(pages_per_block)).collect(),
-            busy_until: 0,
+            timeline: Timeline::new(),
             busy_time: 0,
             ops: 0,
         }
@@ -50,7 +54,13 @@ impl Die {
 
     /// The instant until which the die is occupied.
     pub fn busy_until(&self) -> SimInstant {
-        self.busy_until
+        self.timeline.busy_until()
+    }
+
+    /// Enable or disable gap-backfilling occupancy (default off: the
+    /// pinned `busy_until` ratchet; see [`crate::timeline`]).
+    pub fn set_backfill_occupancy(&mut self, on: bool) {
+        self.timeline.set_backfill(on);
     }
 
     /// Total accumulated busy time.
@@ -64,15 +74,14 @@ impl Die {
     }
 
     /// Reserve the die for an array operation of length `duration`, starting
-    /// no earlier than `earliest_start`. Returns `(start, end)`.
+    /// no earlier than `earliest_start`: at the tail by default, in the
+    /// earliest idle gap that fits with backfill on. Returns `(start, end)`.
     pub fn occupy(
         &mut self,
         earliest_start: SimInstant,
         duration: SimDuration,
     ) -> (SimInstant, SimInstant) {
-        let start = self.busy_until.max(earliest_start);
-        let end = start + duration;
-        self.busy_until = end;
+        let (start, end) = self.timeline.reserve(earliest_start, duration);
         self.busy_time += duration;
         self.ops += 1;
         (start, end)

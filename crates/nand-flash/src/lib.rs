@@ -74,6 +74,7 @@ pub mod oob;
 pub mod page;
 pub mod queue;
 pub mod stats;
+pub mod timeline;
 pub mod timing;
 pub mod trace;
 

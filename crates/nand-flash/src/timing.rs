@@ -8,10 +8,12 @@
 
 use sim_utils::time::{SimDuration, SimInstant};
 
+use crate::timeline::Timeline;
+
 /// Tracks occupancy of one Flash channel (bus).
 #[derive(Debug, Clone, Default)]
 pub struct Channel {
-    busy_until: SimInstant,
+    timeline: Timeline,
     busy_time: SimDuration,
     transfers: u64,
 }
@@ -24,7 +26,13 @@ impl Channel {
 
     /// The instant until which the channel is occupied.
     pub fn busy_until(&self) -> SimInstant {
-        self.busy_until
+        self.timeline.busy_until()
+    }
+
+    /// Enable or disable gap-backfilling occupancy (default off: the
+    /// pinned `busy_until` ratchet; see [`crate::timeline`]).
+    pub fn set_backfill_occupancy(&mut self, on: bool) {
+        self.timeline.set_backfill(on);
     }
 
     /// Total accumulated transfer time.
@@ -38,15 +46,14 @@ impl Channel {
     }
 
     /// Reserve the channel for a transfer of length `duration` starting no
-    /// earlier than `earliest_start`. Returns `(start, end)`.
+    /// earlier than `earliest_start`: at the tail by default, in the
+    /// earliest idle gap that fits with backfill on. Returns `(start, end)`.
     pub fn occupy(
         &mut self,
         earliest_start: SimInstant,
         duration: SimDuration,
     ) -> (SimInstant, SimInstant) {
-        let start = self.busy_until.max(earliest_start);
-        let end = start + duration;
-        self.busy_until = end;
+        let (start, end) = self.timeline.reserve(earliest_start, duration);
         self.busy_time += duration;
         self.transfers += 1;
         (start, end)

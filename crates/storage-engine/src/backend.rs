@@ -126,6 +126,34 @@ pub fn parse_async_depth(value: &str) -> usize {
     }
 }
 
+/// Default client/shard count when `NOFTL_THREADS` is `on` without a number.
+pub const DEFAULT_THREADS: usize = 8;
+
+/// Resolve the concurrent-client count from the `NOFTL_THREADS` environment
+/// variable:
+///
+/// * unset / `off` / `0` / `1` — single-threaded (1): today's
+///   [`crate::engine::StorageEngine`] code path, bit- and cycle-identical to
+///   the pre-concurrency engine (the equivalence-suite invariant);
+/// * `on` — concurrent with [`DEFAULT_THREADS`] clients / pool shards;
+/// * a number `k` — concurrent with `k` clients / pool shards.
+pub fn threads_from_env() -> usize {
+    match std::env::var("NOFTL_THREADS") {
+        Ok(v) => parse_threads(&v),
+        Err(_) => 1,
+    }
+}
+
+/// Parse one `NOFTL_THREADS` spelling (see [`threads_from_env`]).
+pub fn parse_threads(value: &str) -> usize {
+    let v = value.trim().to_ascii_lowercase();
+    match v.as_str() {
+        "" | "off" | "false" | "0" | "1" => 1,
+        "on" | "true" => DEFAULT_THREADS,
+        _ => v.parse::<usize>().map_or(1, |k| k.max(1)),
+    }
+}
+
 /// Class of an in-flight submission, for the mixed read/write windows the
 /// poll-driven engine scheduler keeps (reads from buffer-pool miss fills,
 /// writes from db-writers and the WAL).
@@ -364,6 +392,11 @@ pub trait StorageBackend {
     /// ignore the setting.
     fn set_async_depth(&mut self, _depth: usize) {}
 
+    /// Enable gap-backfilling device occupancy for multi-client timing
+    /// (off = the pinned `busy_until` ratchet, identical for monotone
+    /// submission times).  Back ends without a timing model ignore it.
+    fn set_backfill_occupancy(&mut self, _on: bool) {}
+
     /// Barrier over any in-flight asynchronous submissions: returns the
     /// instant by which everything submitted so far has completed (at least
     /// `now`).  Synchronous back ends complete every call inline, so the
@@ -499,6 +532,10 @@ impl StorageBackend for NoFtlBackend {
 
     fn set_async_depth(&mut self, depth: usize) {
         self.noftl.set_async_depth(depth);
+    }
+
+    fn set_backfill_occupancy(&mut self, on: bool) {
+        self.noftl.set_backfill_occupancy(on);
     }
 
     fn drain(&mut self, now: SimInstant) -> SimInstant {
@@ -831,6 +868,24 @@ mod tests {
             ("garbage", 1),
         ] {
             assert_eq!(parse_async_depth(v), expect, "spelling {v:?}");
+        }
+    }
+
+    #[test]
+    fn threads_knob_parses_all_spellings() {
+        for (v, expect) in [
+            ("", 1),
+            ("off", 1),
+            ("False", 1),
+            ("0", 1),
+            ("1", 1),
+            ("on", DEFAULT_THREADS),
+            ("TRUE", DEFAULT_THREADS),
+            (" 4 ", 4),
+            ("8", 8),
+            ("garbage", 1),
+        ] {
+            assert_eq!(parse_threads(v), expect, "spelling {v:?}");
         }
     }
 

@@ -12,7 +12,7 @@ use nand_flash::{FlashError, FlashResult};
 use sim_utils::time::SimInstant;
 
 use crate::backend::StorageBackend;
-use crate::buffer::BufferPool;
+use crate::buffer::PageCache;
 use crate::free_space::FreeSpaceManager;
 use crate::page::PageId;
 use crate::readahead::ScanPrefetcher;
@@ -121,8 +121,8 @@ pub struct BTree {
 
 impl BTree {
     /// Create a new, empty tree. Allocates the root page.
-    pub fn create(
-        pool: &mut BufferPool,
+    pub fn create<P: PageCache>(
+        pool: &mut P,
         backend: &mut dyn StorageBackend,
         fsm: &mut FreeSpaceManager,
         now: SimInstant,
@@ -165,9 +165,9 @@ impl BTree {
         self.len == 0
     }
 
-    fn read_node(
+    fn read_node<P: PageCache>(
         &self,
-        pool: &mut BufferPool,
+        pool: &mut P,
         backend: &mut dyn StorageBackend,
         now: SimInstant,
         page: PageId,
@@ -175,9 +175,9 @@ impl BTree {
         pool.with_page(backend, now, page, Node::decode)
     }
 
-    fn write_node(
+    fn write_node<P: PageCache>(
         &self,
-        pool: &mut BufferPool,
+        pool: &mut P,
         backend: &mut dyn StorageBackend,
         now: SimInstant,
         page: PageId,
@@ -191,9 +191,9 @@ impl BTree {
     }
 
     /// Look up `key`.
-    pub fn get(
+    pub fn get<P: PageCache>(
         &self,
-        pool: &mut BufferPool,
+        pool: &mut P,
         backend: &mut dyn StorageBackend,
         now: SimInstant,
         key: u64,
@@ -221,9 +221,9 @@ impl BTree {
 
     /// Insert `key → value`, replacing any previous value.
     /// Returns the previous value (if any) and the time after I/O.
-    pub fn insert(
+    pub fn insert<P: PageCache>(
         &mut self,
-        pool: &mut BufferPool,
+        pool: &mut P,
         backend: &mut dyn StorageBackend,
         fsm: &mut FreeSpaceManager,
         now: SimInstant,
@@ -253,9 +253,9 @@ impl BTree {
     }
 
     #[allow(clippy::type_complexity, clippy::too_many_arguments)]
-    fn insert_rec(
+    fn insert_rec<P: PageCache>(
         &mut self,
-        pool: &mut BufferPool,
+        pool: &mut P,
         backend: &mut dyn StorageBackend,
         fsm: &mut FreeSpaceManager,
         now: SimInstant,
@@ -365,9 +365,9 @@ impl BTree {
 
     /// Remove `key`. Returns its value if it was present.  Leaves are not
     /// rebalanced (acceptable for workloads that do not shrink).
-    pub fn remove(
+    pub fn remove<P: PageCache>(
         &mut self,
-        pool: &mut BufferPool,
+        pool: &mut P,
         backend: &mut dyn StorageBackend,
         now: SimInstant,
         key: u64,
@@ -409,9 +409,9 @@ impl BTree {
     }
 
     /// Visit all `(key, value)` pairs with `key` in `[lo, hi]`, in order.
-    pub fn range(
+    pub fn range<P: PageCache>(
         &self,
-        pool: &mut BufferPool,
+        pool: &mut P,
         backend: &mut dyn StorageBackend,
         now: SimInstant,
         lo: u64,
@@ -432,9 +432,9 @@ impl BTree {
     /// run is a ROADMAP follow-on).  With an inert prefetcher this is the
     /// frame-at-a-time path, call for call.
     #[allow(clippy::too_many_arguments)]
-    pub fn range_with_readahead(
+    pub fn range_with_readahead<P: PageCache>(
         &self,
-        pool: &mut BufferPool,
+        pool: &mut P,
         backend: &mut dyn StorageBackend,
         ra: &mut ScanPrefetcher,
         now: SimInstant,
@@ -506,6 +506,7 @@ impl BTree {
 mod tests {
     use super::*;
     use crate::backend::MemBackend;
+    use crate::buffer::BufferPool;
 
     struct Ctx {
         pool: BufferPool,

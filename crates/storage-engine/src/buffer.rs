@@ -110,6 +110,8 @@ pub struct BufferPool {
     /// point-read fills pipeline here while the flushers' write windows
     /// pipeline next to them on the same per-die device queues.
     read_window: InflightWindow,
+    /// Virtual CPU nanoseconds charged per buffer hit (0 = hits are free).
+    hit_ns: u64,
 }
 
 impl BufferPool {
@@ -128,6 +130,7 @@ impl BufferPool {
             readahead: ReadaheadStats::default(),
             async_depth: 1,
             read_window: InflightWindow::new(),
+            hit_ns: 0,
         }
     }
 
@@ -135,6 +138,14 @@ impl BufferPool {
     /// (clamped to at least 1; 1 restores the synchronous model).
     pub fn set_async_depth(&mut self, depth: usize) {
         self.async_depth = depth.max(1);
+    }
+
+    /// Charge `ns` of virtual CPU time per buffer hit (default 0: hits are
+    /// free, the historical model).  A non-zero cost keeps a fully cached
+    /// client's virtual clock advancing, so multi-client interleavings don't
+    /// degenerate into zero-duration bursts of free hits.
+    pub fn set_hit_cost_ns(&mut self, ns: u64) {
+        self.hit_ns = ns;
     }
 
     /// The pool's asynchronous miss-fill depth (1 = synchronous).
@@ -338,6 +349,14 @@ impl BufferPool {
 
     /// Find a victim frame index using the clock algorithm. Pinned frames are
     /// never chosen. Returns `None` when every frame is pinned.
+    ///
+    /// Prefetched-but-unconsumed frames are protected in a first pass: the
+    /// clock hand skips them (without clearing their reference bit) so a small
+    /// pool running a wide readahead window does not evict pages it just paid
+    /// device time to fill before the scan reaches them.  Only when the first
+    /// pass finds nothing evictable does a second pass treat prefetched frames
+    /// like any other — pressure still wins, and the eviction is accounted as
+    /// wasted readahead by the caller via `waste_prefetched`.
     fn find_victim(&mut self) -> Option<usize> {
         if self.frames.len() < self.capacity {
             // Grow: fresh frame slot (arena extends by one page).
@@ -350,6 +369,22 @@ impl BufferPool {
             });
             self.arena.resize(self.frames.len() * self.page_size, 0);
             return Some(self.frames.len() - 1);
+        }
+        for _ in 0..(2 * self.capacity) {
+            let i = self.clock_hand;
+            self.clock_hand = (self.clock_hand + 1) % self.capacity;
+            let frame = &mut self.frames[i];
+            if frame.pins > 0 {
+                continue;
+            }
+            if frame.prefetched {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            return Some(i);
         }
         for _ in 0..(2 * self.capacity) {
             let i = self.clock_hand;
@@ -388,7 +423,7 @@ impl BufferPool {
                 self.data_mut(i).fill(0);
                 self.set_dirty(i);
             }
-            return Ok((i, now));
+            return Ok((i, now + self.hit_ns));
         }
         self.stats.misses += 1;
         let mut t = now;
@@ -673,6 +708,121 @@ impl BufferPool {
             self.set_clean(i);
         }
         Ok(t)
+    }
+}
+
+/// The page-access surface the storage structures ([`crate::heap::HeapFile`],
+/// [`crate::btree::BTree`], [`crate::readahead::ScanPrefetcher`]) need from a
+/// buffer pool.  [`BufferPool`] implements it directly (single-threaded
+/// engine), and [`crate::shard::ShardedPoolView`] implements it by routing
+/// each page access to the latch-protected shard owning that page id
+/// (concurrent engine) — the heap/B+-tree code is identical on both paths.
+///
+/// Not object-safe (the access methods are generic over their closures), so
+/// it is used as a generic bound, monomorphised per pool type.
+pub trait PageCache {
+    /// Page size in bytes.
+    fn page_size(&self) -> usize;
+
+    /// The pool's asynchronous miss-fill depth (1 = synchronous).
+    fn async_depth(&self) -> usize;
+
+    /// Whether `page_id` is resident.
+    fn contains(&self, page_id: PageId) -> bool;
+
+    /// Record the readahead window size a scan is running at.
+    fn note_readahead_window(&mut self, window: usize);
+
+    /// Read-access a page through a closure.
+    fn with_page<R>(
+        &mut self,
+        backend: &mut dyn StorageBackend,
+        now: SimInstant,
+        page_id: PageId,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> FlashResult<(R, SimInstant)>;
+
+    /// Write-access a page through a closure (marks it dirty).
+    fn with_page_mut<R>(
+        &mut self,
+        backend: &mut dyn StorageBackend,
+        now: SimInstant,
+        page_id: PageId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> FlashResult<(R, SimInstant)>;
+
+    /// Create/overwrite a page without reading it from the backend first.
+    fn new_page<R>(
+        &mut self,
+        backend: &mut dyn StorageBackend,
+        now: SimInstant,
+        page_id: PageId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> FlashResult<(R, SimInstant)>;
+
+    /// Make the pages of `ids` resident with batched backend reads.
+    fn prefetch(
+        &mut self,
+        backend: &mut dyn StorageBackend,
+        now: SimInstant,
+        ids: &[PageId],
+    ) -> FlashResult<SimInstant>;
+}
+
+impl PageCache for BufferPool {
+    fn page_size(&self) -> usize {
+        BufferPool::page_size(self)
+    }
+
+    fn async_depth(&self) -> usize {
+        BufferPool::async_depth(self)
+    }
+
+    fn contains(&self, page_id: PageId) -> bool {
+        BufferPool::contains(self, page_id)
+    }
+
+    fn note_readahead_window(&mut self, window: usize) {
+        BufferPool::note_readahead_window(self, window)
+    }
+
+    fn with_page<R>(
+        &mut self,
+        backend: &mut dyn StorageBackend,
+        now: SimInstant,
+        page_id: PageId,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> FlashResult<(R, SimInstant)> {
+        BufferPool::with_page(self, backend, now, page_id, f)
+    }
+
+    fn with_page_mut<R>(
+        &mut self,
+        backend: &mut dyn StorageBackend,
+        now: SimInstant,
+        page_id: PageId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> FlashResult<(R, SimInstant)> {
+        BufferPool::with_page_mut(self, backend, now, page_id, f)
+    }
+
+    fn new_page<R>(
+        &mut self,
+        backend: &mut dyn StorageBackend,
+        now: SimInstant,
+        page_id: PageId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> FlashResult<(R, SimInstant)> {
+        BufferPool::new_page(self, backend, now, page_id, f)
+    }
+
+    fn prefetch(
+        &mut self,
+        backend: &mut dyn StorageBackend,
+        now: SimInstant,
+        ids: &[PageId],
+    ) -> FlashResult<SimInstant> {
+        BufferPool::prefetch(self, backend, now, ids)
     }
 }
 
@@ -975,7 +1125,10 @@ mod tests {
         assert!(pool.contains(5));
         let (seen, _) = pool.with_page(&mut backend, 0, 0, |d| d[0]).unwrap();
         assert_eq!(seen, 10, "page 0 kept its in-pool content");
-        // The temporary pins are released: both frames evict normally.
+        // Consume page 5 so neither frame keeps prefetched-victim protection;
+        // the temporary pins are released: both frames evict normally.
+        let (seen, _) = pool.with_page(&mut backend, 0, 5, |d| d[0]).unwrap();
+        assert_eq!(seen, 55);
         pool.new_page(&mut backend, 0, 20, |_| ()).unwrap();
         pool.new_page(&mut backend, 0, 21, |_| ()).unwrap();
         assert!(!pool.contains(0) && !pool.contains(5));
@@ -1075,17 +1228,53 @@ mod tests {
         // Discarding an unconsumed prefetched page counts it wasted.
         pool.discard(1);
         assert_eq!(pool.readahead_stats().prefetch_wasted, 1);
-        // Evicting the other unconsumed one (page 2) also counts it wasted.
-        for p in 4..8u64 {
-            pool.new_page(&mut backend, 0, p, |_| ()).unwrap();
-        }
-        assert!(!pool.contains(2));
+        // Evicting an unconsumed prefetched frame also counts it wasted.  The
+        // clock hand protects prefetched frames while plain victims exist, so
+        // make the whole pool prefetched first: pressure then falls on a
+        // prefetched frame (second pass) and must be charged as waste.
+        pool.discard(0);
+        pool.prefetch(&mut backend, 0, &[4, 5, 6]).unwrap();
+        pool.with_page(&mut backend, 0, 7, |_| ()).unwrap();
         assert_eq!(pool.readahead_stats().prefetch_wasted, 2);
         assert_eq!(pool.readahead_stats().prefetch_useful, 1);
         // The window high-water mark is monotone.
         pool.note_readahead_window(8);
         pool.note_readahead_window(4);
         assert_eq!(pool.readahead_stats().window_high_water, 8);
+    }
+
+    #[test]
+    fn clock_hand_protects_prefetched_frames_while_alternatives_exist() {
+        // Regression (ROADMAP carry-over): a wide readahead window on a small
+        // pool used to let on-demand misses evict prefetched-but-unconsumed
+        // frames even though plain unreferenced frames were available,
+        // thrashing the window the scan just paid for.
+        let (mut pool, mut backend) = setup(4);
+        for p in 0..16u64 {
+            backend.write_page(0, p, &vec![p as u8 + 1; 512]).unwrap();
+        }
+        // Two plain resident pages, then two prefetched ones.
+        pool.with_page(&mut backend, 0, 10, |_| ()).unwrap();
+        pool.with_page(&mut backend, 0, 11, |_| ()).unwrap();
+        pool.prefetch(&mut backend, 0, &[0, 1]).unwrap();
+        // Cycle enough on-demand misses to sweep the clock twice over: every
+        // eviction must pick the plain frames, never the prefetched ones.
+        pool.with_page(&mut backend, 0, 12, |_| ()).unwrap();
+        pool.with_page(&mut backend, 0, 13, |_| ()).unwrap();
+        assert!(pool.contains(0) && pool.contains(1), "prefetched frames evicted while plain victims existed");
+        assert_eq!(pool.readahead_stats().prefetch_wasted, 0);
+        // Consuming a prefetched page lifts its protection.
+        pool.with_page(&mut backend, 0, 0, |_| ()).unwrap();
+        assert_eq!(pool.readahead_stats().prefetch_useful, 1);
+        // When *everything* evictable is prefetched, pressure still wins
+        // (second pass) and the eviction counts as wasted readahead.
+        pool.discard(0);
+        pool.discard(12);
+        pool.discard(13);
+        pool.prefetch(&mut backend, 0, &[2, 3, 4]).unwrap();
+        let before = pool.readahead_stats().prefetch_wasted;
+        pool.with_page(&mut backend, 0, 14, |_| ()).unwrap();
+        assert_eq!(pool.readahead_stats().prefetch_wasted, before + 1, "all-prefetched pool must still yield a victim");
     }
 
     #[test]

@@ -94,6 +94,12 @@ pub struct EngineConfig {
     /// bit- and cycle-identical to the pre-readahead path.  Defaults to the
     /// `NOFTL_READAHEAD` environment knob.
     pub readahead_window: usize,
+    /// Virtual CPU nanoseconds charged per buffer-pool hit.  Defaults to 0
+    /// (hits are free, the historical model, and what every pinned trace
+    /// assumes).  Benchmarks measuring multi-client interleavings set a small
+    /// non-zero cost so a fully cached client still advances its virtual
+    /// clock instead of replaying its whole workload at one instant.
+    pub buffer_hit_ns: u64,
 }
 
 impl EngineConfig {
@@ -108,6 +114,7 @@ impl EngineConfig {
             log_pages: 64,
             wal_group_commit: 1,
             readahead_window: readahead_window_from_env(),
+            buffer_hit_ns: 0,
         }
     }
 }
@@ -150,6 +157,7 @@ impl StorageEngine {
         // traffic on the device's per-die queues.
         let mut pool = BufferPool::new(config.buffer_frames, page_size);
         pool.set_async_depth(config.flushers.async_depth);
+        pool.set_hit_cost_ns(config.buffer_hit_ns);
         Self {
             pool,
             fsm: FreeSpaceManager::new(0, data_pages),

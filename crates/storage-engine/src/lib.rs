@@ -138,6 +138,41 @@
 //!   (force starts carry an alignment flag) instead of truncating the scan.
 //! * **Buffer pool** — a frame whose fill errors out is detached before the
 //!   read, so no poisoned frame can enter the map.
+//!
+//! ## Concurrency model (PR 7)
+//!
+//! `NOFTL_THREADS` gates a concurrent embedding of the engine.  Unset (or
+//! `1`/`off`) keeps today's single-threaded [`engine::StorageEngine`] code
+//! path untouched — pinned bit- and cycle-identical by
+//! `tests/equivalence.rs`.  With more threads, N clients share one
+//! [`concurrent::ConcurrentEngine`] through per-client
+//! [`concurrent::ClientSession`] handles (each recording its own commit
+//! stream), driven by `workloads::MultiClientDriver`.
+//!
+//! * **Sharded buffer pool** ([`shard::ShardedBufferPool`]) — the pool is
+//!   partitioned by page id, one `parking_lot`-latched [`buffer::BufferPool`]
+//!   per shard with its own clock hand, dirty bitmap, resident table and
+//!   miss-fill read window; [`shard::ShardedPoolView`] implements the
+//!   [`buffer::PageCache`] trait the heap/B+-tree/readahead code is generic
+//!   over, latching exactly the shard owning each accessed page.  A 1-shard
+//!   pool is a plain `BufferPool` behind one latch — identical traces.
+//! * **Latch order** — the engine-level locks form one total order:
+//!   catalog → transactions → free-space → WAL → flushers → backend →
+//!   shard 0 → shard 1 → … .  Every code path acquires along that order
+//!   (shard latches last, at most one at a time on the page-access path),
+//!   so the lock graph is acyclic.
+//! * **Single-writer invariants** — `noftl-core`'s mapping and region tables
+//!   split cleanly into `&self` readers and `&mut self` writers, so
+//!   concurrent readers share them under an `RwLock` while device-state
+//!   mutation stays single-writer behind the backend lock.  WAL force order
+//!   under concurrent commits is serialised by the WAL lock: commit records
+//!   append and force in lock-acquisition order, giving each client a
+//!   serializable commit prefix.
+//! * **Quiesce/checkpoint barrier** — `ConcurrentEngine::quiesce` drains
+//!   *every* shard's flusher windows and miss-fill read window (plus WAL
+//!   window and device queues) before `checkpoint` lets the WAL checkpoint
+//!   record land, so the record can never predate an in-flight write of any
+//!   shard.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -146,21 +181,27 @@ pub mod backend;
 pub mod btree;
 pub mod buffer;
 pub mod catalog;
+pub mod concurrent;
 pub mod engine;
 pub mod flusher;
 pub mod free_space;
 pub mod heap;
+pub mod ops;
 pub mod page;
 pub mod readahead;
+pub mod shard;
 pub mod transaction;
 pub mod wal;
 
 pub use backend::{BlockDeviceBackend, MemBackend, NoFtlBackend, StorageBackend};
-pub use buffer::{BufferPool, ReadaheadStats};
+pub use buffer::{BufferPool, PageCache, ReadaheadStats};
+pub use concurrent::{ClientSession, ConcurrentEngine};
 pub use readahead::ScanPrefetcher;
 pub use engine::{EngineConfig, EngineError, EngineResult, StorageEngine};
 pub use flusher::{FlusherConfig, FlusherStats};
 pub use heap::{HeapFile, Rid};
+pub use ops::EngineOps;
 pub use page::{PageId, SlottedPage};
+pub use shard::{ShardedBufferPool, ShardedPoolView};
 pub use transaction::{TxnId, TxnState};
 pub use wal::{LogRecord, Lsn, WalManager};

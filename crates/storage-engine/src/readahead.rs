@@ -2,7 +2,7 @@
 //! range reads).
 //!
 //! PR 4 gave the buffer pool a batched miss-fill path
-//! ([`BufferPool::prefetch`] → one multi-page read dispatch per die), but the
+//! ([`crate::buffer::BufferPool::prefetch`] → one multi-page read dispatch per die), but the
 //! sequential consumers still filled the pool one frame at a time, so the
 //! TPC-H-style scan workloads saw none of the read pipeline's win.  For a
 //! scan the page run to fetch next is *known in advance* — the heap file owns
@@ -12,7 +12,7 @@
 //! computations.
 //!
 //! [`ScanPrefetcher`] maintains a sliding window of upcoming page ids and
-//! issues [`BufferPool::prefetch`] batches *ahead of consumption*, so miss
+//! issues [`PageCache::prefetch`] batches *ahead of consumption*, so miss
 //! fills overlap with record visits on the device's per-die command queues.
 //! The window ramps adaptively: it starts small, doubles (up to a cap) after
 //! a full window of consecutive useful prefetches, and halves when a
@@ -33,7 +33,7 @@ use nand_flash::FlashResult;
 use sim_utils::time::SimInstant;
 
 use crate::backend::StorageBackend;
-use crate::buffer::BufferPool;
+use crate::buffer::PageCache;
 use crate::page::PageId;
 
 /// Smallest window the ramp starts from (and never shrinks below).
@@ -115,9 +115,9 @@ impl ScanPrefetcher {
     /// completion of the batch that fetched `page` (a record visit cannot
     /// observe data that has not arrived).  Inert when disabled: returns
     /// `now` untouched and performs no I/O.
-    pub fn on_access(
+    pub fn on_access<P: PageCache>(
         &mut self,
-        pool: &mut BufferPool,
+        pool: &mut P,
         backend: &mut dyn StorageBackend,
         now: SimInstant,
         page: PageId,
@@ -175,6 +175,7 @@ impl ScanPrefetcher {
 mod tests {
     use super::*;
     use crate::backend::MemBackend;
+    use crate::buffer::BufferPool;
 
     fn setup(frames: usize) -> (BufferPool, MemBackend) {
         let mut pool = BufferPool::new(frames, 512);

@@ -1,11 +1,17 @@
-//! The benchmark driver: interleaves logical clients on the virtual clock
-//! and reports transactional throughput (TPS) and response times — the
-//! numbers shown on the paper's Figure 4 axes.
+//! The benchmark drivers.
+//!
+//! * [`BenchmarkDriver`] interleaves logical clients on the virtual clock of
+//!   one single-threaded engine and reports transactional throughput (TPS)
+//!   and response times — the numbers shown on the paper's Figure 4 axes.
+//! * [`MultiClientDriver`] runs N clients as separate [`ClientSession`]s of
+//!   one shared [`ConcurrentEngine`] (the `NOFTL_THREADS` path), each with
+//!   its own workload instance over a disjoint data partition, either
+//!   deterministically interleaved or on real OS threads.
 
 use nand_flash::FlashResult;
 use sim_utils::histogram::Histogram;
 use sim_utils::time::SimInstant;
-use storage_engine::StorageEngine;
+use storage_engine::{ClientSession, ConcurrentEngine, EngineOps, StorageEngine, TxnId};
 
 use crate::workload::{TxnKind, Workload};
 
@@ -179,6 +185,233 @@ impl BenchmarkDriver {
     }
 }
 
+/// How [`MultiClientDriver`] executes its clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriveMode {
+    /// One driver thread steps the clients on the virtual clock, always
+    /// advancing the furthest-behind client (bounded drift) — fully
+    /// deterministic: same seeds, same schedule, same report.
+    Deterministic,
+    /// One OS thread per client, all hammering the shared engine
+    /// concurrently.  The interleaving is whatever the scheduler produces,
+    /// so assertions over such runs must be schedule-agnostic.
+    OsThreads,
+}
+
+/// [`MultiClientDriver`] configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiClientConfig {
+    /// Measured transactions per client.
+    pub transactions_per_client: u64,
+    /// Warm-up transactions per client (run, not measured).
+    pub warmup_per_client: u64,
+    /// Execution mode.
+    pub mode: DriveMode,
+}
+
+impl MultiClientConfig {
+    /// `per_client` measured transactions per client, 10 % warm-up,
+    /// deterministic interleaving.
+    pub fn new(per_client: u64) -> Self {
+        Self {
+            transactions_per_client: per_client,
+            warmup_per_client: per_client / 10,
+            mode: DriveMode::Deterministic,
+        }
+    }
+
+    /// Same, but on real OS threads.
+    pub fn os_threads(per_client: u64) -> Self {
+        Self {
+            mode: DriveMode::OsThreads,
+            ..Self::new(per_client)
+        }
+    }
+}
+
+/// One client's slice of a [`MultiClientReport`].
+#[derive(Debug, Clone)]
+pub struct ClientRun {
+    /// Client index.
+    pub client: usize,
+    /// Workload name.
+    pub workload: String,
+    /// Measured transactions this client committed.
+    pub transactions: u64,
+    /// Virtual time the measured phase started for this client.
+    pub start: SimInstant,
+    /// Virtual time of this client's last commit.
+    pub end: SimInstant,
+    /// The client's full commit stream `(txn id, commit time)` in commit
+    /// order — including setup and warm-up commits.  What the concurrency
+    /// harness asserts serializable per-client prefixes and crash-recovery
+    /// durability over.
+    pub commits: Vec<(TxnId, SimInstant)>,
+}
+
+/// Result of a [`MultiClientDriver`] run.
+#[derive(Debug, Clone)]
+pub struct MultiClientReport {
+    /// Per-client results, indexed by client.
+    pub clients: Vec<ClientRun>,
+    /// Total measured transactions across clients.
+    pub transactions: u64,
+    /// Virtual duration from measure start to the last client's end (ns).
+    pub duration_ns: u64,
+    /// Aggregate transactions per virtual second across all clients.
+    pub aggregate_tps: f64,
+}
+
+/// The multi-client driver: N workloads over N sessions of one shared
+/// [`ConcurrentEngine`].
+///
+/// Each client owns a workload instance (over a disjoint table-name
+/// partition — construct them via `TpcB::with_prefix` / `TpcC::with_prefix`)
+/// and a [`ClientSession`].  Setup runs sequentially on the virtual clock;
+/// the measured phase runs per [`DriveMode`].
+pub struct MultiClientDriver {
+    config: MultiClientConfig,
+}
+
+/// A workload a [`MultiClientDriver`] client can own (possibly on another
+/// thread).
+pub type ClientWorkload = Box<dyn Workload<ClientSession> + Send>;
+
+impl MultiClientDriver {
+    /// Create a driver.
+    pub fn new(config: MultiClientConfig) -> Self {
+        Self { config }
+    }
+
+    /// Set up every workload (sequentially, chaining the virtual clock) and
+    /// run the measured phase.  `workloads[i]` becomes client `i`.
+    pub fn run(
+        &self,
+        engine: &ConcurrentEngine,
+        mut workloads: Vec<ClientWorkload>,
+        start: SimInstant,
+    ) -> FlashResult<MultiClientReport> {
+        assert!(!workloads.is_empty(), "at least one client workload");
+        let mut sessions: Vec<ClientSession> =
+            (0..workloads.len()).map(|_| engine.session()).collect();
+        let mut t = start;
+        for (w, s) in workloads.iter_mut().zip(sessions.iter_mut()) {
+            t = w.setup(s, t)?;
+        }
+        let t0 = t;
+        match self.config.mode {
+            DriveMode::Deterministic => self.run_deterministic(workloads, sessions, t0),
+            DriveMode::OsThreads => self.run_os_threads(workloads, sessions, t0),
+        }
+    }
+
+    fn run_deterministic(
+        &self,
+        mut workloads: Vec<ClientWorkload>,
+        mut sessions: Vec<ClientSession>,
+        t0: SimInstant,
+    ) -> FlashResult<MultiClientReport> {
+        let n = workloads.len();
+        let mut time = vec![t0; n];
+        for _ in 0..self.config.warmup_per_client * n as u64 {
+            let c = BenchmarkDriver::laggard(&time);
+            let (end, _) = workloads[c].run_transaction(&mut sessions[c], c, time[c])?;
+            time[c] = sessions[c].maybe_flush(end)?.max(end);
+        }
+        let measure_start = *time.iter().max().expect("clients");
+        for t in time.iter_mut() {
+            *t = (*t).max(measure_start);
+        }
+        let mut done = vec![0u64; n];
+        while done.iter().any(|&d| d < self.config.transactions_per_client) {
+            // Laggard stepping among clients that still have work.
+            let c = time
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| done[*i] < self.config.transactions_per_client)
+                .min_by_key(|(_, &t)| t)
+                .map(|(i, _)| i)
+                .expect("unfinished client");
+            let (end, _) = workloads[c].run_transaction(&mut sessions[c], c, time[c])?;
+            time[c] = sessions[c].maybe_flush(end)?.max(end);
+            done[c] += 1;
+        }
+        let clients = workloads
+            .iter()
+            .zip(sessions.iter())
+            .enumerate()
+            .map(|(i, (w, s))| ClientRun {
+                client: i,
+                workload: Workload::<ClientSession>::name(&**w).to_string(),
+                transactions: self.config.transactions_per_client,
+                start: measure_start,
+                end: time[i],
+                commits: s.commits().to_vec(),
+            })
+            .collect();
+        Ok(self.report(clients, measure_start))
+    }
+
+    fn run_os_threads(
+        &self,
+        workloads: Vec<ClientWorkload>,
+        sessions: Vec<ClientSession>,
+        t0: SimInstant,
+    ) -> FlashResult<MultiClientReport> {
+        let per_client = self.config.transactions_per_client + self.config.warmup_per_client;
+        let warmup = self.config.warmup_per_client;
+        let handles: Vec<_> = workloads
+            .into_iter()
+            .zip(sessions)
+            .enumerate()
+            .map(|(i, (mut w, mut s))| {
+                std::thread::spawn(move || -> FlashResult<ClientRun> {
+                    let mut now = t0;
+                    let mut measure_start = t0;
+                    for k in 0..per_client {
+                        if k == warmup {
+                            measure_start = now;
+                        }
+                        let (end, _) = w.run_transaction(&mut s, i, now)?;
+                        now = s.maybe_flush(end)?.max(end);
+                    }
+                    Ok(ClientRun {
+                        client: i,
+                        workload: Workload::<ClientSession>::name(&*w).to_string(),
+                        transactions: per_client - warmup,
+                        start: measure_start,
+                        end: now,
+                        commits: s.commits().to_vec(),
+                    })
+                })
+            })
+            .collect();
+        let mut clients = Vec::with_capacity(handles.len());
+        for h in handles {
+            clients.push(h.join().expect("client thread panicked")?);
+        }
+        let measure_start = clients.iter().map(|c| c.start).max().expect("clients");
+        Ok(self.report(clients, measure_start))
+    }
+
+    fn report(&self, clients: Vec<ClientRun>, measure_start: SimInstant) -> MultiClientReport {
+        let transactions: u64 = clients.iter().map(|c| c.transactions).sum();
+        let measure_end = clients
+            .iter()
+            .map(|c| c.end)
+            .max()
+            .expect("at least one client");
+        let duration_ns = measure_end.saturating_sub(measure_start).max(1);
+        let aggregate_tps = transactions as f64 / (duration_ns as f64 / 1e9);
+        MultiClientReport {
+            clients,
+            transactions,
+            duration_ns,
+            aggregate_tps,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,5 +457,79 @@ mod tests {
     fn client_count_must_be_at_least_one() {
         let cfg = DriverConfig::new(0, 10);
         assert_eq!(cfg.clients, 1);
+    }
+
+    fn concurrent_engine(shards: usize) -> ConcurrentEngine {
+        let mut cfg = EngineConfig::new();
+        cfg.buffer_frames = 256;
+        ConcurrentEngine::new(Box::new(MemBackend::new(4096, 16_384)), cfg, shards)
+    }
+
+    fn client_workloads(n: usize) -> Vec<ClientWorkload> {
+        (0..n)
+            .map(|i| {
+                Box::new(TpcB::with_prefix(
+                    TpcBConfig {
+                        scale_factor: 1,
+                        tellers_per_branch: 3,
+                        accounts_per_branch: 30,
+                        seed: 7 + i as u64,
+                    },
+                    format!("c{i}_"),
+                )) as ClientWorkload
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multi_client_deterministic_run_reports_per_client_streams() {
+        let e = concurrent_engine(4);
+        let driver = MultiClientDriver::new(MultiClientConfig::new(20));
+        let report = driver.run(&e, client_workloads(4), 0).unwrap();
+        assert_eq!(report.clients.len(), 4);
+        assert_eq!(report.transactions, 80);
+        assert!(report.aggregate_tps > 0.0);
+        for c in &report.clients {
+            assert_eq!(c.transactions, 20);
+            // At least setup (1) + measured (20) commits, strictly ordered
+            // per client (warmup distribution depends on the backend's
+            // virtual latencies).
+            assert!(c.commits.len() >= 21);
+            for w in c.commits.windows(2) {
+                assert!(w[0].0 < w[1].0);
+                assert!(w[0].1 <= w[1].1);
+            }
+        }
+        // Nothing lost: setups (4) + warmups (4 × 2) + measured (80).
+        let total: usize = report.clients.iter().map(|c| c.commits.len()).sum();
+        assert_eq!(total, 92);
+    }
+
+    #[test]
+    fn multi_client_deterministic_run_is_reproducible() {
+        let run = || {
+            let e = concurrent_engine(2);
+            MultiClientDriver::new(MultiClientConfig::new(15))
+                .run(&e, client_workloads(2), 0)
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.duration_ns, b.duration_ns);
+        assert_eq!(a.aggregate_tps, b.aggregate_tps);
+        for (x, y) in a.clients.iter().zip(&b.clients) {
+            assert_eq!(x.commits, y.commits, "same seeds must give same streams");
+        }
+    }
+
+    #[test]
+    fn multi_client_os_threads_run_commits_everything() {
+        let e = concurrent_engine(4);
+        let driver = MultiClientDriver::new(MultiClientConfig::os_threads(20));
+        let report = driver.run(&e, client_workloads(4), 0).unwrap();
+        assert_eq!(report.transactions, 80);
+        let total: usize = report.clients.iter().map(|c| c.commits.len()).sum();
+        // setup + warmup + measured per client, none lost across threads.
+        assert_eq!(total, 4 * 23);
+        assert_eq!(e.committed(), 4 * 23);
     }
 }

@@ -32,7 +32,10 @@ pub mod tpch;
 pub mod trace;
 pub mod workload;
 
-pub use driver::{BenchmarkDriver, DriverConfig, DriverReport};
+pub use driver::{
+    BenchmarkDriver, ClientRun, ClientWorkload, DriveMode, DriverConfig, DriverReport,
+    MultiClientConfig, MultiClientDriver, MultiClientReport,
+};
 pub use tpcb::{TpcB, TpcBConfig};
 pub use tpcc::{TpcC, TpcCConfig};
 pub use tpce::{TpcE, TpcEConfig};

@@ -10,7 +10,7 @@
 use nand_flash::FlashResult;
 use sim_utils::rng::SimRng;
 use sim_utils::time::SimInstant;
-use storage_engine::StorageEngine;
+use storage_engine::EngineOps;
 
 use crate::rid_codec::{rid_to_u64, u64_to_rid};
 use crate::workload::{TxnKind, Workload};
@@ -57,6 +57,10 @@ pub struct TpcB {
     config: TpcBConfig,
     rng: SimRng,
     history_counter: u64,
+    /// Table/index name prefix — concurrent clients of one shared engine use
+    /// disjoint prefixes ("c0_", "c1_", ...) so their data partitions never
+    /// overlap (the engine is redo-only; isolation comes from partitioning).
+    prefix: String,
 }
 
 /// Fixed-size row images (sizes follow the TPC-B minimum row sizes).
@@ -97,10 +101,18 @@ pub fn row_balance(row: &[u8]) -> i64 {
 impl TpcB {
     /// Create the workload from a configuration.
     pub fn new(config: TpcBConfig) -> Self {
+        Self::with_prefix(config, "")
+    }
+
+    /// Create the workload with every table/index name prefixed — N
+    /// concurrent clients sharing one engine each use a distinct prefix so
+    /// their partitions are disjoint.
+    pub fn with_prefix(config: TpcBConfig, prefix: impl Into<String>) -> Self {
         Self {
             rng: SimRng::new(config.seed),
             config,
             history_counter: 0,
+            prefix: prefix.into(),
         }
     }
 
@@ -108,37 +120,44 @@ impl TpcB {
     pub fn config(&self) -> TpcBConfig {
         self.config
     }
+
+    fn tbl(&self, base: &str) -> String {
+        format!("{}{}", self.prefix, base)
+    }
 }
 
-impl Workload for TpcB {
+impl<E: EngineOps> Workload<E> for TpcB {
     fn name(&self) -> &'static str {
         "tpcb"
     }
 
-    fn setup(&mut self, engine: &mut StorageEngine, now: SimInstant) -> FlashResult<SimInstant> {
+    fn setup(&mut self, engine: &mut E, now: SimInstant) -> FlashResult<SimInstant> {
         let mut t = now;
         for table in ["branch", "teller", "account", "history"] {
-            engine.create_table(table);
+            engine.create_table(&self.tbl(table));
         }
         for index in ["branch_pk", "teller_pk", "account_pk"] {
-            engine.create_index(index, t)?;
+            engine.create_index(&self.tbl(index), t)?;
         }
         let txn = engine.begin();
         for b in 0..self.config.scale_factor {
-            let (rid, t2) = engine.insert("branch", txn, t, &branch_row(b, 0))?;
-            let (_, t3) = engine.index_insert("branch_pk", t2, b, rid_to_u64(rid))?;
+            let (rid, t2) = engine.insert(&self.tbl("branch"), txn, t, &branch_row(b, 0))?;
+            let (_, t3) = engine.index_insert(&self.tbl("branch_pk"), t2, b, rid_to_u64(rid))?;
             t = t3;
         }
         for teller in 0..self.config.tellers() {
             let branch = teller / self.config.tellers_per_branch;
-            let (rid, t2) = engine.insert("teller", txn, t, &teller_row(teller, branch, 0))?;
-            let (_, t3) = engine.index_insert("teller_pk", t2, teller, rid_to_u64(rid))?;
+            let (rid, t2) =
+                engine.insert(&self.tbl("teller"), txn, t, &teller_row(teller, branch, 0))?;
+            let (_, t3) = engine.index_insert(&self.tbl("teller_pk"), t2, teller, rid_to_u64(rid))?;
             t = t3;
         }
         for account in 0..self.config.accounts() {
             let branch = account / self.config.accounts_per_branch;
-            let (rid, t2) = engine.insert("account", txn, t, &account_row(account, branch, 0))?;
-            let (_, t3) = engine.index_insert("account_pk", t2, account, rid_to_u64(rid))?;
+            let (rid, t2) =
+                engine.insert(&self.tbl("account"), txn, t, &account_row(account, branch, 0))?;
+            let (_, t3) =
+                engine.index_insert(&self.tbl("account_pk"), t2, account, rid_to_u64(rid))?;
             t = t3;
             // Keep the load phase from overflowing the buffer pool.
             if account % 512 == 0 {
@@ -152,7 +171,7 @@ impl Workload for TpcB {
 
     fn run_transaction(
         &mut self,
-        engine: &mut StorageEngine,
+        engine: &mut E,
         _client: usize,
         now: SimInstant,
     ) -> FlashResult<(SimInstant, TxnKind)> {
@@ -166,45 +185,45 @@ impl Workload for TpcB {
         let mut t = now;
 
         // Account: index lookup, read, update balance.
-        let (acct_ref, t2) = engine.index_get("account_pk", t, account)?;
+        let (acct_ref, t2) = engine.index_get(&self.tbl("account_pk"), t, account)?;
         t = t2;
         let acct_rid = u64_to_rid(acct_ref.expect("account must exist"));
-        let (row, t2) = engine.read("account", t, acct_rid)?;
+        let (row, t2) = engine.read(&self.tbl("account"), t, acct_rid)?;
         t = t2;
         let mut row = row.expect("account row present");
         let balance = row_balance(&row) + delta;
         row[16..24].copy_from_slice(&balance.to_le_bytes());
-        let (_, t2) = engine.update("account", txn, t, acct_rid, &row)?;
+        let (_, t2) = engine.update(&self.tbl("account"), txn, t, acct_rid, &row)?;
         t = t2;
 
         // Teller.
-        let (teller_ref, t2) = engine.index_get("teller_pk", t, teller)?;
+        let (teller_ref, t2) = engine.index_get(&self.tbl("teller_pk"), t, teller)?;
         t = t2;
         let teller_rid = u64_to_rid(teller_ref.expect("teller must exist"));
-        let (row, t2) = engine.read("teller", t, teller_rid)?;
+        let (row, t2) = engine.read(&self.tbl("teller"), t, teller_rid)?;
         t = t2;
         let mut row = row.expect("teller row present");
         let tbal = row_balance(&row) + delta;
         row[16..24].copy_from_slice(&tbal.to_le_bytes());
-        let (_, t2) = engine.update("teller", txn, t, teller_rid, &row)?;
+        let (_, t2) = engine.update(&self.tbl("teller"), txn, t, teller_rid, &row)?;
         t = t2;
 
         // Branch.
-        let (branch_ref, t2) = engine.index_get("branch_pk", t, branch)?;
+        let (branch_ref, t2) = engine.index_get(&self.tbl("branch_pk"), t, branch)?;
         t = t2;
         let branch_rid = u64_to_rid(branch_ref.expect("branch must exist"));
-        let (row, t2) = engine.read("branch", t, branch_rid)?;
+        let (row, t2) = engine.read(&self.tbl("branch"), t, branch_rid)?;
         t = t2;
         let mut row = row.expect("branch row present");
         let bbal = i64::from_le_bytes(row[8..16].try_into().unwrap()) + delta;
         row[8..16].copy_from_slice(&bbal.to_le_bytes());
-        let (_, t2) = engine.update("branch", txn, t, branch_rid, &row)?;
+        let (_, t2) = engine.update(&self.tbl("branch"), txn, t, branch_rid, &row)?;
         t = t2;
 
         // History append.
         self.history_counter += 1;
         let (_, t2) = engine.insert(
-            "history",
+            &self.tbl("history"),
             txn,
             t,
             &history_row(account, teller, branch, delta, self.history_counter),

@@ -13,7 +13,7 @@ use nand_flash::FlashResult;
 use sim_utils::dist::NuRand;
 use sim_utils::rng::SimRng;
 use sim_utils::time::SimInstant;
-use storage_engine::StorageEngine;
+use storage_engine::EngineOps;
 
 use crate::rid_codec::{rid_to_u64, u64_to_rid};
 use crate::workload::{TxnKind, Workload};
@@ -69,6 +69,9 @@ impl TpcCConfig {
 /// The TPC-C workload driver.
 pub struct TpcC {
     config: TpcCConfig,
+    /// Table/index name prefix — concurrent clients of one shared engine use
+    /// disjoint prefixes so their data partitions never overlap.
+    prefix: String,
     rng: SimRng,
     nurand_customer: NuRand,
     nurand_item: NuRand,
@@ -90,7 +93,15 @@ fn row(len: usize, key: u64, extra: u64) -> Vec<u8> {
 impl TpcC {
     /// Create the workload from a configuration.
     pub fn new(config: TpcCConfig) -> Self {
+        Self::with_prefix(config, "")
+    }
+
+    /// Create the workload with every table/index name prefixed — N
+    /// concurrent clients sharing one engine each use a distinct prefix so
+    /// their partitions are disjoint.
+    pub fn with_prefix(config: TpcCConfig, prefix: impl Into<String>) -> Self {
         Self {
+            prefix: prefix.into(),
             rng: SimRng::new(config.seed),
             nurand_customer: NuRand::new(1023, 0, config.customers_per_district - 1, 661),
             nurand_item: NuRand::new(8191, 0, config.items - 1, 7911),
@@ -118,10 +129,14 @@ impl TpcC {
         w * self.config.items + item
     }
 
+    fn tbl(&self, base: &str) -> String {
+        format!("{}{}", self.prefix, base)
+    }
+
     /// Helper: index lookup + heap read; panics if the row is missing
     /// (load-time invariant).
-    fn read_by_key(
-        engine: &mut StorageEngine,
+    fn read_by_key<E: EngineOps>(
+        engine: &mut E,
         index: &str,
         table: &str,
         key: u64,
@@ -135,9 +150,9 @@ impl TpcC {
 
     // --- the five transactions ---------------------------------------------
 
-    fn new_order(
+    fn new_order<E: EngineOps>(
         &mut self,
-        engine: &mut StorageEngine,
+        engine: &mut E,
         now: SimInstant,
     ) -> FlashResult<SimInstant> {
         let w = self.rng.range(0, self.config.warehouses);
@@ -147,57 +162,57 @@ impl TpcC {
         let mut t = now;
 
         // Warehouse and customer reads.
-        let (_, _, t2) = Self::read_by_key(engine, "warehouse_pk", "warehouse", w, t)?;
+        let (_, _, t2) = Self::read_by_key(engine, &self.tbl("warehouse_pk"), &self.tbl("warehouse"), w, t)?;
         t = t2;
         let (_, _, t2) =
-            Self::read_by_key(engine, "customer_pk", "customer", self.customer_key(w, d, c), t)?;
+            Self::read_by_key(engine, &self.tbl("customer_pk"), &self.tbl("customer"), self.customer_key(w, d, c), t)?;
         t = t2;
 
         // District read + update (next order id).
         let dkey = self.district_key(w, d);
-        let (drid, mut drow, t2) = Self::read_by_key(engine, "district_pk", "district", dkey, t)?;
+        let (drid, mut drow, t2) = Self::read_by_key(engine, &self.tbl("district_pk"), &self.tbl("district"), dkey, t)?;
         t = t2;
         let next_oid = u64::from_le_bytes(drow[8..16].try_into().unwrap()) + 1;
         drow[8..16].copy_from_slice(&next_oid.to_le_bytes());
-        let (_, t2) = engine.update("district", txn, t, drid, &drow)?;
+        let (_, t2) = engine.update(&self.tbl("district"), txn, t, drid, &drow)?;
         t = t2;
 
         // Insert the order and its lines.
         self.next_order_id += 1;
         let o_id = self.next_order_id;
         let ol_cnt = self.rng.range(5, 16);
-        let (orid, t2) = engine.insert("orders", txn, t, &row(32, o_id, ol_cnt))?;
+        let (orid, t2) = engine.insert(&self.tbl("orders"), txn, t, &row(32, o_id, ol_cnt))?;
         t = t2;
-        let (_, t2) = engine.index_insert("orders_pk", t, o_id, rid_to_u64(orid))?;
+        let (_, t2) = engine.index_insert(&self.tbl("orders_pk"), t, o_id, rid_to_u64(orid))?;
         t = t2;
-        let (_, t2) = engine.insert("new_order", txn, t, &row(8, o_id, 0))?;
+        let (_, t2) = engine.insert(&self.tbl("new_order"), txn, t, &row(8, o_id, 0))?;
         t = t2;
         self.undelivered[w as usize].push_back(o_id);
 
         for line in 0..ol_cnt {
             let item = self.nurand_item.sample(&mut self.rng);
             // Item read (read-only table).
-            let (_, _, t2) = Self::read_by_key(engine, "item_pk", "item", item, t)?;
+            let (_, _, t2) = Self::read_by_key(engine, &self.tbl("item_pk"), &self.tbl("item"), item, t)?;
             t = t2;
             // Stock read + update.
             let skey = self.stock_key(w, item);
-            let (srid, mut srow, t2) = Self::read_by_key(engine, "stock_pk", "stock", skey, t)?;
+            let (srid, mut srow, t2) = Self::read_by_key(engine, &self.tbl("stock_pk"), &self.tbl("stock"), skey, t)?;
             t = t2;
             let qty = u64::from_le_bytes(srow[8..16].try_into().unwrap());
             let new_qty = if qty > 10 { qty - 5 } else { qty + 91 };
             srow[8..16].copy_from_slice(&new_qty.to_le_bytes());
-            let (_, t2) = engine.update("stock", txn, t, srid, &srow)?;
+            let (_, t2) = engine.update(&self.tbl("stock"), txn, t, srid, &srow)?;
             t = t2;
             // Order line insert + index entry (o_id * 16 + line).
-            let (olrid, t2) = engine.insert("order_line", txn, t, &row(54, o_id, item))?;
+            let (olrid, t2) = engine.insert(&self.tbl("order_line"), txn, t, &row(54, o_id, item))?;
             t = t2;
-            let (_, t2) = engine.index_insert("order_line_pk", t, o_id * 16 + line, rid_to_u64(olrid))?;
+            let (_, t2) = engine.index_insert(&self.tbl("order_line_pk"), t, o_id * 16 + line, rid_to_u64(olrid))?;
             t = t2;
         }
         engine.commit(txn, t)
     }
 
-    fn payment(&mut self, engine: &mut StorageEngine, now: SimInstant) -> FlashResult<SimInstant> {
+    fn payment<E: EngineOps>(&mut self, engine: &mut E, now: SimInstant) -> FlashResult<SimInstant> {
         let w = self.rng.range(0, self.config.warehouses);
         let d = self.rng.range(0, self.config.districts_per_warehouse);
         let c = self.nurand_customer.sample(&mut self.rng);
@@ -206,40 +221,40 @@ impl TpcC {
         let mut t = now;
 
         // Warehouse read + update (YTD).
-        let (wrid, mut wrow, t2) = Self::read_by_key(engine, "warehouse_pk", "warehouse", w, t)?;
+        let (wrid, mut wrow, t2) = Self::read_by_key(engine, &self.tbl("warehouse_pk"), &self.tbl("warehouse"), w, t)?;
         t = t2;
         let ytd = i64::from_le_bytes(wrow[8..16].try_into().unwrap()) + amount;
         wrow[8..16].copy_from_slice(&ytd.to_le_bytes());
-        let (_, t2) = engine.update("warehouse", txn, t, wrid, &wrow)?;
+        let (_, t2) = engine.update(&self.tbl("warehouse"), txn, t, wrid, &wrow)?;
         t = t2;
 
         // District read + update.
         let dkey = self.district_key(w, d);
-        let (drid, mut drow, t2) = Self::read_by_key(engine, "district_pk", "district", dkey, t)?;
+        let (drid, mut drow, t2) = Self::read_by_key(engine, &self.tbl("district_pk"), &self.tbl("district"), dkey, t)?;
         t = t2;
         let dytd = i64::from_le_bytes(drow[16..24].try_into().unwrap()) + amount;
         drow[16..24].copy_from_slice(&dytd.to_le_bytes());
-        let (_, t2) = engine.update("district", txn, t, drid, &drow)?;
+        let (_, t2) = engine.update(&self.tbl("district"), txn, t, drid, &drow)?;
         t = t2;
 
         // Customer read + update (balance).
         let ckey = self.customer_key(w, d, c);
-        let (crid, mut crow, t2) = Self::read_by_key(engine, "customer_pk", "customer", ckey, t)?;
+        let (crid, mut crow, t2) = Self::read_by_key(engine, &self.tbl("customer_pk"), &self.tbl("customer"), ckey, t)?;
         t = t2;
         let bal = i64::from_le_bytes(crow[8..16].try_into().unwrap()) - amount;
         crow[8..16].copy_from_slice(&bal.to_le_bytes());
-        let (_, t2) = engine.update("customer", txn, t, crid, &crow)?;
+        let (_, t2) = engine.update(&self.tbl("customer"), txn, t, crid, &crow)?;
         t = t2;
 
         // History append.
-        let (_, t2) = engine.insert("history", txn, t, &row(46, ckey, amount as u64))?;
+        let (_, t2) = engine.insert(&self.tbl("history"), txn, t, &row(46, ckey, amount as u64))?;
         t = t2;
         engine.commit(txn, t)
     }
 
-    fn order_status(
+    fn order_status<E: EngineOps>(
         &mut self,
-        engine: &mut StorageEngine,
+        engine: &mut E,
         now: SimInstant,
     ) -> FlashResult<SimInstant> {
         let w = self.rng.range(0, self.config.warehouses);
@@ -248,24 +263,24 @@ impl TpcC {
         let txn = engine.begin();
         let mut t = now;
         let (_, _, t2) =
-            Self::read_by_key(engine, "customer_pk", "customer", self.customer_key(w, d, c), t)?;
+            Self::read_by_key(engine, &self.tbl("customer_pk"), &self.tbl("customer"), self.customer_key(w, d, c), t)?;
         t = t2;
         // Read a recent order and its lines.
         if self.next_order_id > 0 {
             let lo = self.next_order_id.saturating_sub(20).max(1);
             let o_id = self.rng.range(lo, self.next_order_id + 1);
-            if let (Some(oref), t2) = engine.index_get("orders_pk", t, o_id)? {
+            if let (Some(oref), t2) = engine.index_get(&self.tbl("orders_pk"), t, o_id)? {
                 t = t2;
-                let (orow, t2) = engine.read("orders", t, u64_to_rid(oref))?;
+                let (orow, t2) = engine.read(&self.tbl("orders"), t, u64_to_rid(oref))?;
                 t = t2;
                 let _ = orow;
                 let mut line_refs = Vec::new();
-                let (_, t2) = engine.index_range("order_line_pk", t, o_id * 16, o_id * 16 + 15, |_, v| {
+                let (_, t2) = engine.index_range(&self.tbl("order_line_pk"), t, o_id * 16, o_id * 16 + 15, &mut |_, v| {
                     line_refs.push(v);
                 })?;
                 t = t2;
                 for r in line_refs {
-                    let (_, t2) = engine.read("order_line", t, u64_to_rid(r))?;
+                    let (_, t2) = engine.read(&self.tbl("order_line"), t, u64_to_rid(r))?;
                     t = t2;
                 }
             } else {
@@ -275,7 +290,7 @@ impl TpcC {
         engine.commit(txn, t)
     }
 
-    fn delivery(&mut self, engine: &mut StorageEngine, now: SimInstant) -> FlashResult<SimInstant> {
+    fn delivery<E: EngineOps>(&mut self, engine: &mut E, now: SimInstant) -> FlashResult<SimInstant> {
         let w = self.rng.range(0, self.config.warehouses) as usize;
         let txn = engine.begin();
         let mut t = now;
@@ -283,15 +298,15 @@ impl TpcC {
             let Some(o_id) = self.undelivered[w].pop_front() else {
                 break;
             };
-            if let (Some(oref), t2) = engine.index_get("orders_pk", t, o_id)? {
+            if let (Some(oref), t2) = engine.index_get(&self.tbl("orders_pk"), t, o_id)? {
                 t = t2;
                 let orid = u64_to_rid(oref);
-                let (orow, t2) = engine.read("orders", t, orid)?;
+                let (orow, t2) = engine.read(&self.tbl("orders"), t, orid)?;
                 t = t2;
                 if let Some(mut orow) = orow {
                     // Set the carrier id field.
                     orow[8..16].copy_from_slice(&7u64.to_le_bytes());
-                    let (_, t2) = engine.update("orders", txn, t, orid, &orow)?;
+                    let (_, t2) = engine.update(&self.tbl("orders"), txn, t, orid, &orow)?;
                     t = t2;
                 }
             }
@@ -299,19 +314,19 @@ impl TpcC {
             let d = self.rng.range(0, self.config.districts_per_warehouse);
             let c = self.rng.range(0, self.config.customers_per_district);
             let ckey = self.customer_key(w as u64, d, c);
-            let (crid, mut crow, t2) = Self::read_by_key(engine, "customer_pk", "customer", ckey, t)?;
+            let (crid, mut crow, t2) = Self::read_by_key(engine, &self.tbl("customer_pk"), &self.tbl("customer"), ckey, t)?;
             t = t2;
             let bal = i64::from_le_bytes(crow[8..16].try_into().unwrap()) + 100;
             crow[8..16].copy_from_slice(&bal.to_le_bytes());
-            let (_, t2) = engine.update("customer", txn, t, crid, &crow)?;
+            let (_, t2) = engine.update(&self.tbl("customer"), txn, t, crid, &crow)?;
             t = t2;
         }
         engine.commit(txn, t)
     }
 
-    fn stock_level(
+    fn stock_level<E: EngineOps>(
         &mut self,
-        engine: &mut StorageEngine,
+        engine: &mut E,
         now: SimInstant,
     ) -> FlashResult<SimInstant> {
         let w = self.rng.range(0, self.config.warehouses);
@@ -319,27 +334,27 @@ impl TpcC {
         let txn = engine.begin();
         let mut t = now;
         let (_, _, t2) =
-            Self::read_by_key(engine, "district_pk", "district", self.district_key(w, d), t)?;
+            Self::read_by_key(engine, &self.tbl("district_pk"), &self.tbl("district"), self.district_key(w, d), t)?;
         t = t2;
         // Examine the order lines of the last 20 orders and read their stock.
         if self.next_order_id > 0 {
             let lo = self.next_order_id.saturating_sub(20).max(1);
             let mut items = Vec::new();
             let (_, t2) = engine.index_range(
-                "order_line_pk",
+                &self.tbl("order_line_pk"),
                 t,
                 lo * 16,
                 self.next_order_id * 16 + 15,
-                |_, v| items.push(v),
+                &mut |_, v| items.push(v),
             )?;
             t = t2;
             for r in items.into_iter().take(40) {
-                let (line, t2) = engine.read("order_line", t, u64_to_rid(r))?;
+                let (line, t2) = engine.read(&self.tbl("order_line"), t, u64_to_rid(r))?;
                 t = t2;
                 if let Some(line) = line {
                     let item = u64::from_le_bytes(line[8..16].try_into().unwrap());
                     let (_, _, t2) =
-                        Self::read_by_key(engine, "stock_pk", "stock", self.stock_key(w, item), t)?;
+                        Self::read_by_key(engine, &self.tbl("stock_pk"), &self.tbl("stock"), self.stock_key(w, item), t)?;
                     t = t2;
                 }
             }
@@ -348,12 +363,12 @@ impl TpcC {
     }
 }
 
-impl Workload for TpcC {
+impl<E: EngineOps> Workload<E> for TpcC {
     fn name(&self) -> &'static str {
         "tpcc"
     }
 
-    fn setup(&mut self, engine: &mut StorageEngine, now: SimInstant) -> FlashResult<SimInstant> {
+    fn setup(&mut self, engine: &mut E, now: SimInstant) -> FlashResult<SimInstant> {
         let mut t = now;
         for table in [
             "warehouse",
@@ -366,7 +381,7 @@ impl Workload for TpcC {
             "new_order",
             "history",
         ] {
-            engine.create_table(table);
+            engine.create_table(&self.tbl(table));
         }
         for index in [
             "warehouse_pk",
@@ -377,37 +392,37 @@ impl Workload for TpcC {
             "orders_pk",
             "order_line_pk",
         ] {
-            engine.create_index(index, t)?;
+            engine.create_index(&self.tbl(index), t)?;
         }
         let txn = engine.begin();
         for w in 0..self.config.warehouses {
-            let (rid, t2) = engine.insert("warehouse", txn, t, &row(89, w, 0))?;
-            let (_, t3) = engine.index_insert("warehouse_pk", t2, w, rid_to_u64(rid))?;
+            let (rid, t2) = engine.insert(&self.tbl("warehouse"), txn, t, &row(89, w, 0))?;
+            let (_, t3) = engine.index_insert(&self.tbl("warehouse_pk"), t2, w, rid_to_u64(rid))?;
             t = t3;
         }
         for d in 0..self.config.districts() {
-            let (rid, t2) = engine.insert("district", txn, t, &row(95, d, 1))?;
-            let (_, t3) = engine.index_insert("district_pk", t2, d, rid_to_u64(rid))?;
+            let (rid, t2) = engine.insert(&self.tbl("district"), txn, t, &row(95, d, 1))?;
+            let (_, t3) = engine.index_insert(&self.tbl("district_pk"), t2, d, rid_to_u64(rid))?;
             t = t3;
         }
         for c in 0..self.config.customers() {
-            let (rid, t2) = engine.insert("customer", txn, t, &row(650, c, 0))?;
-            let (_, t3) = engine.index_insert("customer_pk", t2, c, rid_to_u64(rid))?;
+            let (rid, t2) = engine.insert(&self.tbl("customer"), txn, t, &row(650, c, 0))?;
+            let (_, t3) = engine.index_insert(&self.tbl("customer_pk"), t2, c, rid_to_u64(rid))?;
             t = t3;
             if c % 256 == 0 {
                 t = engine.maybe_flush(t)?;
             }
         }
         for i in 0..self.config.items {
-            let (rid, t2) = engine.insert("item", txn, t, &row(82, i, 0))?;
-            let (_, t3) = engine.index_insert("item_pk", t2, i, rid_to_u64(rid))?;
+            let (rid, t2) = engine.insert(&self.tbl("item"), txn, t, &row(82, i, 0))?;
+            let (_, t3) = engine.index_insert(&self.tbl("item_pk"), t2, i, rid_to_u64(rid))?;
             t = t3;
         }
         for w in 0..self.config.warehouses {
             for i in 0..self.config.items {
                 let key = self.stock_key(w, i);
-                let (rid, t2) = engine.insert("stock", txn, t, &row(306, key, 50))?;
-                let (_, t3) = engine.index_insert("stock_pk", t2, key, rid_to_u64(rid))?;
+                let (rid, t2) = engine.insert(&self.tbl("stock"), txn, t, &row(306, key, 50))?;
+                let (_, t3) = engine.index_insert(&self.tbl("stock_pk"), t2, key, rid_to_u64(rid))?;
                 t = t3;
                 if key.is_multiple_of(256) {
                     t = engine.maybe_flush(t)?;
@@ -421,7 +436,7 @@ impl Workload for TpcC {
 
     fn run_transaction(
         &mut self,
-        engine: &mut StorageEngine,
+        engine: &mut E,
         _client: usize,
         now: SimInstant,
     ) -> FlashResult<(SimInstant, TxnKind)> {

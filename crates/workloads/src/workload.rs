@@ -2,7 +2,7 @@
 
 use nand_flash::FlashResult;
 use sim_utils::time::SimInstant;
-use storage_engine::StorageEngine;
+use storage_engine::{EngineOps, StorageEngine};
 
 /// Classification of a transaction for per-type reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -14,19 +14,26 @@ pub enum TxnKind {
 }
 
 /// A benchmark workload: schema setup plus a stream of transactions.
-pub trait Workload {
+///
+/// The engine parameter defaults to the single-threaded
+/// [`StorageEngine`], so existing `dyn Workload` call sites keep meaning
+/// "a workload over the single-threaded engine".  Workloads implemented
+/// generically over [`EngineOps`] (TPC-B, TPC-C) additionally run against a
+/// `storage_engine::ClientSession` — one of N concurrent clients sharing a
+/// `storage_engine::ConcurrentEngine` under `NOFTL_THREADS`.
+pub trait Workload<E: EngineOps = StorageEngine> {
     /// Workload name ("tpcb", "tpcc", ...).
     fn name(&self) -> &'static str;
 
     /// Create tables/indexes and load the initial data.  Returns the virtual
     /// time after loading.
-    fn setup(&mut self, engine: &mut StorageEngine, now: SimInstant) -> FlashResult<SimInstant>;
+    fn setup(&mut self, engine: &mut E, now: SimInstant) -> FlashResult<SimInstant>;
 
     /// Execute one transaction on behalf of `client`, starting at `now`.
     /// Returns the commit time and the transaction kind.
     fn run_transaction(
         &mut self,
-        engine: &mut StorageEngine,
+        engine: &mut E,
         client: usize,
         now: SimInstant,
     ) -> FlashResult<(SimInstant, TxnKind)>;

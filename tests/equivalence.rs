@@ -784,3 +784,202 @@ fn wal_log_contents_identical_for_all_batch_sizes() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// NOFTL_THREADS: single-client leg of the concurrent engine (PR 7)
+// ---------------------------------------------------------------------------
+
+fn with_threads_env<R>(value: Option<&str>, f: impl FnOnce() -> R) -> R {
+    let saved = std::env::var("NOFTL_THREADS").ok();
+    match value {
+        Some(v) => std::env::set_var("NOFTL_THREADS", v),
+        None => std::env::remove_var("NOFTL_THREADS"),
+    }
+    let r = f();
+    match saved {
+        Some(v) => std::env::set_var("NOFTL_THREADS", v),
+        None => std::env::remove_var("NOFTL_THREADS"),
+    }
+    r
+}
+
+/// `NOFTL_THREADS=1` and every "off" spelling must mean the single-threaded
+/// path (the figure pipelines run the plain [`StorageEngine`] there).
+#[test]
+fn threads_knob_single_client_spellings() {
+    use noftl::storage_engine::backend::parse_threads;
+    for v in ["1", "off", "false", "0", ""] {
+        assert_eq!(parse_threads(v), 1, "NOFTL_THREADS={v:?} must mean one client");
+    }
+}
+
+#[test]
+fn fig3_output_identical_with_threads_unset_vs_one() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let unset = with_threads_env(None, || render_fig3(&run_gc_overhead(Scale::Quick)));
+    let one = with_threads_env(Some("1"), || render_fig3(&run_gc_overhead(Scale::Quick)));
+    assert!(unset.contains("TPC-B"));
+    assert_eq!(
+        unset, one,
+        "Figure 3 output must be bit-identical with NOFTL_THREADS unset vs 1"
+    );
+}
+
+#[test]
+fn fig4_output_identical_with_threads_unset_vs_one() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let dies = [1u32, 2, 4, 8];
+    let unset = with_threads_env(None, || {
+        render_fig4(&run_dbwriter_scaling(Benchmark::TpcB, Scale::Quick, &dies))
+    });
+    let one = with_threads_env(Some("1"), || {
+        render_fig4(&run_dbwriter_scaling(Benchmark::TpcB, Scale::Quick, &dies))
+    });
+    assert_eq!(
+        unset, one,
+        "Figure 4 output must be bit-identical with NOFTL_THREADS unset vs 1"
+    );
+}
+
+/// The structural pin behind the knob: one client driving the concurrent
+/// engine at one shard must be **bit- and cycle-identical** to the plain
+/// single-threaded engine — same device command trace, same durable WAL
+/// records, same commit count, same WAL forces, same buffer-pool counters,
+/// same end-to-end virtual time.
+mod threads_single_client_identity {
+    use noftl::nand_flash::{DeviceConfig, FlashGeometry, NandDevice};
+    use noftl::noftl_core::{NoFtl, NoFtlConfig};
+    use noftl::sim_utils::time::SimInstant;
+    use noftl::storage_engine::backend::NoFtlBackend;
+    use noftl::storage_engine::{
+        ConcurrentEngine, EngineConfig, EngineOps, FlusherConfig, LogRecord, Lsn,
+        StorageEngine,
+    };
+    use noftl::workloads::{TpcB, TpcBConfig, Workload};
+
+    /// What a run leaves behind; every field must match across the legs.
+    #[derive(Debug, PartialEq)]
+    struct RunImage {
+        trace: Vec<String>,
+        wal: Vec<(Lsn, LogRecord)>,
+        end: SimInstant,
+        committed: u64,
+        forces: u64,
+        buffer: noftl::storage_engine::buffer::BufferStats,
+    }
+
+    fn traced_backend(depth: usize) -> NoFtlBackend {
+        let geometry = FlashGeometry::with_dies(4, 256, 32, 4096);
+        let mut cfg = NoFtlConfig::new(geometry);
+        cfg.async_queue_depth = depth;
+        let mut dev_cfg = DeviceConfig::new(geometry);
+        dev_cfg.store_data = cfg.store_data;
+        dev_cfg.trace_capacity = 1 << 16;
+        let noftl = NoFtl::with_device(NandDevice::new(dev_cfg), cfg);
+        let mut backend = NoFtlBackend::new(noftl);
+        backend.noftl_mut().set_async_depth(depth);
+        backend
+    }
+
+    fn engine_config(depth: usize) -> EngineConfig {
+        let mut ecfg = EngineConfig::new();
+        ecfg.buffer_frames = 96;
+        ecfg.log_pages = 64;
+        let mut flushers = FlusherConfig::die_wise(2);
+        flushers.async_depth = depth;
+        ecfg.flushers = flushers;
+        ecfg.readahead_window = 16;
+        ecfg
+    }
+
+    /// Identical TPC-B work through the [`EngineOps`] surface — the same
+    /// generic code path drives both legs, so any divergence comes from the
+    /// engines, not the driver.
+    fn drive<E: EngineOps>(engine: &mut E) -> SimInstant {
+        let mut w = TpcB::new(TpcBConfig {
+            scale_factor: 1,
+            tellers_per_branch: 4,
+            accounts_per_branch: 80,
+            seed: 42,
+        });
+        let mut now = w.setup(engine, 0).expect("setup");
+        for _ in 0..30 {
+            let (end, _) = w.run_transaction(engine, 0, now).expect("transaction");
+            now = engine.maybe_flush(end).expect("flush").max(end);
+        }
+        let t = engine.checkpoint(now).expect("checkpoint");
+        engine.quiesce(t)
+    }
+
+    fn single_image(depth: usize) -> RunImage {
+        let mut engine = StorageEngine::new(Box::new(traced_backend(depth)), engine_config(depth));
+        let end = drive(&mut engine);
+        RunImage {
+            trace: engine
+                .backend()
+                .as_any()
+                .and_then(|a| a.downcast_ref::<NoFtlBackend>())
+                .expect("NoFTL backend")
+                .noftl()
+                .device()
+                .tracer()
+                .entries()
+                .iter()
+                .map(|e| format!("{e:?}"))
+                .collect(),
+            wal: engine.wal().records().to_vec(),
+            end,
+            committed: engine.committed(),
+            forces: engine.wal().forces(),
+            buffer: engine.buffer_stats(),
+        }
+    }
+
+    fn concurrent_image(depth: usize) -> RunImage {
+        let engine = ConcurrentEngine::new(Box::new(traced_backend(depth)), engine_config(depth), 1);
+        let mut session = engine.session();
+        let end = drive(&mut session);
+        drop(session);
+        RunImage {
+            trace: engine.with_backend(|b| {
+                b.as_any()
+                    .and_then(|a| a.downcast_ref::<NoFtlBackend>())
+                    .expect("NoFTL backend")
+                    .noftl()
+                    .device()
+                    .tracer()
+                    .entries()
+                    .iter()
+                    .map(|e| format!("{e:?}"))
+                    .collect()
+            }),
+            wal: engine.with_wal(|w| w.records().to_vec()),
+            end,
+            committed: engine.committed(),
+            forces: engine.log_forces(),
+            buffer: engine.buffer_stats(),
+        }
+    }
+
+    #[test]
+    fn one_shard_one_client_is_trace_identical_to_single_threaded_sync() {
+        let single = single_image(1);
+        let concurrent = concurrent_image(1);
+        assert_eq!(
+            single, concurrent,
+            "one client over the 1-shard concurrent engine must be bit- and \
+             cycle-identical to the single-threaded engine (sync dispatch)"
+        );
+    }
+
+    #[test]
+    fn one_shard_one_client_is_trace_identical_to_single_threaded_async() {
+        let single = single_image(8);
+        let concurrent = concurrent_image(8);
+        assert_eq!(
+            single, concurrent,
+            "one client over the 1-shard concurrent engine must be bit- and \
+             cycle-identical to the single-threaded engine (async depth 8)"
+        );
+    }
+}
