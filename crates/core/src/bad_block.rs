@@ -3,8 +3,13 @@
 //! Under NoFTL the DBMS owns the bad-block manager (paper, Figure 2): it keeps
 //! the list of factory and grown bad blocks, removes them from the region
 //! pools and remembers how much usable capacity remains.
+//!
+//! The sets are `BTreeSet`s, not hash sets: [`BadBlockManager::iter`] feeds
+//! recovery reports and region rebuilds, so its order must be deterministic
+//! across runs for the bit-identical-output guarantee (noftl-lint's
+//! determinism pass enforces this crate-wide).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use nand_flash::BlockAddr;
 use serde::{Deserialize, Serialize};
@@ -21,8 +26,8 @@ pub enum RetireReason {
 /// Registry of retired blocks.
 #[derive(Debug, Clone, Default)]
 pub struct BadBlockManager {
-    factory: HashSet<BlockAddr>,
-    grown: HashSet<BlockAddr>,
+    factory: BTreeSet<BlockAddr>,
+    grown: BTreeSet<BlockAddr>,
 }
 
 impl BadBlockManager {
@@ -127,6 +132,47 @@ mod tests {
         assert_eq!(bbm.factory_count(), 1);
         assert_eq!(bbm.grown_count(), 0);
         assert!(bbm.is_bad(b));
+    }
+
+    #[test]
+    fn iteration_order_is_deterministic_and_sorted_within_each_set() {
+        // Retire blocks in scrambled order; iter() must yield factory blocks
+        // then grown blocks, each set in sorted address order, independent of
+        // insertion order — recovery reports diff bit-identically across runs.
+        let mut a = BadBlockManager::new();
+        let mut b = BadBlockManager::new();
+        let factory = [BlockAddr::new(1, 0, 0, 7), BlockAddr::new(0, 0, 0, 3)];
+        let grown = [BlockAddr::new(0, 1, 0, 9), BlockAddr::new(0, 0, 1, 2)];
+        for blk in factory.iter().chain(grown.iter().rev()) {
+            a.retire(
+                *blk,
+                if factory.contains(blk) {
+                    RetireReason::Factory
+                } else {
+                    RetireReason::Grown
+                },
+            );
+        }
+        for blk in factory.iter().rev().chain(grown.iter()) {
+            b.retire(
+                *blk,
+                if factory.contains(blk) {
+                    RetireReason::Factory
+                } else {
+                    RetireReason::Grown
+                },
+            );
+        }
+        let order_a: Vec<BlockAddr> = a.iter().collect();
+        let order_b: Vec<BlockAddr> = b.iter().collect();
+        assert_eq!(order_a, order_b, "iteration order must not depend on insertion order");
+        let mut sorted_factory = factory.to_vec();
+        sorted_factory.sort();
+        let mut sorted_grown = grown.to_vec();
+        sorted_grown.sort();
+        let expected: Vec<BlockAddr> =
+            sorted_factory.into_iter().chain(sorted_grown).collect();
+        assert_eq!(order_a, expected, "factory first, then grown, each sorted");
     }
 
     #[test]

@@ -15,12 +15,12 @@
 //!   Flash-aware flusher assignment.
 
 use nand_flash::{
-    BlockAddr, DeviceConfig, DeviceIdentification, FlashError, FlashGeometry, FlashResult,
-    FlashStats, NandDevice, NativeFlashInterface, Oob, OpCompletion, PageState, Ppa,
+    BlockAddr, DeviceConfig, DeviceIdentification, FaultPlan, FlashError, FlashGeometry,
+    FlashResult, FlashStats, NandDevice, NativeFlashInterface, Oob, OpCompletion, PageState, Ppa,
     QueuedCompletion,
 };
+use sim_utils::flatmap::FlatBitSet;
 use sim_utils::time::SimInstant;
-use std::collections::HashSet;
 
 use crate::bad_block::{BadBlockManager, RetireReason};
 use crate::config::NoFtlConfig;
@@ -41,7 +41,7 @@ pub struct NoFtl {
     stats: NoFtlStats,
     /// Physical pages invalidated through dead-page hints (distinguished from
     /// ordinary superseded pages for reporting).
-    dead_hinted: HashSet<u64>,
+    dead_hinted: FlatBitSet,
     logical_pages: u64,
     gc_low: usize,
     gc_high: usize,
@@ -133,7 +133,7 @@ impl NoFtl {
             wear: WearLeveler::new(config.wear_leveling_threshold),
             gc_policy: GcPolicy::Greedy,
             stats: NoFtlStats::new(),
-            dead_hinted: HashSet::new(),
+            dead_hinted: FlatBitSet::with_index_capacity(geometry.total_pages() as usize),
             logical_pages,
             gc_low: config.gc_low_watermark.max(1),
             gc_high: config.gc_high_watermark.max(config.gc_low_watermark + 1),
@@ -246,6 +246,21 @@ impl NoFtl {
     /// Borrow the underlying device.
     pub fn device(&self) -> &NandDevice {
         &self.device
+    }
+
+    /// Whether the underlying device runs with a fault-injection plan.
+    pub fn faults_enabled(&self) -> bool {
+        self.faults_active
+    }
+
+    /// Install (or clear) the device's fault-injection plan, keeping the
+    /// cached fault-path gate in sync.  The DBMS-side knob wiring
+    /// (`storage_engine::backend`) uses this to inject the centrally parsed
+    /// `NOFTL_FAULTS` plan into a device configured without one; an
+    /// explicitly configured plan is never overridden there.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.device.set_fault_plan(plan);
+        self.faults_active = self.device.faults_enabled();
     }
 
     /// Bad-block registry.
@@ -509,7 +524,7 @@ impl NoFtl {
         t = t.max(completion.completed_at);
         if let Some(old) = self.map.update(lpn, ppa.flat(&g)) {
             self.device.invalidate_page(Ppa::from_flat(&g, old))?;
-            self.dead_hinted.remove(&old);
+            self.dead_hinted.remove(old);
         }
         self.stats.host_writes += 1;
         self.stats.write_latency.record(t.saturating_sub(start));
@@ -630,7 +645,7 @@ impl NoFtl {
                             let lpn = pages[i].0;
                             if let Some(old) = self.map.update(lpn, ppa.flat(&g)) {
                                 self.device.invalidate_page(Ppa::from_flat(&g, old))?;
-                                self.dead_hinted.remove(&old);
+                                self.dead_hinted.remove(old);
                             }
                             self.stats.host_writes += 1;
                             self.stats.write_latency.record(t_run.saturating_sub(start));
@@ -658,7 +673,7 @@ impl NoFtl {
                             let lpn = pages[i].0;
                             if let Some(old) = self.map.update(lpn, ppa.flat(&g)) {
                                 self.device.invalidate_page(Ppa::from_flat(&g, old))?;
-                                self.dead_hinted.remove(&old);
+                                self.dead_hinted.remove(old);
                             }
                             self.stats.host_writes += 1;
                             self.stats.write_latency.record(t_run.saturating_sub(start));
@@ -1015,24 +1030,24 @@ impl NoFtl {
                 self.regions.release_block(block);
                 Ok((now.max(c.completed_at), true))
             }
-            Err(e @ (FlashError::WornOut(_) | FlashError::EraseFailed(_))) => {
-                let b = match e {
-                    FlashError::WornOut(b) => b,
-                    FlashError::EraseFailed(b) => {
-                        self.stats.erase_fail_retirements += 1;
-                        b
-                    }
-                    _ => unreachable!(),
-                };
-                // The failed erase still held the die until it reported.
-                let t = now.max(self.device.die_busy_until(b.die_addr()));
-                self.bad_blocks.retire(b, RetireReason::Grown);
-                self.regions.retire_block(b);
-                self.stats.retired_blocks += 1;
-                Ok((t, false))
+            Err(FlashError::WornOut(b)) => Ok(self.retire_failed_erase(now, b)),
+            Err(FlashError::EraseFailed(b)) => {
+                self.stats.erase_fail_retirements += 1;
+                Ok(self.retire_failed_erase(now, b))
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// Shared tail of erase-failure handling: the block is grown-bad, its
+    /// region drops it, and the failed erase still held the die until it
+    /// reported its status.
+    fn retire_failed_erase(&mut self, now: SimInstant, b: BlockAddr) -> (SimInstant, bool) {
+        let t = now.max(self.device.die_busy_until(b.die_addr()));
+        self.bad_blocks.retire(b, RetireReason::Grown);
+        self.regions.retire_block(b);
+        self.stats.retired_blocks += 1;
+        (t, false)
     }
 
     /// Retire a block one of whose PAGE PROGRAMs reported failure.  The
@@ -1199,7 +1214,7 @@ impl NoFtl {
             match self.device.page_state(src)? {
                 PageState::Valid => {}
                 PageState::Invalid => {
-                    if self.dead_hinted.remove(&flat) {
+                    if self.dead_hinted.remove(flat) {
                         self.stats.gc_dead_skipped += 1;
                     }
                     continue;

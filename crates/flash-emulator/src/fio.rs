@@ -180,7 +180,13 @@ pub fn run_fio(device: &mut dyn BlockDevice, job: &FioJob, start: SimInstant) ->
                 seq_cursor += 1;
                 l
             }
-            AccessPattern::Zipfian(_) => zipf.as_ref().expect("zipf built above").sample(&mut rng),
+            // `zipf` is Some exactly when the pattern is Zipfian (built
+            // above); fall back to uniform rather than panicking if the two
+            // ever disagree.
+            AccessPattern::Zipfian(_) => match zipf.as_ref() {
+                Some(z) => z.sample(&mut rng),
+                None => rng.range(0, span),
+            },
         };
         let is_read = rng.bool_with_prob(job.read_fraction);
         let completion = if is_read {

@@ -98,12 +98,14 @@ impl HostInterface {
         }
         let start = if self.inflight.len() < self.link.max_outstanding as usize {
             now
-        } else {
+        } else if let Some(free_at) = self.inflight.pop_front() {
             // Wait for the oldest outstanding command to complete.
-            let free_at = *self.inflight.front().expect("queue cannot be empty here");
-            self.inflight.pop_front();
             self.queue_wait += free_at.saturating_sub(now);
             free_at
+        } else {
+            // A full queue with max_outstanding >= 1 is never empty; admit
+            // immediately rather than panicking on an impossible state.
+            now
         };
         self.admitted += 1;
         start + self.link.command_overhead

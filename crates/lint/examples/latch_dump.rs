@@ -1,0 +1,49 @@
+//! Dump everything the latch-order pass learned about the workspace:
+//! discovered locks, acquisition sites per file, the deduplicated
+//! acquisition-order edge list, each function's transitive may-acquire
+//! set, and any cycles.
+//!
+//! Usage: `cargo run -p noftl-lint --example latch_dump [workspace-root]`
+//! (defaults to the current directory).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let r = noftl_lint::run(&root, Some(&["latch-order".to_string()]));
+
+    println!("LOCKS: {:?}", r.latch.locks);
+
+    let mut per_file: BTreeMap<String, usize> = BTreeMap::new();
+    for s in &r.latch.sites {
+        *per_file.entry(s.file.clone()).or_insert(0) += 1;
+    }
+    println!("SITES PER FILE: {per_file:?}");
+
+    let mut edges: Vec<String> = r
+        .latch
+        .edges
+        .iter()
+        .map(|e| format!("{} -> {}", e.from, e.to))
+        .collect();
+    edges.sort();
+    edges.dedup();
+    for e in edges {
+        println!("EDGE {e}");
+    }
+
+    for (f, a) in &r.latch.fn_acquires {
+        if !a.is_empty() {
+            println!("FN {f} acquires {a:?}");
+        }
+    }
+    println!("CYCLES: {:?}", r.latch.cycles);
+
+    for d in &r.diagnostics {
+        println!("{d}");
+    }
+}

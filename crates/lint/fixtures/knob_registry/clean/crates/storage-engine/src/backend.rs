@@ -1,0 +1,19 @@
+//! Clean fixture central knob module: both knobs parsed here, and both
+//! covered by the fixture CI matrix and ROADMAP table.
+
+pub fn batch_from_env() -> bool {
+    matches!(std::env::var("NOFTL_BATCH").as_deref(), Ok("on"))
+}
+
+pub fn trace_from_env() -> bool {
+    matches!(std::env::var("NOFTL_TRACE").as_deref(), Ok("on"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_set_knobs() {
+        std::env::set_var("NOFTL_BATCH", "on");
+        assert!(super::batch_from_env());
+    }
+}

@@ -1,0 +1,12 @@
+//! Violation fixture: a knob read that bypasses the central module, and a
+//! string naming a knob the central module never parses (drift).
+
+pub fn batch_enabled() -> bool {
+    // Rule 1 violation: env read of a knob outside the central module.
+    matches!(std::env::var("NOFTL_BATCH").as_deref(), Ok("on"))
+}
+
+pub fn legacy_name() -> &'static str {
+    // Rule 4 violation: unknown knob token in a source string.
+    "NOFTL_LEGACY"
+}

@@ -1,0 +1,11 @@
+//! Violation fixture central knob module: registers two knobs; the
+//! fixture CI misses NOFTL_TRACE and the fixture ROADMAP misses
+//! NOFTL_BATCH.
+
+pub fn batch_from_env() -> bool {
+    matches!(std::env::var("NOFTL_BATCH").as_deref(), Ok("on"))
+}
+
+pub fn trace_from_env() -> bool {
+    matches!(std::env::var("NOFTL_TRACE").as_deref(), Ok("on"))
+}

@@ -1,0 +1,21 @@
+//! Clean fixture device: maintains and (in tests) asserts every counter.
+
+pub fn read(dev: &mut Device, page: u64) -> Vec<u8> {
+    dev.stats.reads += 1;
+    let data = dev.fetch(page);
+    dev.stats.bytes_read += data.len() as u64;
+    dev.stats.per_die[dev.die_of(page)] += 1;
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn counters_track_reads() {
+        let mut dev = Device::fixture();
+        let data = super::read(&mut dev, 0);
+        assert_eq!(dev.stats.reads, 1);
+        assert_eq!(dev.stats.bytes_read, data.len() as u64);
+        assert_eq!(dev.stats.per_die[0], 1);
+    }
+}

@@ -1,0 +1,9 @@
+//! Clean fixture stats: every counter is updated in non-test code and
+//! asserted in a test; the Histogram field is exempt.
+
+pub struct FlashStats {
+    pub reads: u64,
+    pub bytes_read: u64,
+    pub per_die: Vec<u64>,
+    pub read_latency: Histogram,
+}

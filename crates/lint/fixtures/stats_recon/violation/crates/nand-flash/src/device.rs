@@ -1,0 +1,17 @@
+//! Violation fixture device: only `reads` gets the full treatment.
+
+pub fn read(dev: &mut Device, page: u64) -> Vec<u8> {
+    dev.stats.reads += 1;
+    dev.stats.unasserted += 1;
+    dev.fetch(page)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn counters_track_reads() {
+        let mut dev = Device::fixture();
+        super::read(&mut dev, 0);
+        assert_eq!(dev.stats.reads, 1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Violation fixture stats: `stale` is neither updated nor asserted;
+//! `unasserted` is updated but no test checks it.
+
+pub struct FlashStats {
+    pub reads: u64,
+    pub stale: u64,
+    pub unasserted: u64,
+}

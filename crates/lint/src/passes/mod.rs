@@ -1,0 +1,16 @@
+//! The five lint passes.
+
+pub mod determinism;
+pub mod knob_registry;
+pub mod latch_order;
+pub mod panic_path;
+pub mod stats_recon;
+
+/// All pass names, in execution order.
+pub const ALL: &[&str] = &[
+    latch_order::PASS,
+    panic_path::PASS,
+    determinism::PASS,
+    knob_registry::PASS,
+    stats_recon::PASS,
+];

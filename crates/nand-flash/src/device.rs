@@ -11,7 +11,7 @@ use crate::bad_block::BadBlockPolicy;
 use crate::block::{Block, BlockHealth};
 use crate::die::Die;
 use crate::error::{FlashError, FlashResult};
-use crate::fault::{fault_plan_from_env, FaultPlan, ReadFaultOutcome};
+use crate::fault::{FaultPlan, ReadFaultOutcome};
 use crate::geometry::FlashGeometry;
 use crate::interface::{DeviceIdentification, NativeFlashInterface, OpCompletion, OpKind};
 use crate::nand_type::TimingProfile;
@@ -47,9 +47,11 @@ pub struct DeviceConfig {
     /// without hundreds of thousands of erases.
     pub endurance_override: Option<u64>,
     /// Deterministic fault-injection plan (program/erase/read failures).
-    /// `None` — the default unless the `NOFTL_FAULTS` environment knob says
-    /// otherwise — makes the device bit- and cycle-identical to a build
-    /// without fault injection.
+    /// `None` — the default — makes the device bit- and cycle-identical to a
+    /// build without fault injection.  The `NOFTL_FAULTS` environment knob is
+    /// read centrally by `storage_engine::backend::fault_plan_from_env` and
+    /// injected DBMS-side; a bare device never consults the environment, so
+    /// its behaviour is a pure function of this configuration.
     pub faults: Option<FaultPlan>,
 }
 
@@ -65,7 +67,7 @@ impl DeviceConfig {
             trace_capacity: 0,
             strict_sequential_program: true,
             endurance_override: None,
-            faults: fault_plan_from_env(),
+            faults: None,
         }
     }
 
@@ -126,6 +128,9 @@ impl NandDevice {
         config
             .geometry
             .validate()
+            // lint:allow(panic-path): construction-time configuration check —
+            // no device I/O has happened yet, and an invalid geometry is a
+            // programmer error a fallible constructor would only defer.
             .expect("invalid flash geometry");
         let g = config.geometry;
         let timing = config
@@ -378,8 +383,11 @@ impl NandDevice {
         };
         self.block_mut(block).note_read_disturb();
         let endurance = self.endurance;
-        let plan = self.faults.as_mut().expect("fault plan checked above");
-        plan.read_outcome(erases, endurance, age, disturb + 1)
+        self.faults
+            .as_mut()
+            .map_or(ReadFaultOutcome::Clean, |plan| {
+                plan.read_outcome(erases, endurance, age, disturb + 1)
+            })
     }
 
     /// Draw the program-failure model for a program into `block`.
@@ -391,8 +399,7 @@ impl NandDevice {
         let endurance = self.endurance;
         self.faults
             .as_mut()
-            .expect("fault plan checked above")
-            .program_fails(erases, endurance)
+            .is_some_and(|plan| plan.program_fails(erases, endurance))
     }
 
     /// Note a program into `block` at `now` (the retention base of the read
@@ -411,8 +418,7 @@ impl NandDevice {
         let endurance = self.endurance;
         self.faults
             .as_mut()
-            .expect("fault plan checked above")
-            .erase_fails(erase_count, endurance)
+            .is_some_and(|plan| plan.erase_fails(erase_count, endurance))
     }
 
     // -- queued submission (submit/poll) ------------------------------------
@@ -1352,6 +1358,22 @@ mod tests {
             dev.erase_block(0, BlockAddr::new(0, 0, 0, 99)),
             Err(FlashError::InvalidAddress { .. })
         ));
+    }
+
+    #[test]
+    fn byte_counters_track_channel_transfers() {
+        let mut dev = tiny_device();
+        let page = dev.geometry().page_size as u64;
+        let data = page_of(&dev, 0x3C);
+        let ppa = Ppa::new(0, 0, 0, 0, 0);
+        dev.program_page(0, ppa, &data, Oob::data(1, 0)).unwrap();
+        assert_eq!(dev.stats().bytes_written, page);
+        assert_eq!(dev.stats().bytes_read, 0);
+        let mut buf = page_of(&dev, 0);
+        dev.read_page(0, ppa, &mut buf).unwrap();
+        dev.read_page(0, ppa, &mut buf).unwrap();
+        assert_eq!(dev.stats().bytes_read, 2 * page);
+        assert_eq!(dev.stats().bytes_written, page);
     }
 
     #[test]

@@ -27,13 +27,16 @@
 //!
 //! ## The `NOFTL_FAULTS` knob
 //!
-//! [`fault_plan_from_env`] reads the `NOFTL_FAULTS` environment variable in
-//! the house knob style ([`parse_fault_plan`]): unset/empty/`off`/`false`/`0`
-//! disable injection (the default — fault-free operation is the equivalence
-//! baseline), `on`/`true` enable the default plan with the default seed, and
-//! any other integer enables the default plan seeded with that value.
-//! Unrecognised spellings disable injection (failing *safe* for a fault
-//! knob).
+//! [`parse_fault_plan`] parses one `NOFTL_FAULTS` spelling in the house knob
+//! style: empty/`off`/`false`/`0` disable injection (the default —
+//! fault-free operation is the equivalence baseline), `on`/`true` enable the
+//! default plan with the default seed, and any other integer enables the
+//! default plan seeded with that value.  Unrecognised spellings disable
+//! injection (failing *safe* for a fault knob).  The environment **read**
+//! itself lives with every other knob in `storage_engine::backend`
+//! (`fault_plan_from_env` there); this module deliberately never touches the
+//! environment, so a device's fault behaviour is a pure function of its
+//! [`crate::DeviceConfig`].
 
 use serde::{Deserialize, Serialize};
 use sim_utils::rng::SimRng;
@@ -184,13 +187,6 @@ pub fn parse_fault_plan(raw: &str) -> Option<FaultPlan> {
         "on" | "true" | "yes" => Some(FaultPlan::seeded(DEFAULT_FAULT_SEED)),
         other => other.parse::<u64>().ok().map(FaultPlan::seeded),
     }
-}
-
-/// Read the `NOFTL_FAULTS` environment knob (see [`parse_fault_plan`]).
-pub fn fault_plan_from_env() -> Option<FaultPlan> {
-    std::env::var("NOFTL_FAULTS")
-        .ok()
-        .and_then(|v| parse_fault_plan(&v))
 }
 
 #[cfg(test)]

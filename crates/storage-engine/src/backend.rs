@@ -154,6 +154,28 @@ pub fn parse_threads(value: &str) -> usize {
     }
 }
 
+/// Resolve the fault-injection plan from the `NOFTL_FAULTS` environment
+/// variable:
+///
+/// * unset / `off` / `false` / `0` / `no` — injection disabled (the default
+///   and the equivalence baseline: bit- and cycle-identical to a build
+///   without fault injection);
+/// * `on` / `true` / `yes` — the default plan with the default seed;
+/// * a number `k` — the default plan seeded with `k`;
+/// * anything else — disabled (a fault knob fails safe).
+///
+/// This is the **only** place the `NOFTL_FAULTS` environment variable is
+/// read (the knob-registry lint enforces it): parsing lives in
+/// [`nand_flash::parse_fault_plan`], and the plan is injected DBMS-side by
+/// [`NoFtlBackend::new`] into devices configured without one — an explicitly
+/// configured `DeviceConfig::faults` plan always wins over the environment.
+pub fn fault_plan_from_env() -> Option<nand_flash::FaultPlan> {
+    match std::env::var("NOFTL_FAULTS") {
+        Ok(v) => nand_flash::parse_fault_plan(&v),
+        Err(_) => None,
+    }
+}
+
 /// Class of an in-flight submission, for the mixed read/write windows the
 /// poll-driven engine scheduler keeps (reads from buffer-pool miss fills,
 /// writes from db-writers and the WAL).
@@ -445,11 +467,16 @@ impl NoFtlBackend {
     /// default (depth 1), the asynchronous submission depth is taken from
     /// the `NOFTL_ASYNC` environment knob; an explicitly configured
     /// `NoFtlConfig::async_queue_depth` (or prior `set_async_depth`) wins
-    /// over the environment.
+    /// over the environment.  Likewise, a device configured without a fault
+    /// plan picks up the centrally parsed `NOFTL_FAULTS` plan here (see
+    /// [`fault_plan_from_env`]); an explicitly configured plan wins.
     pub fn new(noftl: NoFtl) -> Self {
         let mut noftl = noftl;
         if noftl.async_depth() <= 1 {
             noftl.set_async_depth(async_depth_from_env());
+        }
+        if !noftl.faults_enabled() {
+            noftl.set_fault_plan(fault_plan_from_env());
         }
         Self { noftl }
     }
@@ -887,6 +914,41 @@ mod tests {
         ] {
             assert_eq!(parse_threads(v), expect, "spelling {v:?}");
         }
+    }
+
+    #[test]
+    fn faults_knob_routes_through_the_central_parser() {
+        // The env read must agree exactly with `parse_fault_plan` of the
+        // raw value, whatever CI leg this runs on — off/0/false semantics
+        // uniform with every other knob.
+        let expect = std::env::var("NOFTL_FAULTS")
+            .ok()
+            .and_then(|v| nand_flash::parse_fault_plan(&v));
+        assert_eq!(
+            fault_plan_from_env().map(|p| p.seed),
+            expect.map(|p| p.seed)
+        );
+    }
+
+    #[test]
+    fn backend_injects_env_fault_plan_only_when_none_configured() {
+        // A device configured without a plan picks up whatever the central
+        // knob says on this CI leg...
+        let b = NoFtlBackend::new(NoFtl::new(NoFtlConfig::new(FlashGeometry::tiny())));
+        assert_eq!(
+            b.noftl().faults_enabled(),
+            fault_plan_from_env().is_some(),
+            "env plan must be injected into an unconfigured device"
+        );
+        // ...while an explicitly configured plan always wins over the env.
+        let mut noftl = NoFtl::new(NoFtlConfig::new(FlashGeometry::tiny()));
+        noftl.set_fault_plan(Some(nand_flash::FaultPlan::seeded(987654)));
+        let b = NoFtlBackend::new(noftl);
+        assert_eq!(
+            b.noftl().device().fault_plan().map(|p| p.seed),
+            Some(987654),
+            "an explicit fault plan must not be clobbered by the env default"
+        );
     }
 
     #[test]

@@ -1,6 +1,11 @@
 //! System catalog: tables and indexes by name.
+//!
+//! Stored in `BTreeMap`s so that name listings (and anything that walks the
+//! catalog, e.g. checkpointing every table) iterate in a deterministic sorted
+//! order — noftl-lint's determinism pass bans hash-ordered containers in this
+//! crate.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::btree::BTree;
 use crate::heap::HeapFile;
@@ -8,8 +13,8 @@ use crate::heap::HeapFile;
 /// Registry of heap files (tables) and B+-tree indexes.
 #[derive(Debug, Default)]
 pub struct Catalog {
-    tables: HashMap<String, HeapFile>,
-    indexes: HashMap<String, BTree>,
+    tables: BTreeMap<String, HeapFile>,
+    indexes: BTreeMap<String, BTree>,
 }
 
 impl Catalog {

@@ -135,7 +135,7 @@ impl TpcH {
             }
         })?;
         let mut rows = 0u64;
-        let orders: std::collections::HashSet<u64> = matching_orders.into_iter().collect();
+        let orders: std::collections::BTreeSet<u64> = matching_orders.into_iter().collect();
         let (_, t) = engine.scan("lineitem", t, |_, row| {
             let order = u64::from_le_bytes(row[..8].try_into().unwrap());
             if orders.contains(&order) {

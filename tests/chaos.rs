@@ -21,7 +21,7 @@
 
 use proptest::prelude::*;
 
-use noftl::nand_flash::fault::{fault_plan_from_env, FaultPlan, DEFAULT_FAULT_SEED};
+use noftl::nand_flash::fault::{FaultPlan, DEFAULT_FAULT_SEED};
 use noftl::nand_flash::{DeviceConfig, FlashError, FlashGeometry, NandDevice};
 use noftl::noftl_core::{NoFtl, NoFtlConfig};
 use noftl::sim_utils::time::SimInstant;
@@ -428,7 +428,7 @@ fn storm_injects_and_recovers_every_fault_class() {
 /// always exercises the recovery machinery.
 #[test]
 fn fault_storm_smoke() {
-    let seed = fault_plan_from_env()
+    let seed = noftl::storage_engine::backend::fault_plan_from_env()
         .unwrap_or_else(|| FaultPlan::seeded(DEFAULT_FAULT_SEED))
         .seed;
     tpcb_storm(seed, 8, true);
