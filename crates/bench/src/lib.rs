@@ -13,6 +13,7 @@
 //! | §3 latency example (0.45 ms avg writes, ~80 ms outliers) | [`latency::run_latency_profile`] | `latency_profile` |
 //! | Demo scenario 1 (emulator validation & parallelism) | [`validation::run_validation`] | `emulator_validation` |
 //! | §4 concurrency argument (N clients over the shared engine) | [`client_scaling::run_client_scaling`] | `client_scaling` |
+//! | §3 motivation under overload (PR 9: open-loop SLO sweep) | [`slo::run_sweep`] | `slo_overload` |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -24,6 +25,7 @@ pub mod dftl_slowdown;
 pub mod gc_overhead;
 pub mod latency;
 pub mod setup;
+pub mod slo;
 pub mod throughput;
 pub mod validation;
 

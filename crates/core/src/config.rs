@@ -38,6 +38,13 @@ pub struct NoFtlConfig {
     /// reclamation toward read-cold dies so relocations interfere less with
     /// foreground read traffic.
     pub gc_read_heat_penalty: f64,
+    /// Proactive GC scheduling threshold, in in-flight device reads
+    /// (`0` = off, the default: GC only runs on demand from the allocator's
+    /// low-watermark path).  When positive, [`crate::NoFtl::schedule_gc`]
+    /// relocates one victim in a pressured region *only* while fewer than
+    /// this many reads are queued device-wide, steering background
+    /// reclamation into read-cold instants.
+    pub gc_schedule_read_occupancy: usize,
     /// Override of the device's per-block P/E endurance (tests use tiny
     /// values so wear-out paths are reachable).
     pub endurance_override: Option<u64>,
@@ -64,6 +71,7 @@ impl NoFtlConfig {
             async_queue_depth: 1,
             gc_batch_pages: 0,
             gc_read_heat_penalty: 0.0,
+            gc_schedule_read_occupancy: 0,
             endurance_override: None,
             scrub_read_disturb_threshold: 10_000,
         }

@@ -63,6 +63,9 @@ pub struct NoFtl {
     gc_read_heat: Vec<u64>,
     /// `per_die_reads` snapshot the last heat update was taken against.
     gc_read_marker: Vec<u64>,
+    /// Proactive GC read-occupancy threshold (0 = scheduling off; see
+    /// [`NoFtl::schedule_gc`]).
+    gc_schedule_read_occupancy: usize,
     /// Whether the device runs with a fault plan (cached at construction so
     /// the fault-free hot paths pay nothing for the recovery machinery).
     faults_active: bool,
@@ -144,6 +147,7 @@ impl NoFtl {
             gc_read_heat_penalty: config.gc_read_heat_penalty,
             gc_read_heat: Vec::new(),
             gc_read_marker: Vec::new(),
+            gc_schedule_read_occupancy: config.gc_schedule_read_occupancy,
         }
     }
 
@@ -218,6 +222,70 @@ impl NoFtl {
     /// read-blind legacy scorer; see [`crate::gc::select_victim`]).
     pub fn set_gc_read_heat_penalty(&mut self, penalty: f64) {
         self.gc_read_heat_penalty = penalty;
+    }
+
+    /// Current read-heat penalty of GC victim scoring.
+    pub fn gc_read_heat_penalty(&self) -> f64 {
+        self.gc_read_heat_penalty
+    }
+
+    /// Proactive GC scheduling threshold (`0` = off; see
+    /// [`NoFtl::schedule_gc`]).
+    pub fn gc_schedule_read_occupancy(&self) -> usize {
+        self.gc_schedule_read_occupancy
+    }
+
+    /// Set the proactive GC scheduling threshold, in in-flight device reads
+    /// (`0` disables [`NoFtl::schedule_gc`] entirely).
+    pub fn set_gc_schedule_read_occupancy(&mut self, occupancy: usize) {
+        self.gc_schedule_read_occupancy = occupancy;
+    }
+
+    /// Commands in flight across every die as of `now` — the foreground-load
+    /// signal DBMS-side schedulers (flusher throttle, proactive GC) consult.
+    pub fn queue_occupancy(&self, now: SimInstant) -> usize {
+        self.device.inflight_total(now)
+    }
+
+    /// Read commands in flight across every die as of `now`.
+    pub fn read_occupancy(&self, now: SimInstant) -> usize {
+        self.device.inflight_reads(now)
+    }
+
+    /// Proactively reclaim one victim block in the most-pressured region,
+    /// but only during a *read-cold* instant: when
+    /// [`NoFtl::read_occupancy`] is at or above the configured threshold the
+    /// relocation is deferred (counted in
+    /// [`NoFtlStats::gc_deferred_hot`]), so background copies do not land in
+    /// the middle of a foreground read burst.  Demand GC on the allocator's
+    /// low-watermark path ([`ensure_region_space`](NoFtl) internals) remains
+    /// the emergency backstop and is unchanged.
+    ///
+    /// Returns `Ok(None)` when scheduling is off (threshold 0), no region is
+    /// under pressure (every region is above the high watermark), the
+    /// instant is read-hot, or the chosen region holds no reclaimable
+    /// garbage.
+    pub fn schedule_gc(&mut self, now: SimInstant) -> FlashResult<Option<SimInstant>> {
+        if self.gc_schedule_read_occupancy == 0 {
+            return Ok(None);
+        }
+        let Some(region) = (0..self.regions.regions())
+            .min_by_key(|&r| self.regions.free_blocks_in(r))
+        else {
+            return Ok(None);
+        };
+        if self.regions.free_blocks_in(region) >= self.gc_high {
+            return Ok(None);
+        }
+        if self.read_occupancy(now) >= self.gc_schedule_read_occupancy {
+            self.stats.gc_deferred_hot += 1;
+            return Ok(None);
+        }
+        let end = self.gc_region_once(now, region)?;
+        if end.is_some() {
+            self.stats.gc_scheduled_cold += 1;
+        }
+        Ok(end)
     }
 
     /// Barrier over the device command queues: the instant by which every
@@ -1584,6 +1652,65 @@ mod tests {
         }
         assert!(n.stats().gc_erases > 0);
         assert!(n.stats().gc_stalls > 0, "real GC work must count stalls");
+    }
+
+    #[test]
+    fn schedule_gc_runs_in_read_cold_instants_and_defers_in_hot_ones() {
+        let g = FlashGeometry::small();
+        let mut cfg = NoFtlConfig::new(g);
+        cfg.striping = StripingMode::Single;
+        let mut n = NoFtl::new(cfg);
+        let data = vec![1u8; n.page_size];
+        // Fill one block completely, then overwrite those pages: block 0 is
+        // closed and all-garbage, the canonical proactive-GC victim.  Raising
+        // the high watermark above the current free count puts the region
+        // under scheduling pressure without a demand-GC pass eating the
+        // garbage first.
+        let ppb = g.pages_per_block as u64;
+        let mut now = 0;
+        for lpn in 0..ppb {
+            now = n.write(now, lpn, &data).unwrap().completed_at;
+        }
+        for lpn in 0..ppb {
+            now = n.write(now, lpn, &data).unwrap().completed_at;
+        }
+        n.gc_high = n.regions.free_blocks_in(0) + 1;
+
+        // Threshold 0: proactive scheduling is off entirely.
+        assert_eq!(n.schedule_gc(now).unwrap(), None);
+        assert_eq!(n.stats().gc_scheduled_cold, 0);
+        assert_eq!(n.stats().gc_deferred_hot, 0);
+
+        // Read-hot instant: one read in flight defers the relocation.
+        n.set_gc_schedule_read_occupancy(1);
+        let ppa_flat = n.map.get(0).expect("lpn 0 is mapped");
+        let g = *n.device.geometry();
+        let mut buf = vec![0u8; n.page_size];
+        let (_, sub) = n
+            .device
+            .submit_read_page(now, Ppa::from_flat(&g, ppa_flat), &mut buf)
+            .unwrap();
+        assert!(n.read_occupancy(now) >= 1);
+        assert_eq!(n.schedule_gc(now).unwrap(), None);
+        assert_eq!(n.stats().gc_deferred_hot, 1);
+        assert_eq!(n.stats().gc_scheduled_cold, 0);
+
+        // Read-cold instant (past the read's completion): the relocation
+        // runs and restores a free block.
+        let later = sub.completion.completed_at;
+        assert_eq!(n.read_occupancy(later), 0);
+        let end = n.schedule_gc(later).unwrap();
+        assert!(end.is_some(), "pressured region with garbage must reclaim");
+        assert_eq!(n.stats().gc_scheduled_cold, 1);
+        // Draining the pressure (or the reclaimable garbage) ends with the
+        // scheduler declining further work.
+        let mut t = end.unwrap();
+        while let Some(e) = n.schedule_gc(t).unwrap() {
+            t = e;
+        }
+        assert_eq!(n.schedule_gc(t).unwrap(), None);
+        assert!(n.stats().gc_scheduled_cold >= 1);
+        assert_eq!(n.stats().gc_deferred_hot, 1);
     }
 
     #[test]

@@ -25,6 +25,12 @@ pub struct NoFtlStats {
     pub gc_batch_dispatches: u64,
     /// Synchronous GC invocations that stalled a host write.
     pub gc_stalls: u64,
+    /// Proactive GC relocations [`crate::NoFtl::schedule_gc`] launched into
+    /// read-cold instants.
+    pub gc_scheduled_cold: u64,
+    /// Proactive GC attempts deferred because the instant was read-hot
+    /// (in-flight reads at or above the scheduling threshold).
+    pub gc_deferred_hot: u64,
     /// Blocks migrated by static wear leveling.
     pub wear_migrations: u64,
     /// Blocks retired by the bad-block manager.

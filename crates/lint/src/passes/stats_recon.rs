@@ -4,7 +4,7 @@
 //! A counter that is declared but never incremented silently reports zero; a
 //! counter no test asserts can rot without anyone noticing.  For every
 //! integer counter field on the audited stats structs (`FlashStats`,
-//! `ReadaheadStats`) this pass requires:
+//! `ReadaheadStats`, `AdmissionStats`, `ThrottleStats`) this pass requires:
 //!
 //! - an **update site** in non-test code (`.field += ...`, `.field = ...`,
 //!   or an indexed update for `Vec` counters), and
@@ -21,7 +21,7 @@ use crate::source::SourceFile;
 pub const PASS: &str = "stats-reconciliation";
 
 /// Struct names audited by the pass.
-pub const AUDITED: &[&str] = &["FlashStats", "ReadaheadStats"];
+pub const AUDITED: &[&str] = &["FlashStats", "ReadaheadStats", "AdmissionStats", "ThrottleStats"];
 
 /// Field types counted as counters.
 const COUNTER_TYPES: &[&str] = &["u64", "u32", "usize", "Vec<u64>", "Vec<usize>"];

@@ -31,11 +31,12 @@ fn latch_pass_covers_the_concurrent_engine() {
     let report = noftl_lint::run(&workspace_root(), None);
     let latch = &report.latch;
 
-    // All seven engine locks are discovered: the sharded pool (a lock
-    // collection) plus the six Shared fields, whose declaration order is
-    // the documented acquisition order.
+    // All eight engine locks are discovered: the sharded pool (a lock
+    // collection) plus the seven Shared fields — six in the documented
+    // acquisition order plus the admission leaf (PR 9), which is only ever
+    // acquired alone.
     assert_eq!(latch.locks.get("ShardedBufferPool.shards"), Some(&true));
-    for field in ["backend", "catalog", "flushers", "fsm", "txns", "wal"] {
+    for field in ["admission", "backend", "catalog", "flushers", "fsm", "txns", "wal"] {
         assert_eq!(
             latch.locks.get(&format!("Shared.{field}")),
             Some(&false),
@@ -43,7 +44,7 @@ fn latch_pass_covers_the_concurrent_engine() {
             latch.locks
         );
     }
-    assert_eq!(latch.locks.len(), 7, "locks = {:?}", latch.locks);
+    assert_eq!(latch.locks.len(), 8, "locks = {:?}", latch.locks);
 
     // Acquisition sites in the two files that own the engine's locking.
     let sites_in = |file: &str| {
@@ -88,6 +89,7 @@ fn knob_registry_matches_the_documented_knobs() {
             "NOFTL_BATCH_GLOBAL",
             "NOFTL_FAULTS",
             "NOFTL_READAHEAD",
+            "NOFTL_SLO",
             "NOFTL_THREADS",
         ]
     );

@@ -442,6 +442,19 @@ impl NandDevice {
         self.queues.inflight_on(self.die_index(die), now)
     }
 
+    /// Total commands in flight across every die as of `now` — the
+    /// foreground-load signal the DBMS's load-aware schedulers consult
+    /// before launching background work.
+    pub fn inflight_total(&self, now: SimInstant) -> usize {
+        self.queues.inflight_total(now)
+    }
+
+    /// Read commands in flight across every die as of `now` (nonzero means
+    /// the instant is read-hot for background relocations).
+    pub fn inflight_reads(&self, now: SimInstant) -> usize {
+        self.queues.inflight_reads(now)
+    }
+
     /// Shared spine of every `submit_*` method: admit into the die queue
     /// (gating behind a full queue), execute the command at the gated issue
     /// time, account the queued-submission statistics (read submissions and

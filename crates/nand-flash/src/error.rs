@@ -59,6 +59,11 @@ pub enum FlashError {
     EraseFailed(BlockAddr),
     /// The device ran out of spare blocks to remap grown bad blocks.
     OutOfSpareBlocks,
+    /// The stack reported transient overload (a BUSY status): the request was
+    /// deliberately shed by admission control rather than queued without
+    /// bound.  Retrying later — after in-flight work drains — is expected to
+    /// succeed; no data was lost or corrupted.
+    Busy,
 }
 
 impl std::fmt::Display for FlashError {
@@ -96,6 +101,7 @@ impl std::fmt::Display for FlashError {
                 write!(f, "erase failure on block {b:?} (block marked grown-bad)")
             }
             FlashError::OutOfSpareBlocks => write!(f, "device out of spare blocks"),
+            FlashError::Busy => write!(f, "stack overloaded (request shed; retry later)"),
         }
     }
 }

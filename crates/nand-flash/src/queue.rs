@@ -107,10 +107,12 @@ impl QueuedCompletion {
 }
 
 /// One die's bounded in-flight window: completion times of commands the host
-/// has submitted but not yet seen retire.
+/// has submitted but not yet seen retire, each tagged with its [`OpKind`] so
+/// queue-occupancy introspection can tell foreground reads from background
+/// program/erase traffic.
 #[derive(Debug, Clone, Default)]
 struct DieQueue {
-    inflight: VecDeque<SimInstant>,
+    inflight: VecDeque<(SimInstant, OpKind)>,
 }
 
 /// Per-die command queues plus the not-yet-polled completion list.
@@ -158,8 +160,33 @@ impl CommandQueues {
         self.dies[die]
             .inflight
             .iter()
-            .filter(|&&c| c > now)
+            .filter(|&&(c, _)| c > now)
             .count()
+    }
+
+    /// Total commands in flight across every die as of `now` — the foreground
+    /// queue-depth signal load-aware schedulers (flusher throttling, GC
+    /// deferral) consult before launching background waves.
+    pub fn inflight_total(&self, now: SimInstant) -> usize {
+        self.dies
+            .iter()
+            .map(|d| d.inflight.iter().filter(|&&(c, _)| c > now).count())
+            .sum()
+    }
+
+    /// Read commands in flight across every die as of `now` — nonzero means
+    /// the instant is read-hot: background relocations launched now would
+    /// queue ahead of (and delay) foreground read completions.
+    pub fn inflight_reads(&self, now: SimInstant) -> usize {
+        self.dies
+            .iter()
+            .map(|d| {
+                d.inflight
+                    .iter()
+                    .filter(|&&(c, k)| c > now && k == OpKind::Read)
+                    .count()
+            })
+            .sum()
     }
 
     /// Admit a command for `die` submitted at `now`: retires commands the
@@ -173,7 +200,7 @@ impl CommandQueues {
     /// command that is still in flight.
     pub fn admit(&mut self, die: usize, now: SimInstant) -> (SimInstant, bool) {
         let q = &mut self.dies[die].inflight;
-        while let Some(&front) = q.front() {
+        while let Some(&(front, _)) = q.front() {
             if front <= now {
                 q.pop_front();
             } else {
@@ -184,7 +211,7 @@ impl CommandQueues {
             // Enough of the oldest in-flight commands must retire that only
             // `depth - 1` remain when the new one issues; with the window
             // ordered by completion that gate is the entry at `len - depth`.
-            let gate = q[q.len() - self.depth];
+            let (gate, _) = q[q.len() - self.depth];
             (now.max(gate), true)
         } else {
             (now, false)
@@ -221,7 +248,7 @@ impl CommandQueues {
         let q = &mut self.dies[die].inflight;
         // Entries the gated issue time has passed retire now (admit left them
         // in place so a failed submission could not evict them).
-        while let Some(&front) = q.front() {
+        while let Some(&(front, _)) = q.front() {
             if front <= issued_at {
                 q.pop_front();
             } else {
@@ -232,10 +259,10 @@ impl CommandQueues {
         // complete in issue order under the occupancy model, but be robust).
         let pos = q
             .iter()
-            .rposition(|&c| c <= completion.completed_at)
+            .rposition(|&(c, _)| c <= completion.completed_at)
             .map(|p| p + 1)
             .unwrap_or(0);
-        q.insert(pos, completion.completed_at);
+        q.insert(pos, (completion.completed_at, kind));
         self.peak_inflight = self.peak_inflight.max(q.len());
         self.completed.push(QueuedCompletion {
             id,
@@ -263,7 +290,7 @@ impl CommandQueues {
     pub fn drain(&mut self, now: SimInstant) -> SimInstant {
         let mut t = now;
         for die in &mut self.dies {
-            for &c in &die.inflight {
+            for &(c, _) in &die.inflight {
                 t = t.max(c);
             }
             die.inflight.clear();
@@ -391,6 +418,25 @@ mod tests {
         let polled = q.poll();
         assert_eq!(polled[0].status, CommandStatus::Ok);
         assert_eq!(polled[0].result(), Ok(()));
+    }
+
+    #[test]
+    fn occupancy_counts_totals_and_reads_per_instant() {
+        let mut q = CommandQueues::new(2, 4);
+        let (i, _) = q.admit(0, 0);
+        q.record(0, OpKind::Read, 0, i, completion(0, 400));
+        let (i, _) = q.admit(0, 0);
+        q.record(0, OpKind::Program, 0, i, completion(0, 900));
+        let (i, _) = q.admit(1, 0);
+        q.record(1, OpKind::Read, 0, i, completion(0, 600));
+        assert_eq!(q.inflight_total(100), 3);
+        assert_eq!(q.inflight_reads(100), 2);
+        // At t=500 the die-0 read has retired; the die-1 read is still hot.
+        assert_eq!(q.inflight_total(500), 2);
+        assert_eq!(q.inflight_reads(500), 1);
+        // Past every completion the queues are cold.
+        assert_eq!(q.inflight_total(1000), 0);
+        assert_eq!(q.inflight_reads(1000), 0);
     }
 
     #[test]

@@ -114,8 +114,19 @@ impl Histogram {
         self.max
     }
 
-    /// Approximate `q`-quantile (e.g. `0.5`, `0.99`).  Returns the lower bound
-    /// of the bucket containing the quantile; 0 if empty.
+    /// Largest value mapping into bucket `index` (inclusive).
+    fn bucket_high(index: usize) -> u64 {
+        if index + 1 >= SUB_BUCKETS * POW_BUCKETS {
+            return u64::MAX;
+        }
+        Self::bucket_low(index + 1) - 1
+    }
+
+    /// Approximate `q`-quantile (e.g. `0.5`, `0.99`).  Returns the *upper*
+    /// bound of the bucket containing the quantile (clamped to the observed
+    /// min/max), so a reported tail latency is never below the true sample —
+    /// an SLO report errs toward overstating, by at most one sub-bucket
+    /// (1/16 ≈ 6.25% relative).  0 if empty.
     pub fn percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -127,10 +138,16 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Self::bucket_low(i).max(self.min).min(self.max);
+                return Self::bucket_high(i).max(self.min).min(self.max);
             }
         }
         self.max
+    }
+
+    /// Batch quantile query: one value per requested quantile, in the order
+    /// given (e.g. `&[0.5, 0.99, 0.999]` → p50/p99/p999).
+    pub fn percentiles(&self, qs: &[f64]) -> Vec<u64> {
+        qs.iter().map(|&q| self.percentile(q)).collect()
     }
 
     /// Merge another histogram into this one.
@@ -247,6 +264,50 @@ mod tests {
         h.clear();
         assert_eq!(h.count(), 0);
         assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn percentile_is_bucket_upper_bound() {
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(450_000);
+        }
+        h.record(80_000_000); // lift max above the p50 bucket so no clamp
+        let p50 = h.percentile(0.5);
+        assert!(p50 > 450_000, "upper bound sits strictly above the sample");
+        assert!(
+            p50 <= 450_000 + 450_000 / 16 + 1,
+            "within one sub-bucket (6.25%): got {p50}"
+        );
+    }
+
+    #[test]
+    fn tail_percentiles_err_from_above_within_one_sub_bucket() {
+        let mut h = Histogram::new();
+        // 0.2% outliers at 80ms: the 0.999 quantile lands in the outlier
+        // bucket while p50/p99 stay on the 0.45ms mass.
+        for i in 0..10_000u64 {
+            if i % 500 == 0 {
+                h.record(80_000_000);
+            } else {
+                h.record(450_000);
+            }
+        }
+        let p = h.percentiles(&[0.5, 0.99, 0.999]);
+        assert_eq!(p.len(), 3);
+        assert!(p[0] >= 450_000 && p[0] <= 450_000 + 450_000 / 16 + 1);
+        assert!(p[1] >= 450_000 && p[1] <= 450_000 + 450_000 / 16 + 1);
+        assert!(
+            p[2] >= 80_000_000,
+            "p999 never understates the tail: got {}",
+            p[2]
+        );
+        assert!(
+            p[2] <= 80_000_000 + 80_000_000 / 16 + 1,
+            "p999 within one sub-bucket above the true value: got {}",
+            p[2]
+        );
+        assert!(p[0] <= p[1] && p[1] <= p[2]);
     }
 
     #[test]

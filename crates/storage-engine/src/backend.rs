@@ -176,6 +176,50 @@ pub fn fault_plan_from_env() -> Option<nand_flash::FaultPlan> {
     }
 }
 
+/// Default proactive-GC read-occupancy threshold (in-flight reads) injected
+/// into [`noftl_core::NoFtl`] when `NOFTL_SLO` is on and the instance was
+/// configured without one.
+pub const DEFAULT_SLO_GC_READ_OCCUPANCY: usize = 2;
+
+/// Default GC read-heat victim penalty injected when `NOFTL_SLO` is on and
+/// the instance was configured read-blind (see
+/// [`noftl_core::NoFtlConfig::gc_read_heat_penalty`]).
+pub const DEFAULT_SLO_GC_READ_HEAT_PENALTY: f64 = 1.0;
+
+/// Default device-queue occupancy (in-flight operations) at which a flusher
+/// wave defers to foreground traffic when `NOFTL_SLO` is on (see
+/// [`crate::flusher::FlusherPool::set_throttle_occupancy`]).
+pub const DEFAULT_SLO_FLUSH_OCCUPANCY: usize = 4;
+
+/// Resolve the overload-robustness (SLO) policy bundle from the `NOFTL_SLO`
+/// environment variable:
+///
+/// * unset / `off` / `false` / `0` / `no` — every policy off (the default
+///   and the equivalence baseline: WAL admission unbounded, flusher waves
+///   unthrottled, GC demand-only — bit- and cycle-identical to the
+///   pre-SLO engine);
+/// * `on` / `true` / `1` / `yes` — admission control at the WAL, load-aware
+///   flusher throttling, and proactive GC scheduling into read-cold
+///   instants, with the default watermarks;
+/// * anything else — off (a policy knob fails safe).
+///
+/// This is the **only** place the `NOFTL_SLO` environment variable is read
+/// (the knob-registry lint enforces it).
+pub fn slo_from_env() -> bool {
+    match std::env::var("NOFTL_SLO") {
+        Ok(v) => parse_slo(&v),
+        Err(_) => false,
+    }
+}
+
+/// Parse one `NOFTL_SLO` spelling (see [`slo_from_env`]).
+pub fn parse_slo(value: &str) -> bool {
+    matches!(
+        value.trim().to_ascii_lowercase().as_str(),
+        "on" | "true" | "1" | "yes"
+    )
+}
+
 /// Class of an in-flight submission, for the mixed read/write windows the
 /// poll-driven engine scheduler keeps (reads from buffer-pool miss fills,
 /// writes from db-writers and the WAL).
@@ -282,6 +326,14 @@ impl InflightWindow {
     /// so submissions keep pipelining while the caller reports a horizon.
     pub fn horizon(&self, now: SimInstant) -> SimInstant {
         self.completions.iter().fold(now, |t, &(c, _)| t.max(c))
+    }
+
+    /// Entries still genuinely in flight *as of* `now` (completion after
+    /// `now`).  Unlike [`InflightWindow::len`] this does not count entries
+    /// whose completion has already passed but which the gate has not yet
+    /// popped — the honest pressure signal admission control reads.
+    pub fn inflight_at(&self, now: SimInstant) -> usize {
+        self.completions.iter().filter(|&&(c, _)| c > now).count()
     }
 }
 
@@ -427,6 +479,23 @@ pub trait StorageBackend {
         now
     }
 
+    /// Commands in flight on the device as of `now` — the foreground-load
+    /// signal the load-aware flusher throttle consults before launching a
+    /// wave.  Back ends without device queues report no pressure.
+    fn queue_occupancy(&self, _now: SimInstant) -> usize {
+        0
+    }
+
+    /// Give the backend one opportunity for proactive background
+    /// reclamation at a load-chosen instant (the NoFTL backend relocates a
+    /// GC victim only while the device is read-cold; see
+    /// [`noftl_core::NoFtl::schedule_gc`]).  Returns the completion instant
+    /// of any work done (at least `now`); back ends without
+    /// background work return `now` unchanged.
+    fn schedule_background_gc(&mut self, now: SimInstant) -> FlashResult<SimInstant> {
+        Ok(now)
+    }
+
     /// Number of physical regions the backend exposes (1 when the physical
     /// layout is hidden behind a block interface).
     fn regions(&self) -> usize {
@@ -477,6 +546,18 @@ impl NoFtlBackend {
         }
         if !noftl.faults_enabled() {
             noftl.set_fault_plan(fault_plan_from_env());
+        }
+        // The SLO bundle injects the load-aware GC policies the same way:
+        // only into instances configured without them, so an explicit
+        // `NoFtlConfig` (or prior setter call) always wins over the
+        // environment.
+        if slo_from_env() {
+            if noftl.gc_schedule_read_occupancy() == 0 {
+                noftl.set_gc_schedule_read_occupancy(DEFAULT_SLO_GC_READ_OCCUPANCY);
+            }
+            if noftl.gc_read_heat_penalty() == 0.0 {
+                noftl.set_gc_read_heat_penalty(DEFAULT_SLO_GC_READ_HEAT_PENALTY);
+            }
         }
         Self { noftl }
     }
@@ -567,6 +648,14 @@ impl StorageBackend for NoFtlBackend {
 
     fn drain(&mut self, now: SimInstant) -> SimInstant {
         self.noftl.drain(now)
+    }
+
+    fn queue_occupancy(&self, now: SimInstant) -> usize {
+        self.noftl.queue_occupancy(now)
+    }
+
+    fn schedule_background_gc(&mut self, now: SimInstant) -> FlashResult<SimInstant> {
+        Ok(self.noftl.schedule_gc(now)?.unwrap_or(now))
     }
 
     fn regions(&self) -> usize {
@@ -1076,6 +1165,80 @@ mod tests {
         ] {
             assert_eq!(parse_batch_pages(v), expect, "spelling {v:?}");
         }
+    }
+
+    #[test]
+    fn slo_knob_parses_all_spellings() {
+        for (v, expect) in [
+            ("", false),
+            ("off", false),
+            ("False", false),
+            ("0", false),
+            ("no", false),
+            ("on", true),
+            ("TRUE", true),
+            ("1", true),
+            (" yes ", true),
+            ("garbage", false),
+        ] {
+            assert_eq!(parse_slo(v), expect, "spelling {v:?}");
+        }
+    }
+
+    #[test]
+    fn backend_injects_slo_gc_policies_only_when_none_configured() {
+        // An instance configured policy-free picks up whatever the central
+        // knob says on this CI leg...
+        let b = NoFtlBackend::new(NoFtl::new(NoFtlConfig::new(FlashGeometry::tiny())));
+        if slo_from_env() {
+            assert_eq!(
+                b.noftl().gc_schedule_read_occupancy(),
+                DEFAULT_SLO_GC_READ_OCCUPANCY
+            );
+            assert_eq!(
+                b.noftl().gc_read_heat_penalty(),
+                DEFAULT_SLO_GC_READ_HEAT_PENALTY
+            );
+        } else {
+            assert_eq!(b.noftl().gc_schedule_read_occupancy(), 0);
+            assert_eq!(b.noftl().gc_read_heat_penalty(), 0.0);
+        }
+        // ...while explicitly configured policies always win over the env.
+        let mut cfg = NoFtlConfig::new(FlashGeometry::tiny());
+        cfg.gc_schedule_read_occupancy = 7;
+        cfg.gc_read_heat_penalty = 0.25;
+        let b = NoFtlBackend::new(NoFtl::new(cfg));
+        assert_eq!(b.noftl().gc_schedule_read_occupancy(), 7);
+        assert_eq!(b.noftl().gc_read_heat_penalty(), 0.25);
+    }
+
+    #[test]
+    fn noftl_backend_surfaces_queue_occupancy() {
+        let mut b = NoFtlBackend::new(NoFtl::new(NoFtlConfig::new(FlashGeometry::small())));
+        b.set_async_depth(4);
+        let data = vec![5u8; b.page_size()];
+        let batch: Vec<(u64, &[u8])> = (0..8u64).map(|i| (i, data.as_slice())).collect();
+        let end = b.write_pages(0, &batch).unwrap();
+        assert!(
+            b.queue_occupancy(0) > 0,
+            "queued writes must register as occupancy at submit time"
+        );
+        assert_eq!(b.queue_occupancy(end), 0, "occupancy clears past the horizon");
+        // Back ends without device queues never report pressure.
+        assert_eq!(MemBackend::new(512, 8).queue_occupancy(0), 0);
+    }
+
+    #[test]
+    fn inflight_window_reports_honest_occupancy() {
+        let mut w = InflightWindow::new();
+        w.push(500);
+        w.push_read(700);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.inflight_at(100), 2);
+        assert_eq!(w.inflight_at(500), 1, "a passed completion is not in flight");
+        assert_eq!(w.inflight_at(700), 0);
+        // len() still counts un-popped entries; inflight_at() does not.
+        assert_eq!(w.len(), 2);
     }
 
     #[test]

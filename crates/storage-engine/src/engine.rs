@@ -9,7 +9,10 @@
 use nand_flash::{FlashError, FlashResult};
 use sim_utils::time::SimInstant;
 
-use crate::backend::{readahead_window_from_env, BackendCounters, StorageBackend};
+use crate::backend::{
+    readahead_window_from_env, slo_from_env, BackendCounters, StorageBackend,
+    DEFAULT_SLO_FLUSH_OCCUPANCY,
+};
 use crate::btree::BTree;
 use crate::buffer::{BufferPool, BufferStats, ReadaheadStats};
 use crate::catalog::Catalog;
@@ -19,7 +22,9 @@ use crate::heap::Rid;
 use crate::heap::HeapFile;
 use crate::page::{PageId, SlottedPage};
 use crate::readahead::ScanPrefetcher;
-use crate::transaction::{TransactionManager, TxnId};
+use crate::transaction::{
+    AdmissionConfig, AdmissionControl, AdmissionStats, TransactionManager, TxnId,
+};
 use crate::wal::{LogRecord, WalManager};
 
 /// Typed engine-level error: the storage engine either recovers from a flash
@@ -41,6 +46,14 @@ pub enum EngineError {
         /// The device error that made it unreadable.
         cause: FlashError,
     },
+    /// The commit-admission window shed this transaction: admitting it would
+    /// have meant waiting past the configured virtual-time deadline.  Nothing
+    /// was begun or logged — retrying later is safe and expected.
+    Overloaded {
+        /// Virtual nanoseconds the arrival would have had to wait for the
+        /// pressure to clear (already past the admission deadline).
+        waited_ns: u64,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -49,6 +62,9 @@ impl std::fmt::Display for EngineError {
             EngineError::Flash(e) => write!(f, "flash error: {e}"),
             EngineError::UnrecoverablePage { page, cause } => {
                 write!(f, "page {page} unrecoverable from WAL replay after {cause}")
+            }
+            EngineError::Overloaded { waited_ns } => {
+                write!(f, "admission deadline exceeded ({waited_ns} ns of pressure ahead)")
             }
         }
     }
@@ -70,6 +86,9 @@ impl From<EngineError> for FlashError {
         match e {
             EngineError::Flash(e) => e,
             EngineError::UnrecoverablePage { cause, .. } => cause,
+            // A shed transaction maps onto the device's transient BUSY
+            // status — still typed, still retryable, no payload invented.
+            EngineError::Overloaded { .. } => FlashError::Busy,
         }
     }
 }
@@ -100,6 +119,15 @@ pub struct EngineConfig {
     /// non-zero cost so a fully cached client still advances its virtual
     /// clock instead of replaying its whole workload at one instant.
     pub buffer_hit_ns: u64,
+    /// Commit-admission window for [`StorageEngine::begin_admitted`]; `None`
+    /// leaves admission unbounded (every begin admits immediately — the
+    /// historical behaviour).  Defaults from the `NOFTL_SLO` knob.
+    pub admission: Option<AdmissionConfig>,
+    /// Load-aware background scheduling: flusher waves defer to busy device
+    /// queues and GC is proactively scheduled into read-cold instants.  Off,
+    /// [`StorageEngine::maybe_flush`] is bit- and cycle-identical to the
+    /// pre-SLO engine.  Defaults from the `NOFTL_SLO` knob.
+    pub slo_scheduling: bool,
 }
 
 impl EngineConfig {
@@ -108,6 +136,7 @@ impl EngineConfig {
     /// each force; raising `wal_group_commit` additionally shares one force
     /// among several committing transactions).
     pub fn new() -> Self {
+        let slo = slo_from_env();
         Self {
             buffer_frames: 1024,
             flushers: FlusherConfig::global(4),
@@ -115,6 +144,8 @@ impl EngineConfig {
             wal_group_commit: 1,
             readahead_window: readahead_window_from_env(),
             buffer_hit_ns: 0,
+            admission: slo.then(AdmissionConfig::default),
+            slo_scheduling: slo,
         }
     }
 }
@@ -137,6 +168,10 @@ pub struct StorageEngine {
     readahead_window: usize,
     /// Data pages reconstructed from WAL replay after an uncorrectable read.
     rescued_pages: u64,
+    /// Commit-admission window (`None` = unbounded, the historical model).
+    admission: Option<AdmissionControl>,
+    /// Load-aware flusher-throttle / proactive-GC hooks in `maybe_flush`.
+    slo_scheduling: bool,
 }
 
 impl StorageEngine {
@@ -158,15 +193,21 @@ impl StorageEngine {
         let mut pool = BufferPool::new(config.buffer_frames, page_size);
         pool.set_async_depth(config.flushers.async_depth);
         pool.set_hit_cost_ns(config.buffer_hit_ns);
+        let mut flushers = FlusherPool::new(config.flushers);
+        if config.slo_scheduling {
+            flushers.set_throttle_occupancy(DEFAULT_SLO_FLUSH_OCCUPANCY);
+        }
         Self {
             pool,
             fsm: FreeSpaceManager::new(0, data_pages),
             wal,
             txns: TransactionManager::new(),
-            flushers: FlusherPool::new(config.flushers),
+            flushers,
             catalog: Catalog::new(),
             readahead_window: config.readahead_window,
             rescued_pages: 0,
+            admission: config.admission.map(AdmissionControl::new),
+            slo_scheduling: config.slo_scheduling,
             backend,
         }
     }
@@ -243,6 +284,68 @@ impl StorageEngine {
     /// Begin a transaction.
     pub fn begin(&mut self) -> TxnId {
         self.txns.begin(&mut self.wal)
+    }
+
+    /// Begin a transaction through the commit-admission window (the
+    /// `NOFTL_SLO` overload policy).  With no window configured this is
+    /// exactly [`StorageEngine::begin`] at `now`.  Otherwise the arrival
+    /// waits on the virtual clock while the WAL group window is full or the
+    /// dirty pool is over its high watermark — dirty pressure is actively
+    /// relieved by running a flusher cycle — and an arrival whose pressure
+    /// cannot clear before the admission deadline is shed with a typed
+    /// [`EngineError::Overloaded`] (nothing begun, nothing logged).  Returns
+    /// the transaction and the instant it was actually admitted (>= `now`;
+    /// the difference is queueing delay the caller should charge to its
+    /// latency, not hide).
+    pub fn begin_admitted(&mut self, now: SimInstant) -> EngineResult<(TxnId, SimInstant)> {
+        let Some(cfg) = self.admission.as_ref().map(|a| a.config()) else {
+            return Ok((self.begin(), now));
+        };
+        let deadline = now.saturating_add(cfg.deadline_ns);
+        let mut t = now;
+        // Two relieving rounds bound the loop: one for the WAL horizon, one
+        // for a flusher cycle — pressure still standing after both either
+        // sheds (horizon past deadline) or admits (horizon cannot move, so
+        // waiting longer would be a livelock, e.g. a zero-group window).
+        for _ in 0..2 {
+            let groups = self.wal.inflight_groups_at(t);
+            let dirty = self.pool.dirty_fraction();
+            if groups < cfg.max_inflight_groups && dirty < cfg.dirty_high_watermark {
+                break;
+            }
+            let mut clear = self.wal.inflight_horizon(t);
+            if dirty >= cfg.dirty_high_watermark {
+                let flushed = self
+                    .flushers
+                    .run_cycle(&mut self.pool, self.backend.as_mut(), t)?;
+                clear = clear.max(flushed);
+            }
+            if clear <= t {
+                break;
+            }
+            if clear > deadline {
+                if let Some(a) = self.admission.as_mut() {
+                    a.note_shed();
+                }
+                return Err(EngineError::Overloaded { waited_ns: clear - now });
+            }
+            t = clear;
+        }
+        if let Some(a) = self.admission.as_mut() {
+            a.note_admitted(now, t);
+        }
+        Ok((self.begin(), t))
+    }
+
+    /// Replace the commit-admission window (`None` disables admission
+    /// control); resets the admission counters.
+    pub fn set_admission(&mut self, config: Option<AdmissionConfig>) {
+        self.admission = config.map(AdmissionControl::new);
+    }
+
+    /// Truthful admission counters (all zero when no window is configured).
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.as_ref().map(|a| a.stats()).unwrap_or_default()
     }
 
     /// Commit a transaction (forces the WAL). Returns the completion time.
@@ -617,13 +720,30 @@ impl StorageEngine {
 
     /// Let the db-writers run if the dirty-page watermark is exceeded.
     /// Returns the time after the flush cycle (or `now` if nothing ran).
+    ///
+    /// Under `NOFTL_SLO` scheduling this wave additionally defers to a busy
+    /// device queue ([`FlusherPool::throttled_wave`]) and, after the flush
+    /// decision, offers the backend a proactive GC step into the current
+    /// instant if it is read-cold
+    /// ([`StorageBackend::schedule_background_gc`]).  GC cost reaches the
+    /// foreground only through device-queue occupancy, never this return
+    /// value.  With scheduling off neither hook runs — the path is identical
+    /// to the pre-SLO engine.
     pub fn maybe_flush(&mut self, now: SimInstant) -> FlashResult<SimInstant> {
-        if self.flushers.should_flush(&self.pool) {
+        let t = if self.flushers.should_flush(&self.pool)
+            && !self
+                .flushers
+                .throttled_wave(&self.pool, self.backend.as_ref(), now)
+        {
             self.flushers
-                .run_cycle(&mut self.pool, self.backend.as_mut(), now)
+                .run_cycle(&mut self.pool, self.backend.as_mut(), now)?
         } else {
-            Ok(now)
+            now
+        };
+        if self.slo_scheduling {
+            self.backend.schedule_background_gc(t)?;
         }
+        Ok(t)
     }
 
     /// Barrier over all asynchronous submissions — db-writer windows, the
@@ -694,6 +814,93 @@ mod tests {
         cfg.buffer_frames = 64;
         cfg.flushers = FlusherConfig::die_wise(4);
         StorageEngine::new(Box::new(NoFtlBackend::new(noftl)), cfg)
+    }
+
+    #[test]
+    fn begin_admitted_without_window_is_plain_begin() {
+        let mut e = mem_engine();
+        e.set_admission(None); // env-independent: the NOFTL_SLO=on leg runs this too
+        e.create_table("t");
+        let (txn, t) = e.begin_admitted(500).unwrap();
+        assert_eq!(t, 500, "no window: admitted exactly at arrival");
+        let (_, t) = e.insert("t", txn, t, b"x").unwrap();
+        e.commit(txn, t).unwrap();
+        assert_eq!(e.admission_stats(), AdmissionStats::default());
+    }
+
+    #[test]
+    fn begin_admitted_waits_out_dirty_pressure_and_counts_the_delay() {
+        let mut e = noftl_engine();
+        e.create_table("t");
+        let txn = e.begin();
+        let mut t = 0;
+        for i in 0..20u64 {
+            // Page-sized rows: each insert dirties a fresh heap page.
+            let (_, t2) = e.insert("t", txn, t, &vec![i as u8; 3000]).unwrap();
+            t = t2;
+        }
+        assert!(e.dirty_fraction() > 0.2, "fixture must build dirty pressure");
+        e.set_admission(Some(AdmissionConfig {
+            max_inflight_groups: usize::MAX,
+            dirty_high_watermark: 0.2,
+            deadline_ns: u64::MAX,
+        }));
+        let (txn2, admitted_at) = e.begin_admitted(t).unwrap();
+        assert!(admitted_at > t, "the relieving flush must cost virtual time");
+        let s = e.admission_stats();
+        assert_eq!(s.admitted, 1);
+        assert_eq!(s.delayed, 1);
+        assert_eq!(s.total_delay_ns, admitted_at - t);
+        assert!(e.flusher_stats().pages_flushed > 0, "pressure relieved by flushing");
+        let t = e.commit(txn, admitted_at).unwrap();
+        e.commit(txn2, t).unwrap();
+    }
+
+    #[test]
+    fn begin_admitted_sheds_past_deadline_with_typed_error() {
+        let mut e = noftl_engine();
+        e.create_table("t");
+        let txn = e.begin();
+        let mut t = 0;
+        for i in 0..20u64 {
+            let (_, t2) = e.insert("t", txn, t, &vec![i as u8; 3000]).unwrap();
+            t = t2;
+        }
+        e.set_admission(Some(AdmissionConfig {
+            max_inflight_groups: usize::MAX,
+            dirty_high_watermark: 0.2,
+            deadline_ns: 1,
+        }));
+        match e.begin_admitted(t) {
+            Err(EngineError::Overloaded { waited_ns }) => {
+                assert!(waited_ns > 1, "the wait that triggered the shed is reported")
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        let s = e.admission_stats();
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.admitted, 0, "a shed arrival is not admitted");
+        assert!(matches!(
+            FlashError::from(EngineError::Overloaded { waited_ns: 7 }),
+            FlashError::Busy
+        ));
+    }
+
+    #[test]
+    fn zero_group_window_admits_when_nothing_can_clear() {
+        // Watermark 0 on an idle engine: over pressure by definition, but the
+        // horizon cannot move, so the arrival admits instead of livelocking.
+        let mut e = mem_engine();
+        e.set_admission(Some(AdmissionConfig {
+            max_inflight_groups: 0,
+            dirty_high_watermark: 1.1,
+            deadline_ns: 1000,
+        }));
+        let (_, admitted_at) = e.begin_admitted(42).unwrap();
+        assert_eq!(admitted_at, 42);
+        let s = e.admission_stats();
+        assert_eq!(s.admitted, 1);
+        assert_eq!(s.delayed, 0);
     }
 
     #[test]

@@ -173,6 +173,44 @@
 //!   window and device queues) before `checkpoint` lets the WAL checkpoint
 //!   record land, so the record can never predate an in-flight write of any
 //!   shard.
+//!
+//! ## Overload and scheduling (PR 9)
+//!
+//! `NOFTL_SLO` gates graceful degradation under open-loop overload — an
+//! arrival-rate-driven workload (`workloads::OpenLoopDriver`) keeps
+//! offering work whether or not the engine kept up, so queueing delay is
+//! part of every latency sample and an engine without back-pressure shows
+//! an unbounded p999.  Three cooperating policies, all off by default (the
+//! off leg is pinned bit- and cycle-identical by `tests/equivalence.rs`):
+//!
+//! * **WAL admission control** ([`transaction::AdmissionControl`]) —
+//!   `begin_admitted` bounds the commit queue: while the WAL has
+//!   [`transaction::AdmissionConfig::max_inflight_groups`] group commits
+//!   genuinely in flight ([`wal::WalManager::inflight_groups_at`]) or the
+//!   dirty pool is over its watermark, a new transaction waits on the
+//!   virtual clock (actively relieving dirty pressure with a flusher
+//!   cycle), and a wait that would pass the admission deadline is *shed*
+//!   with a typed [`engine::EngineError::Overloaded`] — nothing begun,
+//!   nothing logged, safe to retry.  [`transaction::AdmissionStats`] counts
+//!   admitted / delayed / shed truthfully: every arrival lands in exactly
+//!   one of admitted or shed, and the open-loop driver reconciles the
+//!   engine's counters against what its clients observed.
+//! * **Load-aware flusher throttling** ([`flusher::FlusherPool::throttled_wave`])
+//!   — a due flush wave defers while the device queues hold foreground
+//!   work ([`backend::StorageBackend::queue_occupancy`]), unless the pool
+//!   has reached emergency dirtiness (then flushing *is* the foreground
+//!   concern).  [`flusher::ThrottleStats`] counts throttled vs clear waves.
+//! * **Proactive GC scheduling** ([`backend::StorageBackend::schedule_background_gc`])
+//!   — `maybe_flush` offers the NoFTL core one GC step per call; the core
+//!   runs it only when a region is under pressure *and* the device's
+//!   in-flight read count says the instant is read-cold, deferring (and
+//!   counting `gc_deferred_hot`) otherwise, so reclamation lands in the
+//!   arrival process's natural gaps instead of ahead of point reads.
+//!
+//! Engine-side the bundle enters through [`engine::EngineConfig`]
+//! (`admission`, `slo_scheduling`), defaulted from the knob by
+//! `backend::slo_from_env`; explicit configuration always wins over the
+//! environment.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -198,10 +236,10 @@ pub use buffer::{BufferPool, PageCache, ReadaheadStats};
 pub use concurrent::{ClientSession, ConcurrentEngine};
 pub use readahead::ScanPrefetcher;
 pub use engine::{EngineConfig, EngineError, EngineResult, StorageEngine};
-pub use flusher::{FlusherConfig, FlusherStats};
+pub use flusher::{FlusherConfig, FlusherStats, ThrottleStats};
 pub use heap::{HeapFile, Rid};
 pub use ops::EngineOps;
 pub use page::{PageId, SlottedPage};
 pub use shard::{ShardedBufferPool, ShardedPoolView};
-pub use transaction::{TxnId, TxnState};
+pub use transaction::{AdmissionConfig, AdmissionControl, AdmissionStats, TxnId, TxnState};
 pub use wal::{LogRecord, Lsn, WalManager};

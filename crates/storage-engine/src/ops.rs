@@ -16,13 +16,28 @@ use sim_utils::time::SimInstant;
 
 use crate::engine::{EngineResult, StorageEngine};
 use crate::heap::Rid;
-use crate::transaction::TxnId;
+use crate::transaction::{AdmissionStats, TxnId};
 
 /// The engine operations a workload needs: transactions, DDL, DML, index
 /// access and background-work hooks, all on the virtual clock.
 pub trait EngineOps {
     /// Begin a transaction.
     fn begin(&mut self) -> TxnId;
+
+    /// Begin a transaction through the engine's commit-admission window (the
+    /// `NOFTL_SLO` overload policy).  Returns the transaction and the
+    /// instant it was actually admitted (>= `now`; the difference is
+    /// queueing delay the caller should charge to its latency), or a typed
+    /// [`crate::EngineError::Overloaded`] if the arrival was shed.  Engines
+    /// without a window — the default — admit immediately at `now`.
+    fn begin_admitted(&mut self, now: SimInstant) -> EngineResult<(TxnId, SimInstant)> {
+        Ok((self.begin(), now))
+    }
+
+    /// Truthful admission counters (all zero without a configured window).
+    fn admission_stats(&self) -> AdmissionStats {
+        AdmissionStats::default()
+    }
 
     /// Commit a transaction (forces the WAL). Returns the completion time.
     fn commit(&mut self, txn: TxnId, now: SimInstant) -> FlashResult<SimInstant>;
@@ -129,6 +144,14 @@ pub trait EngineOps {
 impl EngineOps for StorageEngine {
     fn begin(&mut self) -> TxnId {
         StorageEngine::begin(self)
+    }
+
+    fn begin_admitted(&mut self, now: SimInstant) -> EngineResult<(TxnId, SimInstant)> {
+        StorageEngine::begin_admitted(self, now)
+    }
+
+    fn admission_stats(&self) -> AdmissionStats {
+        StorageEngine::admission_stats(self)
     }
 
     fn commit(&mut self, txn: TxnId, now: SimInstant) -> FlashResult<SimInstant> {

@@ -298,6 +298,22 @@ impl WalManager {
         self.inflight.len()
     }
 
+    /// Log-write submissions genuinely in flight *as of* `now` (completion
+    /// still in the future).  Unlike [`WalManager::inflight_writes`] this
+    /// does not count entries whose completion has passed but which the
+    /// depth gate has not yet popped — the honest pressure signal the
+    /// commit-admission window reads.
+    pub fn inflight_groups_at(&self, now: SimInstant) -> usize {
+        self.inflight.inflight_at(now)
+    }
+
+    /// The instant by which every in-flight log write has completed (at
+    /// least `now`), without draining the window — what an admission wait
+    /// targets while the WAL keeps pipelining.
+    pub fn inflight_horizon(&self, now: SimInstant) -> SimInstant {
+        self.inflight.horizon(now)
+    }
+
     /// Barrier: the instant by which every in-flight log write has completed
     /// (at least `now`).  Clears the window.  Under the synchronous model
     /// (depth 1) every write was already waited for, so the barrier is `now`.

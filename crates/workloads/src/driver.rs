@@ -7,12 +7,23 @@
 //!   one shared [`ConcurrentEngine`] (the `NOFTL_THREADS` path), each with
 //!   its own workload instance over a disjoint data partition, either
 //!   deterministically interleaved or on real OS threads.
+//! * [`OpenLoopDriver`] offers requests at a configured *arrival rate*
+//!   (Poisson or fixed-interval on the virtual clock) instead of waiting for
+//!   the previous response: when the engine falls behind, requests queue and
+//!   every latency sample includes the queueing delay — the regime where an
+//!   engine without back-pressure shows an unbounded p999 and the
+//!   `NOFTL_SLO` admission/scheduling bundle has to degrade gracefully.
 
 use nand_flash::FlashResult;
+use sim_utils::dist::{NuRand, Zipf};
 use sim_utils::histogram::Histogram;
+use sim_utils::rng::SimRng;
 use sim_utils::time::SimInstant;
-use storage_engine::{ClientSession, ConcurrentEngine, EngineOps, StorageEngine, TxnId};
+use storage_engine::{
+    AdmissionStats, ClientSession, ConcurrentEngine, EngineError, EngineOps, StorageEngine, TxnId,
+};
 
+use crate::rid_codec::u64_to_rid;
 use crate::workload::{TxnKind, Workload};
 
 /// Driver configuration.
@@ -412,6 +423,317 @@ impl MultiClientDriver {
     }
 }
 
+/// The arrival process of an [`OpenLoopDriver`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrivals {
+    /// One request every `interval_ns` virtual nanoseconds.
+    Fixed {
+        /// Inter-arrival gap (ns).
+        interval_ns: u64,
+    },
+    /// Exponential inter-arrival gaps with the given mean (a Poisson process
+    /// on the virtual clock), sampled deterministically from the driver's
+    /// seeded RNG.
+    Poisson {
+        /// Mean inter-arrival gap (ns).
+        mean_interarrival_ns: u64,
+    },
+}
+
+impl Arrivals {
+    fn next_gap(&self, rng: &mut SimRng) -> u64 {
+        match *self {
+            Arrivals::Fixed { interval_ns } => interval_ns.max(1),
+            Arrivals::Poisson {
+                mean_interarrival_ns,
+            } => {
+                // Inverse-CDF of the exponential; clamp the uniform away
+                // from 0 so ln() stays finite.
+                let u = rng.next_f64().max(1e-12);
+                ((-(u.ln())) * mean_interarrival_ns as f64).round().max(1.0) as u64
+            }
+        }
+    }
+
+    /// Mean inter-arrival gap (ns) — the offered rate is `1e9 / mean`.
+    pub fn mean_interarrival_ns(&self) -> u64 {
+        match *self {
+            Arrivals::Fixed { interval_ns } => interval_ns.max(1),
+            Arrivals::Poisson {
+                mean_interarrival_ns,
+            } => mean_interarrival_ns.max(1),
+        }
+    }
+}
+
+/// [`OpenLoopDriver`] configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopConfig {
+    /// Measured requests.
+    pub requests: u64,
+    /// Warm-up requests offered (and served) before measurement starts.
+    pub warmup: u64,
+    /// The arrival process.
+    pub arrivals: Arrivals,
+    /// Logical key domain the Zipfian skew runs over (typically millions —
+    /// requests fold a logical key onto the loaded rows, so hot logical keys
+    /// stay hot without materialising the whole domain).
+    pub logical_keys: u64,
+    /// Physical rows loaded at setup.
+    pub rows: u64,
+    /// Payload bytes per row.
+    pub row_bytes: usize,
+    /// Zipfian skew parameter for read keys (0 = uniform; 0.99 = YCSB-like).
+    pub zipf_theta: f64,
+    /// Every `update_every`-th request is an update transaction (0 = all
+    /// reads); the update key comes from a TPC-C-style NURand so the write
+    /// working set is skewed but not identical to the read hot set.
+    pub update_every: u64,
+    /// RNG seed (arrival gaps and key choices).
+    pub seed: u64,
+}
+
+impl OpenLoopConfig {
+    /// A small default: 2 M logical keys folded onto 2 000 rows of 120 B,
+    /// YCSB-like 0.99 skew, 1-in-10 updates, 10 % warm-up.
+    pub fn new(requests: u64, arrivals: Arrivals) -> Self {
+        Self {
+            requests,
+            warmup: requests / 10,
+            arrivals,
+            logical_keys: 2_000_000,
+            rows: 2_000,
+            row_bytes: 120,
+            zipf_theta: 0.99,
+            update_every: 10,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of an [`OpenLoopDriver`] run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Storage stack name.
+    pub backend: String,
+    /// Measured requests offered.
+    pub requests: u64,
+    /// Measured requests that completed (committed).
+    pub completed: u64,
+    /// Measured requests shed by admission control
+    /// ([`storage_engine::EngineError::Overloaded`]).
+    pub shed: u64,
+    /// Whole-run client-side observations, for reconciling against the
+    /// engine's [`AdmissionStats`]: `(admitted, delayed, shed)` over *every*
+    /// `begin_admitted` call including warm-up.
+    pub observed: (u64, u64, u64),
+    /// Engine-side admission counters at the end of the run (all zero
+    /// without a configured window).
+    pub admission: AdmissionStats,
+    /// Engine-wide committed transactions at the end of the run (setup and
+    /// warm-up included) — the durability ledger the storm tests reconcile.
+    pub committed: u64,
+    /// Request latency (ns), arrival to commit — queueing delay included.
+    pub latency: Histogram,
+    /// Latency of read requests only.
+    pub read_latency: Histogram,
+    /// Latency of update requests only.
+    pub update_latency: Histogram,
+    /// Virtual duration of the measured phase (ns).
+    pub duration_ns: u64,
+    /// Offered request rate (per virtual second) — a property of the
+    /// arrival process (`1e9 / mean gap`), independent of whether the
+    /// engine kept up.
+    pub offered_tps: f64,
+    /// Completed request rate (per virtual second).
+    pub completed_tps: f64,
+}
+
+impl OpenLoopReport {
+    /// p50/p99/p999 of the overall latency histogram (ns).
+    pub fn latency_percentiles(&self) -> (u64, u64, u64) {
+        let p = self.latency.percentiles(&[0.5, 0.99, 0.999]);
+        (p[0], p[1], p[2])
+    }
+}
+
+/// The open-loop driver: requests arrive on their own clock, not the
+/// engine's.
+///
+/// Each request is scheduled at a virtual arrival instant produced by the
+/// [`Arrivals`] process and assigned round-robin to one of the driven
+/// sessions.  A request first passes through [`EngineOps::begin_admitted`]
+/// **at its arrival instant** — the engine probes its in-flight state as of
+/// that instant, so the WAL groups of queued-ahead work count as admission
+/// pressure, and a request whose pressure cannot clear within the deadline
+/// is shed before it ever queues.  An admitted request is then served in
+/// arrival order: it begins at `max(admitted-at, session-free)`, runs one
+/// transaction, and the session is busy until the commit (plus any
+/// triggered flush) completes.  Latency is measured **from the scheduled
+/// arrival**, so time spent queued behind a busy session — exactly what a
+/// closed-loop driver can never observe — lands in the histogram.
+pub struct OpenLoopDriver {
+    config: OpenLoopConfig,
+}
+
+impl OpenLoopDriver {
+    /// Table name the driver loads.
+    pub const TABLE: &'static str = "ol";
+    /// Primary-key index name.
+    pub const INDEX: &'static str = "ol_pk";
+
+    /// Create a driver.
+    pub fn new(config: OpenLoopConfig) -> Self {
+        Self { config }
+    }
+
+    /// Load the table and its primary-key index (plain `begin`: setup is not
+    /// subject to admission control).  Returns the virtual time after setup.
+    pub fn setup<E: EngineOps>(&self, engine: &mut E, now: SimInstant) -> FlashResult<SimInstant> {
+        engine.create_table(Self::TABLE);
+        engine.create_index(Self::INDEX, now)?;
+        let mut t = now;
+        let mut row = vec![0u8; self.config.row_bytes.max(16)];
+        let mut loaded = 0u64;
+        while loaded < self.config.rows {
+            let txn = engine.begin();
+            for _ in 0..128 {
+                if loaded >= self.config.rows {
+                    break;
+                }
+                row[..8].copy_from_slice(&loaded.to_le_bytes());
+                let (rid, t2) = engine
+                    .insert(Self::TABLE, txn, t, &row)
+                    .map_err(nand_flash::FlashError::from)?;
+                let (_, t3) =
+                    engine.index_insert(Self::INDEX, t2, loaded, crate::rid_codec::rid_to_u64(rid))?;
+                t = t3;
+                loaded += 1;
+            }
+            t = engine.commit(txn, t)?;
+            t = engine.maybe_flush(t)?.max(t);
+        }
+        Ok(t)
+    }
+
+    /// Offer `warmup + requests` requests to `sessions` (round-robin) and
+    /// report measured-phase latency.  All sessions must share one engine
+    /// (or be one single-threaded engine in a 1-slice).
+    pub fn run(
+        &self,
+        sessions: &mut [&mut dyn EngineOps],
+        start: SimInstant,
+    ) -> FlashResult<OpenLoopReport> {
+        assert!(!sessions.is_empty(), "at least one session");
+        let cfg = self.config;
+        let mut rng = SimRng::new(cfg.seed);
+        let zipf = Zipf::new(cfg.logical_keys.max(1), cfg.zipf_theta);
+        let nurand = NuRand::customer_id(cfg.seed);
+        let n = sessions.len();
+        let mut session_free = vec![start; n];
+        let mut arrival = start;
+        let mut observed = (0u64, 0u64, 0u64); // (admitted, delayed, shed)
+        let mut latency = Histogram::new();
+        let mut read_latency = Histogram::new();
+        let mut update_latency = Histogram::new();
+        let mut completed = 0u64;
+        let mut shed = 0u64;
+        let mut measure_start = start;
+        let mut measure_end = start;
+        let total = cfg.warmup + cfg.requests;
+        for i in 0..total {
+            arrival += cfg.arrivals.next_gap(&mut rng);
+            if i == cfg.warmup {
+                measure_start = arrival;
+            }
+            let measured = i >= cfg.warmup;
+            let s = (i as usize) % n;
+            let is_update = cfg.update_every > 0 && i % cfg.update_every == 0;
+            // Admission runs at the request's *arrival* instant, before it
+            // joins the session queue: the engine probes its in-flight state
+            // as of that instant, so WAL groups still uncommitted at arrival
+            // — the backlog of queued-ahead work — are visible pressure, not
+            // invisible client-side queueing.
+            let session = &mut *sessions[s];
+            let (txn, admitted_at) = match session.begin_admitted(arrival) {
+                Ok(ok) => {
+                    observed.0 += 1;
+                    if ok.1 > arrival {
+                        observed.1 += 1;
+                    }
+                    ok
+                }
+                Err(EngineError::Overloaded { .. }) => {
+                    observed.2 += 1;
+                    if measured {
+                        shed += 1;
+                    }
+                    // A shed request leaves the session free at the shed
+                    // decision; the client sees a fast typed error.
+                    continue;
+                }
+                Err(other) => return Err(other.into()),
+            };
+            let key = if is_update {
+                nurand.sample(&mut rng) % cfg.rows.max(1)
+            } else {
+                zipf.sample(&mut rng) % cfg.rows.max(1)
+            };
+            // The session serves in arrival order: an admitted request still
+            // waits for the previous one's commit (open-loop queueing delay).
+            let begin_at = admitted_at.max(session_free[s]);
+            let (slot, t) = session.index_get(Self::INDEX, begin_at, key)?;
+            let mut t = t;
+            if let Some(packed) = slot {
+                let rid = u64_to_rid(packed);
+                let (value, t2) = session
+                    .read(Self::TABLE, t, rid)
+                    .map_err(nand_flash::FlashError::from)?;
+                t = t2;
+                if is_update {
+                    let mut row = value.unwrap_or_else(|| vec![0u8; cfg.row_bytes.max(16)]);
+                    row[8..16].copy_from_slice(&i.to_le_bytes());
+                    let (_, t3) = session
+                        .update(Self::TABLE, txn, t, rid, &row)
+                        .map_err(nand_flash::FlashError::from)?;
+                    t = t3;
+                }
+            }
+            let t = session.commit(txn, t)?;
+            let end = session.maybe_flush(t)?.max(t);
+            session_free[s] = end;
+            measure_end = measure_end.max(end);
+            if measured {
+                completed += 1;
+                let sample = end.saturating_sub(arrival);
+                latency.record(sample);
+                if is_update {
+                    update_latency.record(sample);
+                } else {
+                    read_latency.record(sample);
+                }
+            }
+        }
+        let duration_ns = measure_end.saturating_sub(measure_start).max(1);
+        let secs = duration_ns as f64 / 1e9;
+        Ok(OpenLoopReport {
+            backend: sessions[0].backend_name(),
+            requests: cfg.requests,
+            completed,
+            shed,
+            observed,
+            admission: sessions[0].admission_stats(),
+            committed: sessions[0].committed(),
+            latency,
+            read_latency,
+            update_latency,
+            duration_ns,
+            offered_tps: 1e9 / cfg.arrivals.mean_interarrival_ns() as f64,
+            completed_tps: completed as f64 / secs,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,6 +801,128 @@ mod tests {
                 )) as ClientWorkload
             })
             .collect()
+    }
+
+    fn open_noftl_engine() -> StorageEngine {
+        use noftl_core::{NoFtl, NoFtlConfig};
+        use storage_engine::backend::NoFtlBackend;
+        let noftl = NoFtl::new(NoFtlConfig::new(nand_flash::FlashGeometry::small()));
+        let mut cfg = EngineConfig::new();
+        cfg.buffer_frames = 64;
+        StorageEngine::new(Box::new(NoFtlBackend::new(noftl)), cfg)
+    }
+
+    fn small_open_loop(requests: u64, arrivals: Arrivals) -> OpenLoopConfig {
+        OpenLoopConfig {
+            rows: 300,
+            row_bytes: 64,
+            ..OpenLoopConfig::new(requests, arrivals)
+        }
+    }
+
+    #[test]
+    fn open_loop_accounts_for_every_request() {
+        let mut e = engine();
+        let driver = OpenLoopDriver::new(small_open_loop(
+            200,
+            Arrivals::Poisson {
+                mean_interarrival_ns: 10_000,
+            },
+        ));
+        let start = driver.setup(&mut e, 0).unwrap();
+        let report = driver.run(&mut [&mut e], start).unwrap();
+        assert_eq!(report.requests, 200);
+        assert_eq!(report.completed, 200, "no admission window: nothing shed");
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.latency.count(), 200);
+        assert_eq!(
+            report.read_latency.count() + report.update_latency.count(),
+            200
+        );
+        // 220 begin_admitted calls (warm-up included), all admitted through
+        // the no-window default path — engine counters stay zero.
+        assert_eq!(report.observed.0, 220);
+        assert_eq!(report.observed.2, 0);
+        assert_eq!(report.admission, AdmissionStats::default());
+        assert!(report.offered_tps > 0.0 && report.completed_tps > 0.0);
+    }
+
+    #[test]
+    fn open_loop_latency_includes_queueing_delay() {
+        // Arrivals far faster than NoFTL service: later requests queue
+        // behind earlier ones, so tail latency grows far past the service
+        // time of any single transaction — the open-loop signature a
+        // closed-loop driver cannot produce.
+        let mut e = open_noftl_engine();
+        let driver = OpenLoopDriver::new(small_open_loop(300, Arrivals::Fixed { interval_ns: 100 }));
+        let start = driver.setup(&mut e, 0).unwrap();
+        let report = driver.run(&mut [&mut e], start).unwrap();
+        assert_eq!(report.completed, 300);
+        let (p50, _, p999) = report.latency_percentiles();
+        assert!(p50 <= p999);
+        // With a 100 ns inter-arrival gap and microsecond-scale service the
+        // queue only ever grows: even the *fastest* measured sample carries
+        // the backlog built during warm-up (thousands of gaps deep), and the
+        // tail keeps growing past it.
+        assert!(
+            report.latency.min() > 100 * 1000,
+            "min latency {} carries no queueing backlog",
+            report.latency.min()
+        );
+        assert!(
+            p999 > 2 * report.latency.min(),
+            "p999 {p999} shows no queue growth over min {}",
+            report.latency.min()
+        );
+        assert!(report.offered_tps > report.completed_tps);
+    }
+
+    #[test]
+    fn open_loop_run_is_deterministic() {
+        let run = || {
+            let mut e = engine();
+            let driver = OpenLoopDriver::new(small_open_loop(
+                150,
+                Arrivals::Poisson {
+                    mean_interarrival_ns: 5_000,
+                },
+            ));
+            let start = driver.setup(&mut e, 0).unwrap();
+            driver.run(&mut [&mut e], start).unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.duration_ns, b.duration_ns);
+        assert_eq!(a.latency_percentiles(), b.latency_percentiles());
+        assert_eq!(a.observed, b.observed);
+    }
+
+    #[test]
+    fn open_loop_sheds_reconcile_with_engine_counters() {
+        use storage_engine::AdmissionConfig;
+        let mut e = open_noftl_engine();
+        let mut olcfg = small_open_loop(300, Arrivals::Fixed { interval_ns: 100 });
+        olcfg.update_every = 1; // all updates: dirty pressure builds fast
+        let driver = OpenLoopDriver::new(olcfg);
+        let start = driver.setup(&mut e, 0).unwrap();
+        let setup_commits = e.committed();
+        e.set_admission(Some(AdmissionConfig {
+            max_inflight_groups: usize::MAX,
+            dirty_high_watermark: 0.05,
+            deadline_ns: 1,
+        }));
+        let report = driver.run(&mut [&mut e], start).unwrap();
+        assert!(report.shed > 0, "overload fixture must shed");
+        let (admitted, _, shed) = report.observed;
+        assert_eq!(report.admission.admitted, admitted);
+        assert_eq!(report.admission.shed, shed);
+        assert_eq!(
+            admitted + shed,
+            330,
+            "every arrival lands in exactly one bucket"
+        );
+        // Zero committed-transaction loss: every admitted request committed.
+        assert_eq!(report.committed, setup_commits + admitted);
+        assert_eq!(report.completed + report.shed, report.requests);
     }
 
     #[test]

@@ -33,8 +33,9 @@ pub mod trace;
 pub mod workload;
 
 pub use driver::{
-    BenchmarkDriver, ClientRun, ClientWorkload, DriveMode, DriverConfig, DriverReport,
-    MultiClientConfig, MultiClientDriver, MultiClientReport,
+    Arrivals, BenchmarkDriver, ClientRun, ClientWorkload, DriveMode, DriverConfig, DriverReport,
+    MultiClientConfig, MultiClientDriver, MultiClientReport, OpenLoopConfig, OpenLoopDriver,
+    OpenLoopReport,
 };
 pub use tpcb::{TpcB, TpcBConfig};
 pub use tpcc::{TpcC, TpcCConfig};

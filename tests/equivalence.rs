@@ -66,6 +66,20 @@ fn with_faults_env<R>(value: Option<&str>, f: impl FnOnce() -> R) -> R {
     r
 }
 
+fn with_slo_env<R>(value: Option<&str>, f: impl FnOnce() -> R) -> R {
+    let saved = std::env::var("NOFTL_SLO").ok();
+    match value {
+        Some(v) => std::env::set_var("NOFTL_SLO", v),
+        None => std::env::remove_var("NOFTL_SLO"),
+    }
+    let r = f();
+    match saved {
+        Some(v) => std::env::set_var("NOFTL_SLO", v),
+        None => std::env::remove_var("NOFTL_SLO"),
+    }
+    r
+}
+
 #[test]
 fn fig3_output_identical_with_batching_off_vs_batch_size_one() {
     let _guard = ENV_LOCK.lock().unwrap();
@@ -980,6 +994,125 @@ mod threads_single_client_identity {
             single, concurrent,
             "one client over the 1-shard concurrent engine must be bit- and \
              cycle-identical to the single-threaded engine (async depth 8)"
+        );
+    }
+}
+
+#[test]
+fn fig3_output_identical_with_slo_unset_vs_off() {
+    // The SLO plumbing (admission control, throttled waves, proactive GC)
+    // must be a strict no-op when disabled: `NOFTL_SLO=off` has to produce
+    // the same figures as a build that never heard of the knob.
+    let _guard = ENV_LOCK.lock().unwrap();
+    let unset = with_slo_env(None, || render_fig3(&run_gc_overhead(Scale::Quick)));
+    let off = with_slo_env(Some("off"), || render_fig3(&run_gc_overhead(Scale::Quick)));
+    assert_eq!(
+        unset, off,
+        "Figure 3 output must be bit-identical with NOFTL_SLO unset vs off"
+    );
+}
+
+/// The structural pin behind `NOFTL_SLO`: with the knob unset or `off`, an
+/// engine built from the env-derived defaults must be **bit- and
+/// cycle-identical** to the pre-SLO engine — same device command trace, same
+/// durable WAL records, same commit count, same forces, same end time — for
+/// a workload driven through the admission-aware `begin_admitted` surface.
+mod slo_off_identity {
+    use super::{with_slo_env, ENV_LOCK};
+    use noftl::nand_flash::{DeviceConfig, FlashGeometry, NandDevice};
+    use noftl::noftl_core::{NoFtl, NoFtlConfig};
+    use noftl::sim_utils::time::SimInstant;
+    use noftl::storage_engine::backend::NoFtlBackend;
+    use noftl::storage_engine::{EngineConfig, EngineOps, FlusherConfig, StorageEngine};
+    use noftl::workloads::{Arrivals, OpenLoopConfig, OpenLoopDriver};
+
+    /// What a run leaves behind; every field must match across the legs.
+    #[derive(Debug, PartialEq)]
+    struct SloImage {
+        trace: Vec<String>,
+        end: SimInstant,
+        committed: u64,
+        forces: u64,
+        completed: u64,
+        shed: u64,
+        observed: (u64, u64, u64),
+        percentiles: (u64, u64, u64),
+    }
+
+    /// Build everything from the env-derived defaults *inside* the env
+    /// closure, so `EngineConfig::new()` and `NoFtlBackend::new()` read the
+    /// leg's `NOFTL_SLO` value.
+    fn open_loop_image() -> SloImage {
+        let geometry = FlashGeometry::with_dies(4, 256, 32, 4096);
+        let ncfg = NoFtlConfig::new(geometry);
+        let mut dev_cfg = DeviceConfig::new(geometry);
+        dev_cfg.store_data = ncfg.store_data;
+        dev_cfg.trace_capacity = 1 << 16;
+        let noftl = NoFtl::with_device(NandDevice::new(dev_cfg), ncfg);
+        let backend = NoFtlBackend::new(noftl);
+        let mut ecfg = EngineConfig::new();
+        ecfg.buffer_frames = 96;
+        ecfg.log_pages = 64;
+        let mut flushers = FlusherConfig::die_wise(2);
+        flushers.async_depth = 1;
+        ecfg.flushers = flushers;
+        let mut engine = StorageEngine::new(Box::new(backend), ecfg);
+
+        let mut olcfg = OpenLoopConfig::new(120, Arrivals::Fixed { interval_ns: 5_000 });
+        olcfg.rows = 200;
+        olcfg.row_bytes = 64;
+        let driver = OpenLoopDriver::new(olcfg);
+        let t0 = driver.setup(&mut engine, 0).expect("setup");
+        let mut slots: [&mut dyn EngineOps; 1] = [&mut engine];
+        let report = driver.run(&mut slots, t0).expect("run");
+        SloImage {
+            trace: engine
+                .backend()
+                .as_any()
+                .and_then(|a| a.downcast_ref::<NoFtlBackend>())
+                .expect("NoFTL backend")
+                .noftl()
+                .device()
+                .tracer()
+                .entries()
+                .iter()
+                .map(|e| format!("{e:?}"))
+                .collect(),
+            end: report.duration_ns,
+            committed: engine.committed(),
+            forces: engine.log_forces(),
+            completed: report.completed,
+            shed: report.shed,
+            observed: report.observed,
+            percentiles: report.latency_percentiles(),
+        }
+    }
+
+    #[test]
+    fn open_loop_run_identical_with_slo_unset_vs_off() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let unset = with_slo_env(None, open_loop_image);
+        let off = with_slo_env(Some("off"), open_loop_image);
+        assert!(!unset.trace.is_empty());
+        assert_eq!(unset.shed, 0, "no admission window without the knob");
+        assert_eq!(
+            unset, off,
+            "an open-loop run must be bit- and cycle-identical with \
+             NOFTL_SLO unset vs off"
+        );
+    }
+
+    #[test]
+    fn slo_on_leg_runs_the_same_workload_with_truthful_stats() {
+        // Not an identity leg — `on` may change timing (that is the point) —
+        // but the env-derived on leg must stay consistent: every begin is
+        // either admitted or shed, and the engine's counters say which.
+        let _guard = ENV_LOCK.lock().unwrap();
+        let on = with_slo_env(Some("on"), open_loop_image);
+        assert_eq!(
+            on.observed.0 + on.observed.2,
+            132,
+            "every offered request (warmup included) is admitted or shed"
         );
     }
 }
