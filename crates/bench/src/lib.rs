@@ -19,6 +19,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablation;
+pub mod availability;
 pub mod client_scaling;
 pub mod dbwriters;
 pub mod dftl_slowdown;

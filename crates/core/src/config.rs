@@ -5,6 +5,34 @@ use serde::{Deserialize, Serialize};
 
 use crate::regions::StripingMode;
 
+/// Per-region reliability policy — the configurable-storage axis of the
+/// NoFTL argument applied to redundancy.  The DBMS, knowing what each region
+/// holds, picks the protection level per region instead of paying one
+/// device-wide scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum RedundancyPolicy {
+    /// No redundancy (the default — and the bit/cycle-equivalence baseline):
+    /// a die failure loses the region's unprotected pages.
+    #[default]
+    None,
+    /// XOR parity striping: every stripe of up to `k` data pages, each on a
+    /// *distinct* die, carries one parity page on yet another die.  Any
+    /// single lost page of a stripe is reconstructable from its peers.
+    /// Overhead ≈ `1/k` extra page writes, taken out of OP headroom.
+    Parity(usize),
+    /// Full mirroring: every page write also writes a copy on a different
+    /// die.  2× write overhead — meant for small, hot, critical regions
+    /// (the WAL) where reconstruction latency matters more than space.
+    Mirror,
+}
+
+impl RedundancyPolicy {
+    /// Whether the policy adds any protection.
+    pub fn is_protected(self) -> bool {
+        self != RedundancyPolicy::None
+    }
+}
+
 /// Configuration of the DBMS-integrated Flash management.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NoFtlConfig {
@@ -54,6 +82,14 @@ pub struct NoFtlConfig {
     /// fault plan (`NOFTL_FAULTS`); without one the device does not even
     /// maintain the counter.
     pub scrub_read_disturb_threshold: u64,
+    /// Per-region redundancy policy (index = region id).  Empty — the
+    /// default — means [`RedundancyPolicy::None`] everywhere, which keeps
+    /// every write path bit- and cycle-identical to a build without the
+    /// redundancy machinery.  A shorter-than-regions vector leaves the
+    /// remaining regions unprotected.  The `NOFTL_REDUNDANCY` environment
+    /// knob is parsed centrally in `storage_engine::backend` and applied to
+    /// every region of instances configured without a policy.
+    pub redundancy: Vec<RedundancyPolicy>,
 }
 
 impl NoFtlConfig {
@@ -74,6 +110,7 @@ impl NoFtlConfig {
             gc_schedule_read_occupancy: 0,
             endurance_override: None,
             scrub_read_disturb_threshold: 10_000,
+            redundancy: Vec::new(),
         }
     }
 

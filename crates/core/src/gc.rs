@@ -52,6 +52,11 @@ pub fn select_victim(
     let mean_reads = read_heat.iter().sum::<u64>() as f64 / die_count as f64;
     let mut best: Option<(BlockAddr, f64)> = None;
     for die in regions.dies_of(region) {
+        if regions.die_dead(die.flat(&geometry) as usize) {
+            // A dead die can be neither read from nor erased — nothing on it
+            // is reclaimable.
+            continue;
+        }
         for plane in 0..geometry.planes_per_die {
             for block in 0..geometry.blocks_per_plane {
                 let addr = BlockAddr::new(die.channel, die.die, plane, block);

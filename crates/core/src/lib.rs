@@ -136,6 +136,40 @@
 //! mutation is serialised behind its backend lock — last in the engine's
 //! lock order — and everything `&self` may be read concurrently.  See the
 //! reader-safety sections of [`mapping`] and [`regions`].
+//!
+//! ## Die-level reliability (PR 10)
+//!
+//! Block retirement (PR 6) recovers from failures the size of one erase
+//! block; a *die* failure takes out every block of a plane group at once,
+//! and without an FTL the DBMS again is the layer that must answer for it.
+//! Each region carries a [`RedundancyPolicy`] (config field
+//! [`NoFtlConfig::redundancy`], or the `NOFTL_REDUNDANCY` knob parsed by the
+//! storage engine; default `None` is bit- and cycle-identical to a build
+//! without the feature):
+//!
+//! * **`Parity(k)`** — writes into the region accumulate an open stripe of
+//!   `k` data pages on *pairwise-distinct dies* plus one XOR parity page on
+//!   yet another die, sealed as the stripe fills.  One die failure costs at
+//!   most one page per stripe, which the survivors reconstruct exactly.  GC
+//!   and block retirement keep stripes honest: erasing or retiring a block
+//!   holding a member (or the parity) breaks the stripe and re-queues the
+//!   still-mapped members into the open stripe (`members_reprotected`).
+//!   Space cost is `1/k` extra programs plus stale-stripe parity pinned
+//!   until its members' blocks erase — over-provision accordingly
+//!   (`storage_engine::backend::redundancy_op_ratio` computes the floor).
+//! * **`Mirror`** — every program is duplicated onto a second die; the
+//!   mirror serves reads of the primary's die after it fails, at 2x space.
+//!
+//! A die kill (deterministic `nand_flash::fault::KillSpec`, or wear) flows
+//! through three stages: **degraded reads** ([`NoFtl::read`] reconstructs a
+//! lost page bit-identical from its stripe or mirror, counting
+//! `degraded_reads`), **online rebuild** ([`NoFtl::schedule_rebuild`] walks
+//! the dead die's mapped pages in bounded background steps through the PR 9
+//! SLO hook, deferring read-hot instants; [`NoFtl::rebuild_all`] is the
+//! foreground variant), and **honest loss accounting** (unprotected pages
+//! keep their dead mapping, reads fail typed `DieFailed` so WAL-replay can
+//! take over, and [`stats::RebuildStats`]`::pages_lost` counts them —
+//! truthfulness is pinned by `tests/chaos.rs`' die-failure storms).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -149,7 +183,7 @@ pub mod regions;
 pub mod stats;
 pub mod wear;
 
-pub use config::NoFtlConfig;
+pub use config::{NoFtlConfig, RedundancyPolicy};
 pub use noftl::NoFtl;
 pub use regions::{FlusherAssignment, RegionId, RegionManager, StripingMode};
-pub use stats::NoFtlStats;
+pub use stats::{NoFtlStats, RebuildStats, RedundancyStats};

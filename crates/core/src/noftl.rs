@@ -23,12 +23,30 @@ use sim_utils::flatmap::FlatBitSet;
 use sim_utils::time::SimInstant;
 
 use crate::bad_block::{BadBlockManager, RetireReason};
-use crate::config::NoFtlConfig;
+use crate::config::{NoFtlConfig, RedundancyPolicy};
 use crate::gc::{select_victim, GcPolicy};
 use crate::mapping::HostMappingTable;
 use crate::regions::{RegionId, RegionManager};
-use crate::stats::NoFtlStats;
+use crate::stats::{NoFtlStats, RebuildStats, RedundancyStats};
 use crate::wear::WearLeveler;
+
+/// Sentinel: "this physical page is not in any parity stripe".
+const NO_STRIPE: u32 = u32::MAX;
+/// Sentinel: "this physical page has no mirror copy".
+const NO_MIRROR: u64 = u64::MAX;
+
+/// A sealed parity stripe: up to `k` data pages on pairwise-distinct dies
+/// plus one XOR parity page on yet another die.  The stripe covers the
+/// *flash contents* of its pages — content survives logical invalidation
+/// (NAND keeps it until the block erases), so a stripe only breaks when one
+/// of its blocks is erased or retired.
+#[derive(Debug, Clone)]
+struct Stripe {
+    /// Flat physical addresses of the data members.
+    members: Vec<u64>,
+    /// Flat physical address of the parity page.
+    parity: u64,
+}
 
 /// DBMS-integrated Flash management (the paper's contribution).
 pub struct NoFtl {
@@ -72,12 +90,65 @@ pub struct NoFtl {
     /// Read-disturb scrub threshold (see
     /// [`NoFtlConfig::scrub_read_disturb_threshold`]).
     scrub_threshold: u64,
+    /// Per-region redundancy policy (empty = unconfigured, all `None`).
+    redundancy: Vec<RedundancyPolicy>,
+    /// Cached "any region is protected" gate: when false every redundancy
+    /// hook is a single branch, keeping the unprotected build bit- and
+    /// cycle-identical to one without the machinery.
+    redundancy_active: bool,
+    /// Open parity stripe: flat addresses of data members accumulated so
+    /// far.  Global — under die-wise striping a region is a single die, so
+    /// die-disjoint stripes necessarily span regions.
+    open_stripe: Vec<u64>,
+    /// Running XOR of the open stripe members' contents, kept in host
+    /// memory so the stripe can seal without re-reading members (even ones
+    /// on a die that just died).
+    open_stripe_xor: Vec<u8>,
+    /// Flat physical page → sealed stripe id ([`NO_STRIPE`] = none).
+    /// Dense `Vec` rather than a hash map per the determinism rules of the
+    /// simulation crates; sized lazily when redundancy first activates.
+    stripe_of: Vec<u32>,
+    /// Sealed stripes by id; `None` slots are free for reuse.
+    stripes: Vec<Option<Stripe>>,
+    /// Free-list of reusable stripe ids.
+    stripe_free_ids: Vec<u32>,
+    /// Flat physical page ↔ flat physical page mirror links, both
+    /// directions ([`NO_MIRROR`] = none).
+    mirror_of: Vec<u64>,
+    /// Dies this layer has already reacted to as dead (flat index), diffed
+    /// against [`NandDevice::dead_dies`] on each failure notification.
+    known_dead: Vec<bool>,
+    /// Online-rebuild cursors: `(die_flat, next page offset inside the
+    /// die)` for every dead die whose mapped pages are still being walked.
+    rebuild_cursors: Vec<(usize, u64)>,
+    /// Redundancy counters (parity/mirror/degraded reads).
+    redundancy_stats: RedundancyStats,
+    /// Rebuild counters.
+    rebuild_stats: RebuildStats,
+    /// Cumulative device reads issued by reconstruction / rebuild /
+    /// redundancy maintenance, per die — subtracted from the GC read-heat
+    /// deltas so rebuild traffic cannot bias victim selection.
+    rebuild_reads_per_die: Vec<u64>,
+    /// `rebuild_reads_per_die` snapshot of the last heat update.
+    rebuild_read_marker: Vec<u64>,
 }
 
 /// Additional read attempts the retry ladder issues after an uncorrectable
 /// ECC result before giving up (each attempt draws the read-error model
 /// independently, the way real controllers step through retry voltages).
 const READ_RETRY_LIMIT: u32 = 3;
+
+/// Mapped pages one background rebuild step reconstructs before yielding —
+/// small so foreground traffic slips between steps (the SLO scheduler
+/// additionally defers steps into read-cold instants).
+const REBUILD_BATCH_PAGES: u64 = 8;
+
+/// XOR `data` into `acc` (parity accumulation and reconstruction).
+fn xor_into(acc: &mut [u8], data: &[u8]) {
+    for (a, b) in acc.iter_mut().zip(data.iter()) {
+        *a ^= *b;
+    }
+}
 
 impl NoFtl {
     /// Build a NoFTL instance and its backing device from `config`.
@@ -126,8 +197,30 @@ impl NoFtl {
         let mut device = device;
         device.set_queue_depth(config.async_queue_depth.max(1));
         let faults_active = device.faults_enabled();
+        let redundancy = config.redundancy.clone();
+        let redundancy_active = redundancy.iter().any(|p| p.is_protected());
+        let (stripe_of, mirror_of) = if redundancy_active {
+            let total = geometry.total_pages() as usize;
+            (vec![NO_STRIPE; total], vec![NO_MIRROR; total])
+        } else {
+            (Vec::new(), Vec::new())
+        };
         Self {
             faults_active,
+            redundancy,
+            redundancy_active,
+            open_stripe: Vec::new(),
+            open_stripe_xor: Vec::new(),
+            stripe_of,
+            stripes: Vec::new(),
+            stripe_free_ids: Vec::new(),
+            mirror_of,
+            known_dead: Vec::new(),
+            rebuild_cursors: Vec::new(),
+            redundancy_stats: RedundancyStats::default(),
+            rebuild_stats: RebuildStats::default(),
+            rebuild_reads_per_die: Vec::new(),
+            rebuild_read_marker: Vec::new(),
             scrub_threshold: config.scrub_read_disturb_threshold.max(1),
             device,
             map: HostMappingTable::with_physical_pages(logical_pages, geometry.total_pages()),
@@ -270,6 +363,7 @@ impl NoFtl {
             return Ok(None);
         }
         let Some(region) = (0..self.regions.regions())
+            .filter(|&r| self.regions.region_alive(r))
             .min_by_key(|&r| self.regions.free_blocks_in(r))
         else {
             return Ok(None);
@@ -336,10 +430,71 @@ impl NoFtl {
         &self.bad_blocks
     }
 
+    /// Whether a redundancy policy vector was configured (even all-`None`).
+    /// The DBMS-side knob wiring uses this to avoid overriding an
+    /// explicitly configured instance with the `NOFTL_REDUNDANCY` default.
+    pub fn redundancy_configured(&self) -> bool {
+        !self.redundancy.is_empty()
+    }
+
+    /// Redundancy policy of `region` (`None` when unconfigured).
+    pub fn redundancy_policy(&self, region: RegionId) -> RedundancyPolicy {
+        self.redundancy
+            .get(region)
+            .copied()
+            .unwrap_or(RedundancyPolicy::None)
+    }
+
+    /// Apply one redundancy policy to every region.
+    pub fn set_redundancy_all(&mut self, policy: RedundancyPolicy) {
+        self.redundancy = vec![policy; self.regions.regions()];
+        self.refresh_redundancy();
+    }
+
+    /// Set the redundancy policy of a single region (unset regions stay
+    /// `None`) — e.g. `Mirror` for the small hot WAL region, `Parity` for
+    /// the data regions.
+    pub fn set_redundancy_policy(&mut self, region: RegionId, policy: RedundancyPolicy) {
+        if self.redundancy.len() < self.regions.regions() {
+            self.redundancy
+                .resize(self.regions.regions(), RedundancyPolicy::None);
+        }
+        if region < self.redundancy.len() {
+            self.redundancy[region] = policy;
+        }
+        self.refresh_redundancy();
+    }
+
+    fn refresh_redundancy(&mut self) {
+        self.redundancy_active = self.redundancy.iter().any(|p| p.is_protected());
+        if self.redundancy_active && self.stripe_of.is_empty() {
+            let total = self.device.geometry().total_pages() as usize;
+            self.stripe_of = vec![NO_STRIPE; total];
+            self.mirror_of = vec![NO_MIRROR; total];
+        }
+    }
+
+    /// Redundancy counters (parity, mirroring, degraded reads).
+    pub fn redundancy_stats(&self) -> &RedundancyStats {
+        &self.redundancy_stats
+    }
+
+    /// Online-rebuild counters.
+    pub fn rebuild_stats(&self) -> &RebuildStats {
+        &self.rebuild_stats
+    }
+
+    /// Whether any die of the device has failed permanently.
+    pub fn any_die_dead(&self) -> bool {
+        self.device.any_die_dead()
+    }
+
     /// Reset NoFTL and device statistics.
     pub fn reset_stats(&mut self) {
         self.stats.clear();
         self.device.reset_stats();
+        self.redundancy_stats.clear();
+        self.rebuild_stats.clear();
     }
 
     fn check_lpn(&self, lpn: u64) -> FlashResult<()> {
@@ -384,7 +539,18 @@ impl NoFtl {
             return Err(FlashError::ReadOfUnwrittenPage(Ppa::from_flat(&g, 0)));
         };
         let ppa = Ppa::from_flat(&g, flat);
-        let (_, completion) = self.read_page_retrying(now, ppa, buf)?;
+        let completion = match self.read_page_retrying(now, ppa, buf) {
+            Ok((_, c)) => c,
+            Err(FlashError::DieFailed(_)) => {
+                // The page's die failed.  Mark the loss, then serve the read
+                // degraded through the page's redundancy; unprotected pages
+                // surface the typed failure to the engine's WAL-replay
+                // rebuild.
+                self.note_die_failures(now)?;
+                self.read_degraded(now, flat, buf)?
+            }
+            Err(e) => return Err(e),
+        };
         self.stats.host_reads += 1;
         self.stats.read_latency.record(completion.latency_from(now));
         self.maybe_scrub(completion.completed_at, ppa.block_addr())?;
@@ -513,6 +679,26 @@ impl NoFtl {
                     }
                     self.stats.read_retry_successes += 1;
                 }
+                Err(FlashError::DieFailed(_)) => {
+                    // The run's die failed: nothing of it transferred.  Serve
+                    // each page individually, degraded where redundancy
+                    // covers it.
+                    self.note_die_failures(now)?;
+                    for (ppa, buf) in ops.iter_mut() {
+                        let c = match self.read_page_retrying(now, *ppa, buf) {
+                            Ok((_, c)) => c,
+                            Err(FlashError::DieFailed(_)) => {
+                                self.read_degraded(now, ppa.flat(&g), buf)?
+                            }
+                            Err(e) => return Err(e),
+                        };
+                        end = end.max(c.completed_at);
+                        self.stats.host_reads += 1;
+                        self.stats
+                            .read_latency
+                            .record(c.completed_at.saturating_sub(now));
+                    }
+                }
                 Err(e) => return Err(e),
             }
             if self.faults_active {
@@ -564,6 +750,13 @@ impl NoFtl {
                     t = self.retire_failed_block(t, failed.block_addr())?;
                     continue;
                 }
+                Err(FlashError::DieFailed(_)) => {
+                    // A die died under GC.  Mark it; dead regions stop
+                    // garbage-collecting and the allocator routes around
+                    // them.
+                    t = self.note_die_failures(t)?;
+                    continue;
+                }
                 Err(e) => return Err(e),
             }
             let ppa = match self.regions.allocate_page_in(region) {
@@ -586,6 +779,12 @@ impl NoFtl {
                 Err(FlashError::ProgramFailed(failed)) => {
                     t = self.retire_failed_block(t, failed.block_addr())?;
                 }
+                Err(FlashError::DieFailed(_)) => {
+                    // The target die died between allocation and program:
+                    // the page never transferred.  Mark the die dead (which
+                    // also drops its allocation state) and re-allocate.
+                    t = self.note_die_failures(t)?;
+                }
                 Err(e) => return Err(e),
             }
         };
@@ -593,6 +792,12 @@ impl NoFtl {
         if let Some(old) = self.map.update(lpn, ppa.flat(&g)) {
             self.device.invalidate_page(Ppa::from_flat(&g, old))?;
             self.dead_hinted.remove(old);
+            if self.redundancy_active {
+                self.drop_mirror_of(old)?;
+            }
+        }
+        if self.redundancy_active {
+            t = self.protect_written(t, lpn, ppa, data)?;
         }
         self.stats.host_writes += 1;
         self.stats.write_latency.record(t.saturating_sub(start));
@@ -662,6 +867,9 @@ impl NoFtl {
                         // GC relocation hit a failing destination block.
                         t0 = self.retire_failed_block(t0, failed.block_addr())?;
                     }
+                    Err(FlashError::DieFailed(_)) => {
+                        t0 = self.note_die_failures(t0)?;
+                    }
                     Err(e) => return Err(e),
                 }
             }
@@ -714,6 +922,13 @@ impl NoFtl {
                             if let Some(old) = self.map.update(lpn, ppa.flat(&g)) {
                                 self.device.invalidate_page(Ppa::from_flat(&g, old))?;
                                 self.dead_hinted.remove(old);
+                                if self.redundancy_active {
+                                    self.drop_mirror_of(old)?;
+                                }
+                            }
+                            if self.redundancy_active {
+                                end = end
+                                    .max(self.protect_written(t_run, lpn, ppa, pages[i].1)?);
                             }
                             self.stats.host_writes += 1;
                             self.stats.write_latency.record(t_run.saturating_sub(start));
@@ -742,6 +957,13 @@ impl NoFtl {
                             if let Some(old) = self.map.update(lpn, ppa.flat(&g)) {
                                 self.device.invalidate_page(Ppa::from_flat(&g, old))?;
                                 self.dead_hinted.remove(old);
+                                if self.redundancy_active {
+                                    self.drop_mirror_of(old)?;
+                                }
+                            }
+                            if self.redundancy_active {
+                                end = end
+                                    .max(self.protect_written(t_run, lpn, ppa, pages[i].1)?);
                             }
                             self.stats.host_writes += 1;
                             self.stats.write_latency.record(t_run.saturating_sub(start));
@@ -757,6 +979,23 @@ impl NoFtl {
                         for &(_, i) in &allocs[j + fail_pos..k] {
                             let (lpn, data) = pages[i];
                             let c = self.write_in_region(t_retired, region, lpn, data)?;
+                            end = end.max(c.completed_at);
+                        }
+                    }
+                    Err(FlashError::DieFailed(_)) => {
+                        // The run's die failed before any page transferred
+                        // (a dead-die submission is rejected up front).
+                        // Unwind the whole run's allocations, mark the die,
+                        // and re-write every page through the per-page path,
+                        // which routes around dead regions.
+                        let leaked: Vec<Ppa> =
+                            allocs[j..k].iter().map(|&(ppa, _)| ppa).collect();
+                        self.regions.rollback_unprogrammed(&leaked);
+                        let t_noted = self.note_die_failures(t0)?;
+                        end = end.max(t_noted);
+                        for &(_, i) in &allocs[j..k] {
+                            let (lpn, data) = pages[i];
+                            let c = self.write_in_region(t_noted, region, lpn, data)?;
                             end = end.max(c.completed_at);
                         }
                     }
@@ -778,9 +1017,612 @@ impl NoFtl {
         if let Some(old) = self.map.unmap(lpn) {
             self.device.invalidate_page(Ppa::from_flat(&g, old))?;
             self.dead_hinted.insert(old);
+            if self.redundancy_active {
+                self.drop_mirror_of(old)?;
+            }
         }
         self.stats.dead_page_hints += 1;
         Ok(())
+    }
+
+    /// Redundancy policy governing logical page `lpn` — the page's striping
+    /// region decides, regardless of where a spill placed the physical copy,
+    /// so a page's protection level is a stable function of its address.
+    #[inline]
+    fn policy_of_lpn(&self, lpn: u64) -> RedundancyPolicy {
+        self.redundancy
+            .get(self.regions.region_of_lpn(lpn))
+            .copied()
+            .unwrap_or(RedundancyPolicy::None)
+    }
+
+    /// A device read issued for reconstruction / redundancy maintenance /
+    /// rebuild: identical to [`NoFtl::read_page_retrying`], but the per-die
+    /// read counts it adds are shadow-tracked so GC's read-heat accumulator
+    /// can subtract them ([`NoFtl::gc_region_once`]) — rebuild traffic must
+    /// not masquerade as foreground heat and bias victim selection.
+    fn reconstruction_read(
+        &mut self,
+        now: SimInstant,
+        ppa: Ppa,
+        buf: &mut [u8],
+    ) -> FlashResult<(Oob, OpCompletion)> {
+        let g = *self.device.geometry();
+        let die = ppa.die_addr().flat(&g) as usize;
+        let before = self
+            .device
+            .stats()
+            .per_die_reads
+            .get(die)
+            .copied()
+            .unwrap_or(0);
+        let res = self.read_page_retrying(now, ppa, buf);
+        let after = self
+            .device
+            .stats()
+            .per_die_reads
+            .get(die)
+            .copied()
+            .unwrap_or(0);
+        if self.rebuild_reads_per_die.len() <= die {
+            self.rebuild_reads_per_die.resize(die + 1, 0);
+        }
+        self.rebuild_reads_per_die[die] += after.saturating_sub(before);
+        res
+    }
+
+    /// Post-commit protection hook: `lpn` just landed at `ppa` with content
+    /// `data`.  Depending on the page's policy this mirrors it onto another
+    /// die or joins it to the open parity stripe.  Must be called *after*
+    /// the mapping committed.  No-op (one branch) when no region is
+    /// protected.
+    fn protect_written(
+        &mut self,
+        now: SimInstant,
+        lpn: u64,
+        ppa: Ppa,
+        data: &[u8],
+    ) -> FlashResult<SimInstant> {
+        match self.policy_of_lpn(lpn) {
+            RedundancyPolicy::None => Ok(now),
+            RedundancyPolicy::Mirror => self.mirror_write(now, ppa, data),
+            RedundancyPolicy::Parity(k) => {
+                let g = *self.device.geometry();
+                self.stripe_join(now, ppa.flat(&g), data, k)
+            }
+        }
+    }
+
+    /// Program a mirror copy of the page at `primary` onto a different die.
+    /// The copy is an unmapped `Valid` page linked through `mirror_of`; GC
+    /// treats it as garbage once the link is dropped.  When no other die has
+    /// space the write stays unmirrored (allocation pressure must not fail
+    /// the foreground write).
+    fn mirror_write(&mut self, now: SimInstant, primary: Ppa, data: &[u8]) -> FlashResult<SimInstant> {
+        let g = *self.device.geometry();
+        let total = g.total_dies() as usize;
+        let src_die = primary.die_addr().flat(&g) as usize;
+        let mut t = now;
+        for off in 1..total.max(2) {
+            let d = (src_die + off) % total;
+            while let Some(mp) = self.regions.allocate_page_on_die(d, self.gc_low) {
+                match self.device.program_page(t, mp, data, Oob::meta(0)) {
+                    Ok(c) => {
+                        t = t.max(c.completed_at);
+                        let pf = primary.flat(&g) as usize;
+                        let mf = mp.flat(&g) as usize;
+                        self.mirror_of[pf] = mf as u64;
+                        self.mirror_of[mf] = pf as u64;
+                        self.redundancy_stats.mirror_pages_written += 1;
+                        return Ok(t);
+                    }
+                    Err(FlashError::ProgramFailed(failed)) => {
+                        t = self.retire_failed_block(t, failed.block_addr())?;
+                    }
+                    Err(FlashError::DieFailed(_)) => {
+                        t = self.note_die_failures(t)?;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    /// Add a just-written data page to the open parity stripe, sealing first
+    /// when its die collides with an existing member (stripes must stay
+    /// die-disjoint — one die failure may cost at most one page per stripe)
+    /// and sealing after the join once `k` members accumulated.
+    fn stripe_join(
+        &mut self,
+        now: SimInstant,
+        flat: u64,
+        data: &[u8],
+        k: usize,
+    ) -> FlashResult<SimInstant> {
+        let g = *self.device.geometry();
+        let mut t = now;
+        let die = Ppa::from_flat(&g, flat).die_addr().flat(&g);
+        let collides = self
+            .open_stripe
+            .iter()
+            .any(|&m| Ppa::from_flat(&g, m).die_addr().flat(&g) == die);
+        if collides {
+            t = self.seal_open_stripe(t)?;
+        }
+        if self.open_stripe_xor.len() != self.page_size {
+            self.open_stripe_xor = vec![0u8; self.page_size];
+        }
+        xor_into(&mut self.open_stripe_xor, data);
+        self.open_stripe.push(flat);
+        if self.open_stripe.len() >= k.max(1) {
+            t = self.seal_open_stripe(t)?;
+        }
+        Ok(t)
+    }
+
+    /// Seal the open stripe: program its in-memory XOR as a parity page on a
+    /// die disjoint from every member (falling back to any die with space)
+    /// and record the stripe.  Taking the member list out *first* makes the
+    /// seal re-entrancy-safe — nested failure handling may notify die
+    /// deaths, which themselves try to seal.
+    fn seal_open_stripe(&mut self, now: SimInstant) -> FlashResult<SimInstant> {
+        if self.open_stripe.is_empty() {
+            return Ok(now);
+        }
+        let g = *self.device.geometry();
+        let members = std::mem::take(&mut self.open_stripe);
+        let xor = std::mem::take(&mut self.open_stripe_xor);
+        let member_dies: Vec<u64> = members
+            .iter()
+            .map(|&m| Ppa::from_flat(&g, m).die_addr().flat(&g))
+            .collect();
+        let total = g.total_dies() as usize;
+        let mut t = now;
+        let mut parity: Option<Ppa> = None;
+        'search: for pass in 0..2 {
+            for d in 0..total {
+                if pass == 0 && member_dies.contains(&(d as u64)) {
+                    continue;
+                }
+                if pass == 1 && !member_dies.contains(&(d as u64)) {
+                    continue; // already tried in pass 0
+                }
+                while let Some(pp) = self.regions.allocate_page_on_die(d, self.gc_low) {
+                    match self.device.program_page(t, pp, &xor, Oob::meta(0)) {
+                        Ok(c) => {
+                            t = t.max(c.completed_at);
+                            parity = Some(pp);
+                            break 'search;
+                        }
+                        Err(FlashError::ProgramFailed(failed)) => {
+                            t = self.retire_failed_block(t, failed.block_addr())?;
+                        }
+                        Err(FlashError::DieFailed(_)) => {
+                            t = self.note_die_failures(t)?;
+                            break;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        let Some(pp) = parity else {
+            // No die anywhere has spare pages: the members stay unprotected
+            // rather than failing the foreground write that triggered the
+            // seal.
+            return Ok(t);
+        };
+        let pflat = pp.flat(&g);
+        let id = match self.stripe_free_ids.pop() {
+            Some(id) => id,
+            None => {
+                self.stripes.push(None);
+                (self.stripes.len() - 1) as u32
+            }
+        };
+        for &m in &members {
+            self.stripe_of[m as usize] = id;
+        }
+        self.stripe_of[pflat as usize] = id;
+        self.stripes[id as usize] = Some(Stripe {
+            members,
+            parity: pflat,
+        });
+        self.redundancy_stats.parity_pages_written += 1;
+        self.redundancy_stats.stripes_sealed += 1;
+        Ok(t)
+    }
+
+    /// A mapped page at `old_flat` was superseded (overwrite or dead-page
+    /// hint): its mirror copy, if any, is garbage too.  Stripe membership is
+    /// deliberately *kept* — the superseded flash content persists until its
+    /// block erases, so the stripe stays XOR-consistent until then.
+    fn drop_mirror_of(&mut self, old_flat: u64) -> FlashResult<()> {
+        let other = self
+            .mirror_of
+            .get(old_flat as usize)
+            .copied()
+            .unwrap_or(NO_MIRROR);
+        if other == NO_MIRROR {
+            return Ok(());
+        }
+        self.mirror_of[old_flat as usize] = NO_MIRROR;
+        self.mirror_of[other as usize] = NO_MIRROR;
+        let g = *self.device.geometry();
+        self.device.invalidate_page(Ppa::from_flat(&g, other))?;
+        Ok(())
+    }
+
+    /// Redundancy bookkeeping for a GC/scrub/wear relocation that moved
+    /// `lpn` from `src` to `dst`.  Mirror links travel with the page (no new
+    /// writes).  A parity-protected page *re-joins* the open stripe at its
+    /// new address — the old stripe keeps covering the source flash content
+    /// until that block erases, so protection never lapses mid-move;
+    /// `data` carries the relocated content (the relocation path reads
+    /// instead of copyback for parity regions exactly so it is available).
+    fn relink_redundancy(
+        &mut self,
+        now: SimInstant,
+        src_flat: u64,
+        dst_flat: u64,
+        lpn: u64,
+        data: Option<&[u8]>,
+    ) -> FlashResult<SimInstant> {
+        let mut t = now;
+        let other = self
+            .mirror_of
+            .get(src_flat as usize)
+            .copied()
+            .unwrap_or(NO_MIRROR);
+        if other != NO_MIRROR {
+            self.mirror_of[src_flat as usize] = NO_MIRROR;
+            self.mirror_of[dst_flat as usize] = other;
+            self.mirror_of[other as usize] = dst_flat;
+        }
+        if let RedundancyPolicy::Parity(k) = self.policy_of_lpn(lpn) {
+            if let Some(data) = data {
+                t = self.stripe_join(t, dst_flat, data, k)?;
+            }
+        }
+        Ok(t)
+    }
+
+    /// Pre-erase/retirement hook: every stripe with a member or parity page
+    /// in `block` breaks (the erase destroys its flash content), and every
+    /// mirror pair with a copy in `block` re-mirrors.  Still-mapped stripe
+    /// members elsewhere are re-protected through the open stripe; members
+    /// marooned on a *dead* die are reconstructed right now — this is the
+    /// last instant their parity still exists.
+    fn break_redundancy_in_block(
+        &mut self,
+        now: SimInstant,
+        block: BlockAddr,
+    ) -> FlashResult<SimInstant> {
+        let g = *self.device.geometry();
+        let mut t = now;
+        for off in 0..g.pages_per_block {
+            let flat = block.page(off).flat(&g);
+            let other = self
+                .mirror_of
+                .get(flat as usize)
+                .copied()
+                .unwrap_or(NO_MIRROR);
+            if other != NO_MIRROR {
+                self.mirror_of[flat as usize] = NO_MIRROR;
+                self.mirror_of[other as usize] = NO_MIRROR;
+                t = self.remirror_survivor(t, flat, other)?;
+            }
+            let sid = self
+                .stripe_of
+                .get(flat as usize)
+                .copied()
+                .unwrap_or(NO_STRIPE);
+            if sid != NO_STRIPE {
+                t = self.break_stripe(t, sid, Some(block))?;
+            }
+        }
+        Ok(t)
+    }
+
+    /// One side of a mirror pair (`dying_flat`) is about to be erased.  If
+    /// the pair still backs a mapped page, restore two-copy protection: read
+    /// the surviving mapped side and mirror it again — or, when the mapped
+    /// side sits on a dead die, rescue the content from the dying copy
+    /// *before* the erase destroys the last readable instance.
+    fn remirror_survivor(
+        &mut self,
+        now: SimInstant,
+        dying_flat: u64,
+        other_flat: u64,
+    ) -> FlashResult<SimInstant> {
+        let g = *self.device.geometry();
+        let mut t = now;
+        let Some(lpn) = self.map.reverse(other_flat) else {
+            // Neither side is mapped any more (the data was superseded or
+            // relocated); nothing worth protecting.
+            return Ok(t);
+        };
+        let other = Ppa::from_flat(&g, other_flat);
+        let other_die = other.die_addr().flat(&g) as usize;
+        let mut buf = vec![0u8; self.page_size];
+        if !self.regions.die_dead(other_die) {
+            if let Ok((_, c)) = self.reconstruction_read(t, other, &mut buf) {
+                t = t.max(c.completed_at);
+                t = self.mirror_write(t, other, &buf)?;
+            }
+            return Ok(t);
+        }
+        // The mapped side is on a dead die: the dying copy is the last
+        // readable instance.  Rescue it through the normal write path (which
+        // updates the mapping off the dead die and re-protects).
+        let dying = Ppa::from_flat(&g, dying_flat);
+        if let Ok((_, c)) = self.reconstruction_read(t, dying, &mut buf) {
+            t = t.max(c.completed_at);
+            self.redundancy_stats.reconstructed_pages += 1;
+            let w = self.write(t, lpn, &buf)?;
+            t = t.max(w.completed_at);
+        }
+        Ok(t)
+    }
+
+    /// Break stripe `sid` (a member or parity block is going away) and
+    /// re-protect its still-mapped members: live-die members re-join the
+    /// open stripe; dead-die members are reconstructed from the stripe now,
+    /// while the parity still exists, and rewritten onto surviving dies.
+    fn break_stripe(
+        &mut self,
+        now: SimInstant,
+        sid: u32,
+        dying_block: Option<BlockAddr>,
+    ) -> FlashResult<SimInstant> {
+        let Some(stripe) = self.stripes.get_mut(sid as usize).and_then(|s| s.take()) else {
+            return Ok(now);
+        };
+        self.stripe_free_ids.push(sid);
+        self.redundancy_stats.stripes_broken += 1;
+        for &p in stripe.members.iter().chain(std::iter::once(&stripe.parity)) {
+            self.stripe_of[p as usize] = NO_STRIPE;
+        }
+        let g = *self.device.geometry();
+        let mut t = now;
+        for &m in &stripe.members {
+            let pm = Ppa::from_flat(&g, m);
+            if dying_block == Some(pm.block_addr()) {
+                // Members inside the dying block were either relocated (and
+                // re-protected at their new home) or superseded — the erase
+                // only destroys garbage there.
+                continue;
+            }
+            let Some(lpn) = self.map.reverse(m) else {
+                continue;
+            };
+            let die = pm.die_addr().flat(&g) as usize;
+            let mut buf = vec![0u8; self.page_size];
+            if self.regions.die_dead(die) {
+                // Last chance: every other stripe page (including any inside
+                // the dying block — still readable until the erase lands) can
+                // serve the XOR reconstruction.
+                if let Ok(end) = self.reconstruct_from_stripe(t, &stripe, m, &mut buf) {
+                    t = t.max(end);
+                    let w = self.write(t, lpn, &buf)?;
+                    t = t.max(w.completed_at);
+                }
+                // Unrecoverable members stay mapped to the dead die: reads
+                // keep failing typed and the rebuild walker counts the loss.
+                continue;
+            }
+            if let Ok((_, c)) = self.reconstruction_read(t, pm, &mut buf) {
+                t = t.max(c.completed_at);
+                if let RedundancyPolicy::Parity(k) = self.policy_of_lpn(lpn) {
+                    t = self.stripe_join(t, m, &buf, k)?;
+                    self.redundancy_stats.members_reprotected += 1;
+                }
+            }
+        }
+        // The parity page is garbage the instant the stripe dissolves —
+        // invalidated last, because the reconstructions above may still have
+        // needed to read it.  Without this, blocks full of live parity pages
+        // would count zero invalid pages and never become GC victims.
+        self.device
+            .invalidate_page(Ppa::from_flat(&g, stripe.parity))?;
+        Ok(t)
+    }
+
+    /// XOR-reconstruct the content of stripe page `exclude` from every other
+    /// page of `stripe`.  Fails if any needed page is unreadable (e.g. a
+    /// second die failure) — single-failure tolerance, per parity design.
+    fn reconstruct_from_stripe(
+        &mut self,
+        now: SimInstant,
+        stripe: &Stripe,
+        exclude: u64,
+        buf: &mut [u8],
+    ) -> FlashResult<SimInstant> {
+        buf.fill(0);
+        let g = *self.device.geometry();
+        let mut t = now;
+        let mut tmp = vec![0u8; self.page_size];
+        for &p in stripe.members.iter().chain(std::iter::once(&stripe.parity)) {
+            if p == exclude {
+                continue;
+            }
+            let (_, c) = self.reconstruction_read(t, Ppa::from_flat(&g, p), &mut tmp)?;
+            t = t.max(c.completed_at);
+            xor_into(buf, &tmp);
+        }
+        self.redundancy_stats.reconstructed_pages += 1;
+        Ok(t)
+    }
+
+    /// Reconstruct the content of the mapped-but-unreadable page `flat`
+    /// (its die died) from its mirror or parity stripe.  Fails typed with
+    /// [`FlashError::DieFailed`] when no redundancy covers it.
+    fn reconstruct_flat(
+        &mut self,
+        now: SimInstant,
+        flat: u64,
+        buf: &mut [u8],
+    ) -> FlashResult<SimInstant> {
+        let g = *self.device.geometry();
+        let other = self
+            .mirror_of
+            .get(flat as usize)
+            .copied()
+            .unwrap_or(NO_MIRROR);
+        if other != NO_MIRROR {
+            let (_, c) = self.reconstruction_read(now, Ppa::from_flat(&g, other), buf)?;
+            self.redundancy_stats.reconstructed_pages += 1;
+            return Ok(c.completed_at);
+        }
+        let sid = self
+            .stripe_of
+            .get(flat as usize)
+            .copied()
+            .unwrap_or(NO_STRIPE);
+        if sid != NO_STRIPE {
+            if let Some(stripe) = self.stripes.get(sid as usize).cloned().flatten() {
+                return self.reconstruct_from_stripe(now, &stripe, flat, buf);
+            }
+        }
+        Err(FlashError::DieFailed(Ppa::from_flat(&g, flat).die_addr()))
+    }
+
+    /// Serve a host read of the page at `flat` degraded — through its
+    /// redundancy instead of the dead die.
+    fn read_degraded(
+        &mut self,
+        now: SimInstant,
+        flat: u64,
+        buf: &mut [u8],
+    ) -> FlashResult<OpCompletion> {
+        let end = self.reconstruct_flat(now, flat, buf)?;
+        self.redundancy_stats.degraded_reads += 1;
+        Ok(OpCompletion {
+            started_at: now,
+            completed_at: end,
+        })
+    }
+
+    /// React to die failures the device reported: diff the device's dead-die
+    /// set against what this layer already handled, and for each *new* death
+    /// mark the die dead in the allocator, open a rebuild cursor over its
+    /// page range, and seal the open stripe (its in-memory XOR still covers
+    /// members whose program was swallowed by the failure).  Cheap no-op
+    /// when no die is dead.
+    fn note_die_failures(&mut self, now: SimInstant) -> FlashResult<SimInstant> {
+        let mut t = now;
+        if !self.device.any_die_dead() {
+            return Ok(t);
+        }
+        let dead: Vec<bool> = self.device.dead_dies().to_vec();
+        if self.known_dead.len() < dead.len() {
+            self.known_dead.resize(dead.len(), false);
+        }
+        let mut newly = false;
+        for (d, &is_dead) in dead.iter().enumerate() {
+            if is_dead && !self.known_dead[d] {
+                self.known_dead[d] = true;
+                self.regions.mark_die_dead(d);
+                self.rebuild_stats.die_failures_detected += 1;
+                self.rebuild_cursors.push((d, 0));
+                newly = true;
+            }
+        }
+        if newly && self.redundancy_active && !self.open_stripe.is_empty() {
+            t = self.seal_open_stripe(t)?;
+        }
+        Ok(t)
+    }
+
+    /// One background rebuild step, gated like [`NoFtl::schedule_gc`]: when
+    /// the instant is read-hot (in-flight reads at or above the GC
+    /// scheduling threshold) the step defers instead of competing with
+    /// foreground traffic.  Walks the next dead die's mapped pages,
+    /// reconstructing up to [`REBUILD_BATCH_PAGES`] of them per call onto
+    /// surviving dies through the normal write path.  Returns `Ok(None)`
+    /// when there is nothing to do — in particular, a single cheap check
+    /// when no die has failed.
+    pub fn schedule_rebuild(&mut self, now: SimInstant) -> FlashResult<Option<SimInstant>> {
+        if !self.device.any_die_dead() {
+            return Ok(None);
+        }
+        let mut t = self.note_die_failures(now)?;
+        if self.rebuild_cursors.is_empty() {
+            return Ok(None);
+        }
+        if self.gc_schedule_read_occupancy > 0
+            && self.read_occupancy(now) >= self.gc_schedule_read_occupancy
+        {
+            self.rebuild_stats.rebuild_deferred_hot += 1;
+            return Ok(None);
+        }
+        let (end, progressed) = self.rebuild_step(t, REBUILD_BATCH_PAGES)?;
+        t = t.max(end);
+        if progressed {
+            self.rebuild_stats.rebuild_scheduled += 1;
+            Ok(Some(t))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Synchronous full rebuild: loop [`NoFtl::rebuild_step`] until every
+    /// dead die's page range has been walked.  The naive foreground
+    /// alternative to [`NoFtl::schedule_rebuild`] (used by the availability
+    /// benchmark's unscheduled leg and by tests).
+    pub fn rebuild_all(&mut self, now: SimInstant) -> FlashResult<SimInstant> {
+        let mut t = self.note_die_failures(now)?;
+        while !self.rebuild_cursors.is_empty() {
+            let (end, _) = self.rebuild_step(t, u64::MAX)?;
+            t = t.max(end);
+        }
+        Ok(t)
+    }
+
+    /// Walk the first rebuild cursor, reconstructing up to `budget` mapped
+    /// pages.  Returns `(end, progressed)`.
+    fn rebuild_step(&mut self, now: SimInstant, budget: u64) -> FlashResult<(SimInstant, bool)> {
+        let Some(&(die, start)) = self.rebuild_cursors.first() else {
+            return Ok((now, false));
+        };
+        let g = *self.device.geometry();
+        let ppd = g.pages_per_die();
+        let base = die as u64 * ppd;
+        let mut offset = start;
+        let mut t = now;
+        let mut processed = 0u64;
+        while offset < ppd && processed < budget {
+            let flat = base + offset;
+            offset += 1;
+            let Some(lpn) = self.map.reverse(flat) else {
+                continue;
+            };
+            processed += 1;
+            self.rebuild_stats.pages_scanned += 1;
+            let mut buf = vec![0u8; self.page_size];
+            match self.reconstruct_flat(t, flat, &mut buf) {
+                Ok(end) => {
+                    t = t.max(end);
+                    let w = self.write(t, lpn, &buf)?;
+                    t = t.max(w.completed_at);
+                    self.rebuild_stats.pages_rebuilt += 1;
+                }
+                Err(_) => {
+                    // No surviving redundancy: the mapping stays pointed at
+                    // the dead die so reads keep failing typed (WAL-replay
+                    // page rebuild is the layer above).
+                    self.rebuild_stats.pages_lost += 1;
+                }
+            }
+        }
+        if offset >= ppd {
+            self.rebuild_cursors.remove(0);
+        } else {
+            self.rebuild_cursors[0] = (die, offset);
+        }
+        Ok((t, processed > 0))
     }
 
     /// Run GC in `region` until it is back above the high watermark.  Returns
@@ -890,8 +1732,17 @@ impl NoFtl {
                     return Err(FlashError::OutOfSpareBlocks);
                 }
             };
-            let same_plane =
-                dst.channel == src.channel && dst.die == src.die && dst.plane == src.plane;
+            // A parity-protected page must re-join the open stripe at its
+            // new address, which needs the host-side content — so its
+            // relocation always goes read + program, never copyback.  With
+            // redundancy off this gate is a single false branch and the
+            // copyback decision is untouched.
+            let parity_protected = self.redundancy_active
+                && matches!(self.policy_of_lpn(lpn), RedundancyPolicy::Parity(_));
+            let same_plane = !parity_protected
+                && dst.channel == src.channel
+                && dst.die == src.die
+                && dst.plane == src.plane;
             // At depth 1 every relocation command is the synchronous legacy
             // dispatch (the trace-equality baseline); deeper settings submit
             // the same commands through the per-die queues, so background GC
@@ -946,6 +1797,12 @@ impl NoFtl {
                 self.map.update(lpn, dst.flat(&g));
                 self.device.invalidate_page(src)?;
                 self.stats.gc_page_copies += 1;
+                if self.redundancy_active {
+                    let content = std::mem::take(&mut self.scratch);
+                    let data = (!same_plane).then_some(content.as_slice());
+                    t = self.relink_redundancy(t, src.flat(&g), dst.flat(&g), lpn, data)?;
+                    self.scratch = content;
+                }
             } else if same_plane {
                 // A copyback programs the destination block's next page, so
                 // the pending run must land first to keep program order.
@@ -973,6 +1830,11 @@ impl NoFtl {
                 self.map.update(lpn, dst.flat(&g));
                 self.device.invalidate_page(src)?;
                 self.stats.gc_page_copies += 1;
+                if self.redundancy_active {
+                    // Copyback is only taken for non-parity pages; a mirror
+                    // link just travels with the page.
+                    t = self.relink_redundancy(t, src.flat(&g), dst.flat(&g), lpn, None)?;
+                }
             } else {
                 // Batched: read now, program as part of a same-die run.
                 if pending.len() >= cap
@@ -1050,27 +1912,39 @@ impl NoFtl {
                     .iter()
                     .position(|&(dst, _, _)| dst == failed)
                     .unwrap_or(0);
-                let committed: Vec<(Ppa, Ppa, u64)> = pending
+                let committed: Vec<(Ppa, Ppa, u64, Vec<u8>)> = pending
                     .drain(..pos)
-                    .map(|(src, dst, lpn, _, _)| (src, dst, lpn))
+                    .map(|(src, dst, lpn, data, _)| (src, dst, lpn, data))
                     .collect();
-                for (src, dst, lpn) in committed {
+                for (src, dst, lpn, data) in committed {
                     self.map.update(lpn, dst.flat(&g));
                     self.device.invalidate_page(src)?;
                     self.stats.gc_page_copies += 1;
+                    if self.redundancy_active {
+                        self.relink_redundancy(
+                            now,
+                            src.flat(&g),
+                            dst.flat(&g),
+                            lpn,
+                            Some(&data),
+                        )?;
+                    }
                 }
                 return Err(FlashError::ProgramFailed(failed));
             }
             Err(e) => return Err(e),
         };
-        let t = now.max(completion.completed_at);
+        let mut t = now.max(completion.completed_at);
         if pending.len() > 1 {
             self.stats.gc_batch_dispatches += 1;
         }
-        for (src, dst, lpn, _, _) in pending.drain(..) {
+        for (src, dst, lpn, data, _) in pending.drain(..) {
             self.map.update(lpn, dst.flat(&g));
             self.device.invalidate_page(src)?;
             self.stats.gc_page_copies += 1;
+            if self.redundancy_active {
+                t = self.relink_redundancy(t, src.flat(&g), dst.flat(&g), lpn, Some(&data))?;
+            }
         }
         Ok(t)
     }
@@ -1084,6 +1958,15 @@ impl NoFtl {
         now: SimInstant,
         block: BlockAddr,
     ) -> FlashResult<(SimInstant, bool)> {
+        // Erasing is the one operation that destroys flash content, so any
+        // stripe with a member or parity page in this block — and any mirror
+        // copy stored here — must be dissolved and its survivors
+        // re-protected *before* the erase is attempted (the hook also covers
+        // the failure path: a worn-out erase still retires the block).
+        let mut now = now;
+        if self.redundancy_active {
+            now = self.break_redundancy_in_block(now, block)?;
+        }
         // Under async the erase is submitted into the die queue like every
         // other GC command (a failed submission cannot evict in-flight
         // commands, and a worn-out attempt still charges its die occupancy).
@@ -1166,6 +2049,14 @@ impl NoFtl {
                 Err(e) => return Err(e),
             }
         }
+        // Retirement takes the block's content out of service exactly like
+        // an erase: mapped pages were just relocated (their protection moved
+        // with them), so what remains are stripe members/parity pages and
+        // mirror copies — dissolve those and re-protect their survivors
+        // while the block is still readable.
+        if self.redundancy_active {
+            t = self.break_redundancy_in_block(t, block)?;
+        }
         // Write the device-side bad-block mark last: the survivors above had
         // to be readable while the relocation ran.  From here on the device
         // rejects every access, so neither GC victim selection nor the wear
@@ -1198,6 +2089,13 @@ impl NoFtl {
             return Ok(now);
         }
         let g = *self.device.geometry();
+        // A dead die can be neither relocated from nor erased.
+        if self
+            .regions
+            .die_dead(block.die_addr().flat(&g) as usize)
+        {
+            return Ok(now);
+        }
         let region = self.regions.region_of_block(block);
         let mut t = now;
         let mut relocated: u64 = 0;
@@ -1247,18 +2145,22 @@ impl NoFtl {
             // Decay-and-top-up the recent-read heat: halve the accumulator
             // and add the reads since the last selection, so victim scoring
             // reacts to current read traffic and old skew fades out.
-            let cur = &self.device.stats().per_die_reads;
+            // Reconstruction/rebuild reads are subtracted out via their
+            // shadow accumulator — repair traffic is not foreground demand
+            // and must not steer victims away from the dies being repaired.
+            let cur = self.device.stats().per_die_reads.clone();
             self.gc_read_heat.resize(cur.len(), 0);
             self.gc_read_marker.resize(cur.len(), 0);
-            for ((heat, marker), &reads) in self
-                .gc_read_heat
-                .iter_mut()
-                .zip(self.gc_read_marker.iter_mut())
-                .zip(cur.iter())
-            {
-                let delta = reads.saturating_sub(*marker);
-                *heat = *heat / 2 + delta;
-                *marker = reads;
+            self.rebuild_reads_per_die.resize(cur.len(), 0);
+            self.rebuild_read_marker.resize(cur.len(), 0);
+            for (i, &reads) in cur.iter().enumerate() {
+                let delta = reads.saturating_sub(self.gc_read_marker[i]);
+                let shadow = self.rebuild_reads_per_die[i]
+                    .saturating_sub(self.rebuild_read_marker[i]);
+                self.gc_read_heat[i] =
+                    self.gc_read_heat[i] / 2 + delta.saturating_sub(shadow);
+                self.gc_read_marker[i] = reads;
+                self.rebuild_read_marker[i] = self.rebuild_reads_per_die[i];
             }
         }
         let Some(victim) = select_victim(
@@ -2498,5 +3400,407 @@ mod tests {
         // A pristine device still exports the full configured capacity.
         let pristine = small_noftl();
         assert_eq!(pristine.logical_pages(), full_capacity);
+    }
+
+    /// A fault plan with every probabilistic failure mode zeroed, so only
+    /// the deterministic die kill (fired by the next device command) acts.
+    fn kill_plan(die_flat: u32) -> FaultPlan {
+        let mut plan = FaultPlan::seeded(7).with_die_kill(0, die_flat);
+        plan.program_fail_base = 0.0;
+        plan.erase_fail_prob = 0.0;
+        plan.read_error_base = 0.0;
+        plan
+    }
+
+    /// Flat die index logical page `lpn` is currently mapped to.
+    fn die_of_lpn(n: &NoFtl, lpn: u64) -> u32 {
+        let g = *n.device().geometry();
+        let flat = n.map.get(lpn).expect("lpn is mapped");
+        Ppa::from_flat(&g, flat).die_addr().flat(&g) as u32
+    }
+
+    #[test]
+    fn parity_stripes_seal_die_disjoint() {
+        let mut n = small_noftl();
+        assert!(!n.redundancy_configured());
+        n.set_redundancy_all(RedundancyPolicy::Parity(3));
+        assert!(n.redundancy_configured());
+        assert_eq!(n.redundancy_policy(0), RedundancyPolicy::Parity(3));
+        let mut now = 0;
+        for lpn in 0..12u64 {
+            let data = page(&n, lpn as u8 + 1);
+            now = n.write(now, lpn, &data).unwrap().completed_at;
+        }
+        let rs = n.redundancy_stats();
+        assert_eq!(rs.stripes_sealed, 4, "12 writes at k = 3 seal 4 stripes");
+        assert_eq!(rs.parity_pages_written, 4);
+        assert_eq!(rs.stripes_broken, 0);
+        // Every stripe (members + parity) must be die-disjoint: one die
+        // failure may cost at most one page per stripe.
+        let g = *n.device().geometry();
+        for stripe in n.stripes.iter().flatten() {
+            let mut dies: Vec<u64> = stripe
+                .members
+                .iter()
+                .chain(std::iter::once(&stripe.parity))
+                .map(|&m| Ppa::from_flat(&g, m).die_addr().flat(&g))
+                .collect();
+            let total = dies.len();
+            dies.sort_unstable();
+            dies.dedup();
+            assert_eq!(dies.len(), total, "stripe pages share a die");
+        }
+        // Reads of parity-protected pages stay plain reads while no die is
+        // dead.
+        let mut buf = page(&n, 0);
+        n.read(now, 5, &mut buf).unwrap();
+        assert_eq!(buf, page(&n, 6));
+        assert_eq!(n.redundancy_stats().degraded_reads, 0);
+    }
+
+    #[test]
+    fn mirror_writes_place_copies_on_other_dies() {
+        let mut n = small_noftl();
+        n.set_redundancy_all(RedundancyPolicy::Mirror);
+        let g = *n.device().geometry();
+        let mut now = 0;
+        for lpn in 0..8u64 {
+            let data = page(&n, lpn as u8 + 1);
+            now = n.write(now, lpn, &data).unwrap().completed_at;
+        }
+        assert_eq!(n.redundancy_stats().mirror_pages_written, 8);
+        for lpn in 0..8u64 {
+            let flat = n.map.get(lpn).unwrap() as usize;
+            let copy = n.mirror_of[flat];
+            assert_ne!(copy, NO_MIRROR, "every write must be mirrored");
+            assert_eq!(n.mirror_of[copy as usize], flat as u64);
+            let pd = Ppa::from_flat(&g, flat as u64).die_addr();
+            let cd = Ppa::from_flat(&g, copy).die_addr();
+            assert_ne!(pd, cd, "mirror copy must live on a different die");
+        }
+        // Superseding a mirrored page drops the copy as garbage.
+        let data = page(&n, 0xEE);
+        n.write(now, 0, &data).unwrap();
+        assert_eq!(n.redundancy_stats().mirror_pages_written, 9);
+    }
+
+    #[test]
+    fn degraded_read_reconstructs_from_parity() {
+        let mut n = small_noftl();
+        n.set_redundancy_all(RedundancyPolicy::Parity(3));
+        let mut now = 0;
+        for lpn in 0..12u64 {
+            let data = page(&n, lpn as u8 + 1);
+            now = n.write(now, lpn, &data).unwrap().completed_at;
+        }
+        let victim_lpn = 5u64;
+        let dead_die = die_of_lpn(&n, victim_lpn);
+        let live_lpn = (0..12u64)
+            .find(|&l| die_of_lpn(&n, l) != dead_die)
+            .unwrap();
+        n.set_fault_plan(Some(kill_plan(dead_die)));
+        // The next device command fires the kill; aim it at a live die.
+        let mut buf = page(&n, 0);
+        n.read(now, live_lpn, &mut buf).unwrap();
+        assert!(n.any_die_dead());
+        // The read of the lost page is served bit-identical through XOR
+        // reconstruction from its stripe's surviving pages.
+        n.read(now, victim_lpn, &mut buf).unwrap();
+        assert_eq!(buf, page(&n, victim_lpn as u8 + 1));
+        assert_eq!(n.redundancy_stats().degraded_reads, 1);
+        assert!(n.redundancy_stats().reconstructed_pages >= 1);
+        assert_eq!(n.rebuild_stats().die_failures_detected, 1);
+    }
+
+    #[test]
+    fn degraded_read_reconstructs_from_mirror() {
+        let mut n = small_noftl();
+        n.set_redundancy_all(RedundancyPolicy::Mirror);
+        let mut now = 0;
+        for lpn in 0..8u64 {
+            let data = page(&n, lpn as u8 + 1);
+            now = n.write(now, lpn, &data).unwrap().completed_at;
+        }
+        let victim_lpn = 3u64;
+        let dead_die = die_of_lpn(&n, victim_lpn);
+        let live_lpn = (0..8u64)
+            .find(|&l| die_of_lpn(&n, l) != dead_die)
+            .unwrap();
+        n.set_fault_plan(Some(kill_plan(dead_die)));
+        let mut buf = page(&n, 0);
+        n.read(now, live_lpn, &mut buf).unwrap();
+        n.read(now, victim_lpn, &mut buf).unwrap();
+        assert_eq!(buf, page(&n, victim_lpn as u8 + 1));
+        assert_eq!(n.redundancy_stats().degraded_reads, 1);
+        assert_eq!(n.redundancy_stats().reconstructed_pages, 1);
+    }
+
+    #[test]
+    fn rebuild_rehomes_parity_protected_pages() {
+        let mut n = small_noftl();
+        n.set_redundancy_all(RedundancyPolicy::Parity(3));
+        let mut now = 0;
+        for lpn in 0..32u64 {
+            let data = page(&n, lpn as u8 + 1);
+            now = n.write(now, lpn, &data).unwrap().completed_at;
+        }
+        let dead_die = die_of_lpn(&n, 0);
+        let lost: Vec<u64> = (0..32u64)
+            .filter(|&l| die_of_lpn(&n, l) == dead_die)
+            .collect();
+        assert!(!lost.is_empty());
+        let live_lpn = (0..32u64)
+            .find(|&l| die_of_lpn(&n, l) != dead_die)
+            .unwrap();
+        n.set_fault_plan(Some(kill_plan(dead_die)));
+        let mut buf = page(&n, 0);
+        n.read(now, live_lpn, &mut buf).unwrap();
+        now = n.rebuild_all(now).unwrap();
+        let rb = n.rebuild_stats();
+        assert_eq!(rb.die_failures_detected, 1);
+        assert_eq!(rb.pages_rebuilt, lost.len() as u64);
+        assert_eq!(rb.pages_lost, 0, "parity must recover every lost page");
+        assert!(rb.accounted());
+        // Every page — including the rebuilt ones — reads back bit-identical,
+        // and nothing is mapped to the dead die any more.
+        for lpn in 0..32u64 {
+            n.read(now, lpn, &mut buf).unwrap();
+            assert_eq!(buf, page(&n, lpn as u8 + 1), "lpn {lpn}");
+            assert_ne!(die_of_lpn(&n, lpn), dead_die);
+        }
+        // The rebuilt pages are served by plain reads, not degraded ones.
+        let degraded_before = n.redundancy_stats().degraded_reads;
+        n.read(now, lost[0], &mut buf).unwrap();
+        assert_eq!(n.redundancy_stats().degraded_reads, degraded_before);
+    }
+
+    #[test]
+    fn die_loss_without_redundancy_counts_losses() {
+        let mut n = small_noftl();
+        let mut now = 0;
+        for lpn in 0..8u64 {
+            let data = page(&n, lpn as u8 + 1);
+            now = n.write(now, lpn, &data).unwrap().completed_at;
+        }
+        let dead_die = die_of_lpn(&n, 2);
+        let live_lpn = (0..8u64)
+            .find(|&l| die_of_lpn(&n, l) != dead_die)
+            .unwrap();
+        n.set_fault_plan(Some(kill_plan(dead_die)));
+        let mut buf = page(&n, 0);
+        n.read(now, live_lpn, &mut buf).unwrap();
+        now = n.rebuild_all(now).unwrap();
+        let rb = n.rebuild_stats();
+        assert_eq!(rb.pages_rebuilt, 0);
+        assert!(rb.pages_lost >= 1, "unprotected pages are lost");
+        assert!(rb.accounted());
+        // The mapping still points at the dead die: reads keep failing typed
+        // so the storage engine's WAL-replay page rebuild can take over.
+        let err = n.read(now, 2, &mut buf).unwrap_err();
+        assert!(matches!(err, FlashError::DieFailed(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn schedule_rebuild_defers_hot_and_progresses_cold() {
+        let mut n = small_noftl();
+        n.set_redundancy_all(RedundancyPolicy::Parity(3));
+        let mut now = 0;
+        for lpn in 0..32u64 {
+            let data = page(&n, lpn as u8 + 1);
+            now = n.write(now, lpn, &data).unwrap().completed_at;
+        }
+        // No die dead: a single cheap check, no work, no counters.
+        assert_eq!(n.schedule_rebuild(now).unwrap(), None);
+        assert_eq!(n.rebuild_stats().rebuild_scheduled, 0);
+        let dead_die = die_of_lpn(&n, 0);
+        let live_lpn = (0..32u64)
+            .find(|&l| die_of_lpn(&n, l) != dead_die)
+            .unwrap();
+        n.set_fault_plan(Some(kill_plan(dead_die)));
+        let g = *n.device.geometry();
+        let mut buf = page(&n, 0);
+        n.read(now, live_lpn, &mut buf).unwrap();
+        // Read-hot instant: one read in flight defers the rebuild step.
+        n.set_gc_schedule_read_occupancy(1);
+        let live_flat = n.map.get(live_lpn).unwrap();
+        let (_, sub) = n
+            .device
+            .submit_read_page(now, Ppa::from_flat(&g, live_flat), &mut buf)
+            .unwrap();
+        assert_eq!(n.schedule_rebuild(now).unwrap(), None);
+        assert_eq!(n.rebuild_stats().rebuild_deferred_hot, 1);
+        assert_eq!(n.rebuild_stats().rebuild_scheduled, 0);
+        // Read-cold instants: bounded steps make progress until the dead
+        // die's page range is fully walked.
+        let mut t = sub.completion.completed_at;
+        while let Some(end) = n.schedule_rebuild(t).unwrap() {
+            t = end.max(t);
+        }
+        let rb = n.rebuild_stats();
+        assert!(rb.rebuild_scheduled >= 1);
+        assert_eq!(rb.rebuild_deferred_hot, 1);
+        assert_eq!(rb.pages_lost, 0);
+        assert!(rb.pages_rebuilt >= 1);
+        assert!(rb.accounted());
+        for lpn in 0..32u64 {
+            n.read(t, lpn, &mut buf).unwrap();
+            assert_eq!(buf, page(&n, lpn as u8 + 1), "lpn {lpn}");
+        }
+    }
+
+    #[test]
+    fn gc_churn_under_parity_breaks_and_reprotects_stripes() {
+        let mut cfg = NoFtlConfig::new(FlashGeometry::small());
+        // Parity(3) keeps ~1 extra live page per 3 logical ones — plus the
+        // parity of superseded versions, pinned until their blocks erase —
+        // so the over-provisioning must budget for it (the
+        // `NOFTL_REDUNDANCY` knob wiring applies the same accounting when it
+        // builds the config).
+        cfg.op_ratio = 0.60;
+        cfg.gc_low_watermark = 2;
+        cfg.gc_high_watermark = 4;
+        let mut n = NoFtl::new(cfg);
+        n.set_redundancy_all(RedundancyPolicy::Parity(3));
+        let lpns = n.logical_pages();
+        let mut now = 0;
+        // Round 0 writes everything, mixing hot (even) and cold (odd) pages
+        // into the same stripes; the churn rounds then overwrite only the
+        // hot half.  GC victims hold hot garbage whose stripe peers include
+        // still-mapped cold pages — exactly the members the break hook must
+        // re-protect.
+        for lpn in 0..lpns {
+            let data = vec![lpn as u8; n.page_size];
+            now = n.write(now, lpn, &data).unwrap().completed_at;
+        }
+        for round in 1u8..6 {
+            for lpn in (0..lpns).step_by(2) {
+                let data = vec![round ^ lpn as u8; n.page_size];
+                now = n.write(now, lpn, &data).unwrap().completed_at;
+            }
+        }
+        assert!(n.stats().gc_erases > 0, "churn must trigger GC");
+        let rs = n.redundancy_stats();
+        assert!(rs.stripes_sealed > 0);
+        assert!(rs.stripes_broken > 0, "GC erases must dissolve stripes");
+        assert!(rs.members_reprotected > 0);
+        let mut buf = vec![0u8; n.page_size];
+        for lpn in 0..lpns {
+            let expect = if lpn % 2 == 0 { 5u8 ^ lpn as u8 } else { lpn as u8 };
+            n.read(now, lpn, &mut buf).unwrap();
+            assert_eq!(buf, vec![expect; n.page_size], "lpn {lpn}");
+        }
+    }
+
+    #[test]
+    fn rebuild_reads_do_not_bias_gc_victims() {
+        // Satellite regression: reconstruction/rebuild reads hammering one
+        // die must not register as foreground read heat — the victim choice
+        // with rebuild traffic must equal the read-blind choice without it.
+        let g = FlashGeometry::small();
+        let mut cfg = NoFtlConfig::new(g);
+        cfg.striping = StripingMode::Single;
+        let mut n = NoFtl::new(cfg);
+        n.set_gc_read_heat_penalty(4.0);
+        let data = vec![1u8; n.page_size];
+        let ppb = g.pages_per_block as u64;
+        let mut now = 0;
+        // Two closed blocks on two dies (Single striping round-robins dies
+        // at block boundaries), then equal garbage in both.
+        for lpn in 0..(ppb * 2) {
+            now = n.write(now, lpn, &data).unwrap().completed_at;
+        }
+        now = n.write(now, ppb * 2, &data).unwrap().completed_at;
+        let first = Ppa::from_flat(&g, n.map.get(0).unwrap()).block_addr();
+        let second =
+            Ppa::from_flat(&g, n.map.get(ppb).unwrap()).block_addr();
+        assert_ne!(first.die_addr(), second.die_addr());
+        for lpn in 0..4u64 {
+            now = n.write(now, lpn, &data).unwrap().completed_at;
+        }
+        for lpn in ppb..ppb + 4 {
+            now = n.write(now, lpn, &data).unwrap().completed_at;
+        }
+        // Hammer reconstruction-class reads on the FIRST block's die — the
+        // read-blind victim.  If these leaked into the heat accumulator the
+        // penalty would steer GC to the second block instead.
+        let mut buf = vec![0u8; n.page_size];
+        for _ in 0..10 {
+            for lpn in 4..8u64 {
+                let ppa = Ppa::from_flat(&g, n.map.get(lpn).unwrap());
+                now = n
+                    .reconstruction_read(now, ppa, &mut buf)
+                    .unwrap()
+                    .1
+                    .completed_at;
+            }
+        }
+        n.gc_region_once(now, 0).unwrap();
+        assert!(
+            n.regions.is_free(first),
+            "victim choice must match the read-blind choice (reclaim {first:?})"
+        );
+        assert!(!n.regions.is_free(second));
+        // The shadow accumulator absorbed the reconstruction reads entirely.
+        let die = first.die_addr().flat(&g) as usize;
+        assert_eq!(n.gc_read_heat[die], 0);
+        assert!(n.rebuild_reads_per_die[die] >= 40);
+    }
+
+    #[test]
+    fn off_leg_keeps_all_redundancy_machinery_dormant() {
+        let mut n = tiny_noftl();
+        let lpns = n.logical_pages();
+        let mut now = 0;
+        for round in 0u8..6 {
+            for lpn in 0..lpns {
+                let data = vec![round ^ lpn as u8; n.page_size];
+                now = n.write(now, lpn, &data).unwrap().completed_at;
+            }
+        }
+        assert!(n.stats().gc_erases > 0);
+        assert!(!n.redundancy_configured());
+        assert!(!n.redundancy_active);
+        assert!(n.stripe_of.is_empty(), "off leg allocates no stripe tables");
+        assert!(n.mirror_of.is_empty());
+        let rs = n.redundancy_stats();
+        assert_eq!(rs.parity_pages_written, 0);
+        assert_eq!(rs.stripes_sealed, 0);
+        assert_eq!(rs.stripes_broken, 0);
+        assert_eq!(rs.members_reprotected, 0);
+        assert_eq!(rs.mirror_pages_written, 0);
+        assert_eq!(rs.degraded_reads, 0);
+        assert_eq!(rs.reconstructed_pages, 0);
+        let rb = n.rebuild_stats();
+        assert_eq!(rb.die_failures_detected, 0);
+        assert_eq!(rb.pages_scanned, 0);
+        assert_eq!(rb.rebuild_scheduled, 0);
+        assert_eq!(rb.rebuild_deferred_hot, 0);
+    }
+
+    #[test]
+    fn die_failure_seals_the_open_stripe() {
+        let mut n = small_noftl();
+        n.set_redundancy_all(RedundancyPolicy::Parity(3));
+        let mut now = 0;
+        // Two members in the open stripe (k = 3: not sealed yet).
+        for lpn in 0..2u64 {
+            let data = page(&n, lpn as u8 + 1);
+            now = n.write(now, lpn, &data).unwrap().completed_at;
+        }
+        assert_eq!(n.redundancy_stats().stripes_sealed, 0);
+        let dead_die = die_of_lpn(&n, 0);
+        let live_lpn = 1u64;
+        assert_ne!(die_of_lpn(&n, live_lpn), dead_die);
+        n.set_fault_plan(Some(kill_plan(dead_die)));
+        let mut buf = page(&n, 0);
+        n.read(now, live_lpn, &mut buf).unwrap();
+        // Noticing the failure seals the short stripe from its in-memory
+        // XOR — the member on the dead die is covered without re-reading it.
+        n.schedule_rebuild(now).unwrap();
+        assert_eq!(n.redundancy_stats().stripes_sealed, 1);
+        n.rebuild_all(now).unwrap();
+        assert_eq!(n.rebuild_stats().pages_lost, 0);
+        n.read(now, 0, &mut buf).unwrap();
+        assert_eq!(buf, page(&n, 1));
     }
 }

@@ -80,6 +80,14 @@ pub struct RegionManager {
     active: Vec<Option<(BlockAddr, u32)>>,
     /// Round-robin cursor over each region's dies for block selection.
     die_cursor: Vec<usize>,
+    /// Dies that failed permanently (flat index).  Dead dies hold no free
+    /// blocks and are skipped by every allocator.
+    dead_dies: Vec<bool>,
+    /// Auxiliary die-targeted active block per die (flat index) — the write
+    /// pointer used by [`RegionManager::allocate_page_on_die`] for parity
+    /// and mirror pages, kept separate from the per-region pointer so
+    /// redundancy placement never perturbs the region's data layout.
+    aux_active: Vec<Option<(BlockAddr, u32)>>,
 }
 
 impl RegionManager {
@@ -127,6 +135,8 @@ impl RegionManager {
             free_count,
             active: vec![None; regions],
             die_cursor: vec![0; regions],
+            dead_dies: vec![false; total_dies],
+            aux_active: vec![None; total_dies],
         }
     }
 
@@ -181,6 +191,9 @@ impl RegionManager {
     /// Return an erased block to its die's pool.
     pub fn release_block(&mut self, block: BlockAddr) {
         let die = self.die_index(block.die_addr());
+        if self.dead_dies[die] {
+            return; // a dead die's blocks never re-enter circulation
+        }
         self.free[die].push_back(block);
         self.free_count[self.die_to_region[die]] += 1;
     }
@@ -194,15 +207,89 @@ impl RegionManager {
             }
         }
         let die = self.die_index(block.die_addr());
+        if let Some((aux, _)) = self.aux_active[die] {
+            if aux == block {
+                self.aux_active[die] = None;
+            }
+        }
         let before = self.free[die].len();
         self.free[die].retain(|&b| b != block);
         self.free_count[region] -= before - self.free[die].len();
     }
 
-    /// Whether `block` is the active block of its region.
+    /// Whether `block` is the active block of its region, or the auxiliary
+    /// die-targeted active block redundancy placement writes through (GC
+    /// must not erase a half-open parity/mirror block either).
     pub fn is_active(&self, block: BlockAddr) -> bool {
         let region = self.region_of_block(block);
-        matches!(self.active[region], Some((a, _)) if a == block)
+        if matches!(self.active[region], Some((a, _)) if a == block) {
+            return true;
+        }
+        let die = self.die_index(block.die_addr());
+        matches!(self.aux_active[die], Some((a, _)) if a == block)
+    }
+
+    /// Mark a die permanently dead: its free blocks leave circulation, any
+    /// active pointer on it is dropped, and every allocator skips it from
+    /// now on.  Idempotent.
+    pub fn mark_die_dead(&mut self, die_flat: usize) {
+        if die_flat >= self.dead_dies.len() || self.dead_dies[die_flat] {
+            return;
+        }
+        self.dead_dies[die_flat] = true;
+        let region = self.die_to_region[die_flat];
+        let drained = self.free[die_flat].len();
+        self.free[die_flat].clear();
+        self.free_count[region] -= drained;
+        if let Some((b, _)) = self.active[region] {
+            if self.die_index(b.die_addr()) == die_flat {
+                self.active[region] = None;
+            }
+        }
+        self.aux_active[die_flat] = None;
+    }
+
+    /// Whether the die (flat index) has been marked dead.
+    #[inline]
+    pub fn die_dead(&self, die_flat: usize) -> bool {
+        self.dead_dies.get(die_flat).copied().unwrap_or(false)
+    }
+
+    /// Whether `region` still has at least one live die — a region whose
+    /// every die died can neither allocate nor garbage-collect and must be
+    /// skipped by GC scheduling.
+    pub fn region_alive(&self, region: RegionId) -> bool {
+        self.region_dies[region]
+            .iter()
+            .any(|d| !self.dead_dies[self.die_index(*d)])
+    }
+
+    /// Allocate the next physical page on a *specific* die, through the
+    /// die's auxiliary active block — used for parity and mirror pages that
+    /// must land on a die disjoint from the data they protect.  Returns
+    /// `None` when the die is dead or out of free blocks.
+    pub fn allocate_page_on_die(&mut self, die_flat: usize, reserve: usize) -> Option<Ppa> {
+        if self.die_dead(die_flat) {
+            return None;
+        }
+        let pages_per_block = self.geometry.pages_per_block;
+        if let Some((addr, next)) = self.aux_active[die_flat] {
+            if next < pages_per_block {
+                self.aux_active[die_flat] = Some((addr, next + 1));
+                return Some(addr.page(next));
+            }
+        }
+        // Opening a fresh aux block is refused while the die's free pool is
+        // at or below `reserve`: auxiliary (parity/mirror) traffic bypasses
+        // the demand-GC watermark path, so without this floor it would
+        // drain the emergency blocks GC needs to relocate survivors into.
+        if self.free[die_flat].len() <= reserve {
+            return None;
+        }
+        let block = self.free[die_flat].pop_front()?;
+        self.free_count[self.die_to_region[die_flat]] -= 1;
+        self.aux_active[die_flat] = Some((block, 1));
+        Some(block.page(0))
     }
 
     /// Whether `block` sits in a free pool.
@@ -684,6 +771,71 @@ mod tests {
         assert_eq!(allocated, pages_in_region);
         // Region 1 is untouched by region 0's exhaustion.
         assert_eq!(rm.free_blocks_in(1) as u64, g.total_blocks() / 2);
+    }
+
+    #[test]
+    fn mark_die_dead_drains_pool_and_stops_allocation() {
+        let g = FlashGeometry::small(); // 4 dies, die-wise: 1 die per region
+        let mut rm = RegionManager::new(g, StripingMode::DieWise);
+        let free_before = rm.free_blocks_in(1);
+        assert!(free_before > 0);
+        let ppa = rm.allocate_page_in(1).unwrap();
+        assert!(!rm.die_dead(1));
+        assert!(rm.region_alive(1));
+        rm.mark_die_dead(1);
+        assert!(rm.die_dead(1));
+        assert!(!rm.region_alive(1), "die-wise region dies with its die");
+        assert_eq!(rm.free_blocks_in(1), 0, "pool drained");
+        assert!(rm.allocate_page_in(1).is_none());
+        assert!(rm.allocate_page_on_die(1, 0).is_none());
+        // A release of the dead die's block must not resurrect the pool.
+        rm.release_block(ppa.block_addr());
+        assert_eq!(rm.free_blocks_in(1), 0);
+        // Idempotent.
+        rm.mark_die_dead(1);
+        assert_eq!(rm.free_blocks_in(1), 0);
+        // Other regions are untouched.
+        assert!(rm.region_alive(0));
+        assert!(rm.allocate_page_in(0).is_some());
+    }
+
+    #[test]
+    fn multi_die_region_survives_one_dead_die() {
+        let g = FlashGeometry::small(); // 2 channels x 2 dies
+        let mut rm = RegionManager::new(g, StripingMode::ChannelWise);
+        rm.mark_die_dead(0);
+        assert!(rm.region_alive(0), "one die of the channel region survives");
+        // Every allocation now lands on the surviving die.
+        for _ in 0..(g.pages_per_block * 3) {
+            let ppa = rm.allocate_page_in(0).unwrap();
+            assert_eq!(ppa.die_addr().flat(&g), 1);
+        }
+    }
+
+    #[test]
+    fn die_targeted_allocation_keeps_its_own_write_pointer() {
+        let g = FlashGeometry::small();
+        let mut rm = RegionManager::new(g, StripingMode::DieWise);
+        // Interleave region and die-targeted allocations on the same die:
+        // each stream must stay block-sequential on its own.
+        let r0 = rm.allocate_page_in(0).unwrap();
+        let a0 = rm.allocate_page_on_die(0, 0).unwrap();
+        let r1 = rm.allocate_page_in(0).unwrap();
+        let a1 = rm.allocate_page_on_die(0, 0).unwrap();
+        assert_ne!(r0.block_addr(), a0.block_addr());
+        assert_eq!(r1.block_addr(), r0.block_addr());
+        assert_eq!(r1.page, r0.page + 1);
+        assert_eq!(a1.block_addr(), a0.block_addr());
+        assert_eq!(a1.page, a0.page + 1);
+        assert_eq!(a0.page, 0);
+        // The half-open aux block counts as active (GC must skip it); a
+        // retire clears the pointer.
+        assert!(rm.is_active(a0.block_addr()));
+        rm.retire_block(a0.block_addr());
+        assert!(!rm.is_active(a0.block_addr()));
+        let a2 = rm.allocate_page_on_die(0, 0).unwrap();
+        assert_ne!(a2.block_addr(), a0.block_addr());
+        assert_eq!(a2.page, 0);
     }
 
     #[test]

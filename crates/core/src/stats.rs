@@ -76,9 +76,121 @@ impl NoFtlStats {
     }
 }
 
+/// Counters of the per-region redundancy machinery (`NOFTL_REDUNDANCY`):
+/// parity striping, mirroring, and degraded reads that reconstruct pages
+/// lost to a die failure.  All zero while every region runs
+/// [`crate::config::RedundancyPolicy::None`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RedundancyStats {
+    /// Parity pages programmed when a stripe sealed.
+    pub parity_pages_written: u64,
+    /// Stripes sealed (a parity page written covering ≥ 1 data member).
+    pub stripes_sealed: u64,
+    /// Stripes broken because a member or parity page's block was erased or
+    /// retired; surviving mapped members are re-protected.
+    pub stripes_broken: u64,
+    /// Still-mapped stripe members re-queued into the open stripe after
+    /// their stripe broke.
+    pub members_reprotected: u64,
+    /// Mirror copies programmed for writes into `Mirror` regions.
+    pub mirror_pages_written: u64,
+    /// Host reads served degraded — the mapped page's die was dead and the
+    /// content came from its mirror or stripe peers.
+    pub degraded_reads: u64,
+    /// Pages whose content was reconstructed (XOR of stripe survivors or a
+    /// mirror copy), for degraded reads and rebuild combined.
+    pub reconstructed_pages: u64,
+}
+
+impl RedundancyStats {
+    /// Reset all counters.
+    pub fn clear(&mut self) {
+        *self = RedundancyStats::default();
+    }
+}
+
+/// Counters of the online rebuild subsystem that re-homes pages lost to a
+/// die failure onto surviving dies.  All zero until a die actually dies.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RebuildStats {
+    /// Die failures the NoFTL layer detected and started a rebuild for.
+    pub die_failures_detected: u64,
+    /// Mapped-page slots of dead dies the rebuild walker examined.
+    pub pages_scanned: u64,
+    /// Lost pages reconstructed and rewritten onto surviving dies.
+    pub pages_rebuilt: u64,
+    /// Lost pages with no surviving redundancy — unrecoverable at this
+    /// layer; the mapping is left pointing at the dead die so reads keep
+    /// failing typed and WAL-replay page rebuild can take over.
+    pub pages_lost: u64,
+    /// Background rebuild steps that made progress
+    /// ([`crate::NoFtl::schedule_rebuild`]).
+    pub rebuild_scheduled: u64,
+    /// Background rebuild attempts deferred because the instant was
+    /// read-hot (in-flight reads at or above the GC scheduling threshold).
+    pub rebuild_deferred_hot: u64,
+}
+
+impl RebuildStats {
+    /// Reset all counters.
+    pub fn clear(&mut self) {
+        *self = RebuildStats::default();
+    }
+
+    /// Whether the one-pass rebuild walked every page it will ever walk
+    /// (detected failures and finished cursors are reconciled by
+    /// [`crate::NoFtl::schedule_rebuild`] returning no work).
+    pub fn accounted(&self) -> bool {
+        self.pages_rebuilt + self.pages_lost <= self.pages_scanned
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn redundancy_stats_clear_resets() {
+        let mut s = RedundancyStats {
+            parity_pages_written: 4,
+            stripes_sealed: 2,
+            stripes_broken: 1,
+            members_reprotected: 3,
+            mirror_pages_written: 9,
+            degraded_reads: 5,
+            reconstructed_pages: 6,
+        };
+        s.clear();
+        assert_eq!(s.parity_pages_written, 0);
+        assert_eq!(s.stripes_sealed, 0);
+        assert_eq!(s.stripes_broken, 0);
+        assert_eq!(s.members_reprotected, 0);
+        assert_eq!(s.mirror_pages_written, 0);
+        assert_eq!(s.degraded_reads, 0);
+        assert_eq!(s.reconstructed_pages, 0);
+    }
+
+    #[test]
+    fn rebuild_stats_reconcile() {
+        let mut s = RebuildStats {
+            die_failures_detected: 1,
+            pages_scanned: 10,
+            pages_rebuilt: 7,
+            pages_lost: 2,
+            rebuild_scheduled: 4,
+            rebuild_deferred_hot: 3,
+        };
+        assert!(s.accounted());
+        assert_eq!(s.die_failures_detected, 1);
+        assert_eq!(s.rebuild_scheduled, 4);
+        assert_eq!(s.rebuild_deferred_hot, 3);
+        s.pages_rebuilt = 11;
+        assert!(!s.accounted());
+        s.clear();
+        assert_eq!(s.pages_scanned, 0);
+        assert_eq!(s.pages_rebuilt, 0);
+        assert_eq!(s.pages_lost, 0);
+    }
 
     #[test]
     fn wa_baseline() {

@@ -21,7 +21,14 @@ use crate::source::SourceFile;
 pub const PASS: &str = "stats-reconciliation";
 
 /// Struct names audited by the pass.
-pub const AUDITED: &[&str] = &["FlashStats", "ReadaheadStats", "AdmissionStats", "ThrottleStats"];
+pub const AUDITED: &[&str] = &[
+    "FlashStats",
+    "ReadaheadStats",
+    "AdmissionStats",
+    "ThrottleStats",
+    "RedundancyStats",
+    "RebuildStats",
+];
 
 /// Field types counted as counters.
 const COUNTER_TYPES: &[&str] = &["u64", "u32", "usize", "Vec<u64>", "Vec<usize>"];

@@ -89,6 +89,7 @@ fn knob_registry_matches_the_documented_knobs() {
             "NOFTL_BATCH_GLOBAL",
             "NOFTL_FAULTS",
             "NOFTL_READAHEAD",
+            "NOFTL_REDUNDANCY",
             "NOFTL_SLO",
             "NOFTL_THREADS",
         ]

@@ -11,7 +11,7 @@ use crate::bad_block::BadBlockPolicy;
 use crate::block::{Block, BlockHealth};
 use crate::die::Die;
 use crate::error::{FlashError, FlashResult};
-use crate::fault::{FaultPlan, ReadFaultOutcome};
+use crate::fault::{FaultPlan, KillTarget, ReadFaultOutcome};
 use crate::geometry::FlashGeometry;
 use crate::interface::{DeviceIdentification, NativeFlashInterface, OpCompletion, OpKind};
 use crate::nand_type::TimingProfile;
@@ -120,6 +120,17 @@ pub struct NandDevice {
     /// fault-injection sites, where timing is still charged).  The queued
     /// submission spine consumes this to record an error-carrying completion.
     fault_completion: Option<OpCompletion>,
+    /// Dies that have failed permanently (flat die index).  All-false unless
+    /// a [`KillSpec`](crate::fault::KillSpec) fired.
+    dead_dies: Vec<bool>,
+    /// Array commands executed so far — advanced only while the plan carries
+    /// kill specs, so the kill-free paths pay nothing for it.
+    kill_commands: u64,
+    /// Which of the plan's kill specs have already fired (parallel to
+    /// `faults.kills`).
+    kills_applied: Vec<bool>,
+    /// Cached `!faults.kills.is_empty()`: gates the per-command kill check.
+    has_kills: bool,
 }
 
 impl NandDevice {
@@ -161,6 +172,13 @@ impl NandDevice {
             rng: SimRng::new(config.bad_blocks.seed ^ 0x5EED),
             sequence: 0,
             queues: CommandQueues::new(g.total_dies() as usize, 1),
+            dead_dies: vec![false; g.total_dies() as usize],
+            kill_commands: 0,
+            kills_applied: vec![
+                false;
+                config.faults.as_ref().map_or(0, |p| p.kills.len())
+            ],
+            has_kills: config.faults.as_ref().is_some_and(|p| !p.kills.is_empty()),
             faults: config.faults,
             fault_completion: None,
         };
@@ -198,8 +216,33 @@ impl NandDevice {
 
     /// Install or remove the fault-injection plan at runtime (tests and the
     /// chaos harness; `None` restores the fault-free equivalence baseline).
+    /// Resets the kill bookkeeping for the new plan; dies that already failed
+    /// stay dead (a die failure is permanent).
     pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
         self.faults = plan;
+        let kills = self.faults.as_ref().map_or(0, |p| p.kills.len());
+        self.has_kills = kills > 0;
+        self.kills_applied = vec![false; kills];
+        self.kill_commands = 0;
+    }
+
+    /// Whether `die` has failed permanently.
+    pub fn is_die_dead(&self, die: DieAddr) -> bool {
+        self.dead_dies
+            .get(die.flat(&self.geometry) as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Whether any die has failed (cheap: one boolean scan, no state change
+    /// — safe to consult on hot scheduling paths).
+    pub fn any_die_dead(&self) -> bool {
+        self.dead_dies.iter().any(|&d| d)
+    }
+
+    /// Per-die failure flags (flat die index).
+    pub fn dead_dies(&self) -> &[bool] {
+        &self.dead_dies
     }
 
     /// Enable or disable gap-backfilling die/channel occupancy.  Off (the
@@ -419,6 +462,63 @@ impl NandDevice {
         self.faults
             .as_mut()
             .is_some_and(|plan| plan.erase_fails(erase_count, endurance))
+    }
+
+    /// Advance the array-command counter and fire any kill specs that are
+    /// due, as of `now`.  A strict no-op (no counter, no scan) unless the
+    /// plan carries kill specs, so the kill-free device stays bit- and
+    /// cycle-identical.  When a kill fires, the die is marked dead, its
+    /// in-flight queued commands complete with
+    /// [`CommandStatus::DieFailed`], and its queue window is cleared.
+    fn tick_kills(&mut self, now: SimInstant) {
+        if !self.has_kills {
+            return;
+        }
+        let cmd = self.kill_commands;
+        self.kill_commands += 1;
+        let mut to_kill: Vec<usize> = Vec::new();
+        if let Some(plan) = &self.faults {
+            for (i, spec) in plan.kills.iter().enumerate() {
+                if self.kills_applied[i] || cmd < spec.at_command {
+                    continue;
+                }
+                self.kills_applied[i] = true;
+                match spec.target {
+                    KillTarget::Die(d) => to_kill.push(d as usize),
+                    KillTarget::Channel(c) => {
+                        for d in 0..self.geometry.dies_per_channel {
+                            to_kill
+                                .push((c * self.geometry.dies_per_channel + d) as usize);
+                        }
+                    }
+                }
+            }
+        }
+        for die in to_kill {
+            if die < self.dead_dies.len() && !self.dead_dies[die] {
+                self.dead_dies[die] = true;
+                self.stats.die_failures += 1;
+                let addr = DieAddr::from_flat(&self.geometry, die as u64);
+                self.stats.inflight_die_failures +=
+                    self.queues.fail_die(die, now, addr) as u64;
+            }
+        }
+    }
+
+    /// Reject a command addressed to a dead die.  Pure rejection: no timing
+    /// is charged and no completion is recorded (a real controller NAKs the
+    /// submission immediately).
+    fn check_die_alive(&mut self, die: DieAddr) -> FlashResult<()> {
+        if self
+            .dead_dies
+            .get(die.flat(&self.geometry) as usize)
+            .copied()
+            .unwrap_or(false)
+        {
+            self.stats.dead_die_rejections += 1;
+            return Err(FlashError::DieFailed(die));
+        }
+        Ok(())
     }
 
     // -- queued submission (submit/poll) ------------------------------------
@@ -678,7 +778,9 @@ impl NativeFlashInterface for NandDevice {
         ppa: Ppa,
         buf: &mut [u8],
     ) -> FlashResult<(Oob, OpCompletion)> {
+        self.tick_kills(now);
         self.check_ppa(ppa)?;
+        self.check_die_alive(ppa.die_addr())?;
         let block_addr = ppa.block_addr();
         self.check_usable(block_addr)?;
         if buf.len() != self.geometry.page_size as usize {
@@ -740,7 +842,9 @@ impl NativeFlashInterface for NandDevice {
     }
 
     fn read_oob(&mut self, now: SimInstant, ppa: Ppa) -> FlashResult<(Oob, OpCompletion)> {
+        self.tick_kills(now);
         self.check_ppa(ppa)?;
+        self.check_die_alive(ppa.die_addr())?;
         let block_addr = ppa.block_addr();
         self.check_usable(block_addr)?;
         let page = self.block_ref(block_addr).page(ppa.page);
@@ -807,7 +911,9 @@ impl NativeFlashInterface for NandDevice {
         }
 
         // -- validate the whole run up front (no partial fills) -------------
+        self.tick_kills(now);
         let die = ops[0].0.die_addr();
+        self.check_die_alive(die)?;
         for (ppa, buf) in ops.iter() {
             self.check_ppa(*ppa)?;
             if ppa.die_addr() != die {
@@ -900,7 +1006,9 @@ impl NativeFlashInterface for NandDevice {
         data: &[u8],
         oob: Oob,
     ) -> FlashResult<OpCompletion> {
+        self.tick_kills(now);
         self.check_ppa(ppa)?;
+        self.check_die_alive(ppa.die_addr())?;
         let block_addr = ppa.block_addr();
         self.check_usable(block_addr)?;
         if data.len() != self.geometry.page_size as usize {
@@ -1007,7 +1115,9 @@ impl NativeFlashInterface for NandDevice {
         }
 
         // -- validate the whole run up front (no partial batches) ----------
+        self.tick_kills(now);
         let die = ops[0].0.die_addr();
+        self.check_die_alive(die)?;
         // Per-block expected next page, tracking pages this run will program.
         let mut expected: Vec<(BlockAddr, u32)> = Vec::new();
         // Pages already claimed by this run (duplicate detection on
@@ -1121,7 +1231,9 @@ impl NativeFlashInterface for NandDevice {
     }
 
     fn erase_block(&mut self, now: SimInstant, block: BlockAddr) -> FlashResult<OpCompletion> {
+        self.tick_kills(now);
         self.check_block_addr(block)?;
+        self.check_die_alive(block.die_addr())?;
         self.check_usable(block)?;
 
         // Wear: erasing past the endurance limit may kill the block.  The
@@ -1177,8 +1289,10 @@ impl NativeFlashInterface for NandDevice {
         dst: Ppa,
         new_oob: Option<Oob>,
     ) -> FlashResult<OpCompletion> {
+        self.tick_kills(now);
         self.check_ppa(src)?;
         self.check_ppa(dst)?;
+        self.check_die_alive(src.die_addr())?;
         self.check_usable(src.block_addr())?;
         self.check_usable(dst.block_addr())?;
         // ONFI copyback keeps the data inside the plane's page register.
@@ -2242,6 +2356,102 @@ mod tests {
         // probabilities the chance of an identical 64+-draw sequence is nil).
         let (c_out, _) = run(43);
         assert_ne!(a_out, c_out);
+    }
+
+    /// A small()-geometry device (4 dies) with every probabilistic failure
+    /// mode zeroed, so only the deterministic kill specs of `plan` can fire.
+    fn kill_only_device(plan: FaultPlan) -> NandDevice {
+        let mut plan = plan;
+        plan.program_fail_base = 0.0;
+        plan.erase_fail_prob = 0.0;
+        plan.read_error_base = 0.0;
+        let mut cfg = DeviceConfig::new(FlashGeometry::small());
+        cfg.faults = Some(plan);
+        NandDevice::new(cfg)
+    }
+
+    #[test]
+    fn die_kill_fires_at_the_seeded_command_index() {
+        let plan = FaultPlan::seeded(1).with_die_kill(2, 1);
+        let mut dev = kill_only_device(plan);
+        let data = page_of(&dev, 0x11);
+        // Command 0: die 0.  Command 1: die 1.  Command 2 fires the kill.
+        dev.program_page(0, Ppa::new(0, 0, 0, 0, 0), &data, Oob::data(1, 0))
+            .unwrap();
+        dev.program_page(0, Ppa::new(0, 1, 0, 0, 0), &data, Oob::data(2, 0))
+            .unwrap();
+        let err = dev
+            .program_page(0, Ppa::new(0, 1, 0, 0, 1), &data, Oob::data(3, 0))
+            .unwrap_err();
+        assert_eq!(err, FlashError::DieFailed(DieAddr::new(0, 1)));
+        assert!(dev.is_die_dead(DieAddr::new(0, 1)));
+        assert!(dev.any_die_dead());
+        assert_eq!(dev.stats().die_failures, 1);
+        assert_eq!(dev.stats().dead_die_rejections, 1);
+        // The surviving dies keep working; the dead one rejects reads too.
+        dev.program_page(0, Ppa::new(1, 0, 0, 0, 0), &data, Oob::data(4, 0))
+            .unwrap();
+        let mut buf = page_of(&dev, 0);
+        let err = dev.read_page(0, Ppa::new(0, 1, 0, 0, 0), &mut buf).unwrap_err();
+        assert_eq!(err, FlashError::DieFailed(DieAddr::new(0, 1)));
+        assert_eq!(dev.stats().dead_die_rejections, 2);
+        // Host bookkeeping on a dead die stays allowed.
+        dev.invalidate_page(Ppa::new(0, 1, 0, 0, 0)).unwrap();
+        dev.mark_block_bad(BlockAddr::new(0, 1, 0, 0)).unwrap();
+    }
+
+    #[test]
+    fn channel_kill_takes_down_every_die_on_the_channel() {
+        let plan = FaultPlan::seeded(1).with_channel_kill(0, 1);
+        let mut dev = kill_only_device(plan);
+        let data = page_of(&dev, 0x22);
+        // The very first command fires the kill: channel 1 = flat dies 2, 3.
+        let err = dev
+            .program_page(0, Ppa::new(1, 0, 0, 0, 0), &data, Oob::data(1, 0))
+            .unwrap_err();
+        assert_eq!(err, FlashError::DieFailed(DieAddr::new(1, 0)));
+        assert!(dev.is_die_dead(DieAddr::new(1, 0)));
+        assert!(dev.is_die_dead(DieAddr::new(1, 1)));
+        assert!(!dev.is_die_dead(DieAddr::new(0, 0)));
+        assert_eq!(dev.stats().die_failures, 2);
+        assert_eq!(dev.dead_dies(), &[false, false, true, true]);
+        // Channel-0 dies are untouched.
+        dev.program_page(0, Ppa::new(0, 0, 0, 0, 0), &data, Oob::data(2, 0))
+            .unwrap();
+    }
+
+    #[test]
+    fn die_kill_fails_inflight_queued_commands() {
+        let plan = FaultPlan::seeded(1).with_die_kill(1, 1);
+        let mut dev = kill_only_device(plan);
+        dev.set_queue_depth(8);
+        let data = page_of(&dev, 0x33);
+        // Command 0: a queued 2-page program on die 1, in flight past t=0.
+        let ops = [
+            (Ppa::new(0, 1, 0, 0, 0), data.as_slice(), Oob::data(1, 0)),
+            (Ppa::new(0, 1, 0, 0, 1), data.as_slice(), Oob::data(2, 0)),
+        ];
+        dev.submit_program_pages(0, &ops).unwrap();
+        // Command 1 fires the kill; the submission itself is then rejected.
+        let mut buf = page_of(&dev, 0);
+        let err = dev
+            .submit_read_page(0, Ppa::new(0, 1, 0, 0, 0), &mut buf)
+            .unwrap_err();
+        assert_eq!(err, FlashError::DieFailed(DieAddr::new(0, 1)));
+        assert_eq!(dev.stats().die_failures, 1);
+        assert_eq!(
+            dev.stats().inflight_die_failures,
+            1,
+            "the in-flight program completes with an error"
+        );
+        let polled = dev.poll_completions();
+        assert_eq!(polled.len(), 1);
+        assert_eq!(
+            polled[0].status,
+            CommandStatus::DieFailed(DieAddr::new(0, 1)),
+            "the poll stream reports the lost in-flight command"
+        );
+        assert_eq!(dev.inflight_on(DieAddr::new(0, 1), 0), 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Error type of the native Flash interface.
 
-use crate::addr::{BlockAddr, Ppa};
+use crate::addr::{BlockAddr, DieAddr, Ppa};
 
 /// Result alias used throughout the Flash layers.
 pub type FlashResult<T> = Result<T, FlashError>;
@@ -57,6 +57,13 @@ pub enum FlashError {
     /// A BLOCK ERASE reported failure (injected by the fault plan); the
     /// block is marked grown-bad.
     EraseFailed(BlockAddr),
+    /// The die (or its whole channel) failed permanently — injected by a
+    /// deterministic [`crate::fault::KillSpec`].  Every subsequent command
+    /// addressed to the die is rejected with this error; in-flight queued
+    /// commands complete with [`crate::queue::CommandStatus::DieFailed`].
+    /// Data on the die is unrecoverable from the device itself; only
+    /// host-side redundancy (mirroring, parity stripes) can reconstruct it.
+    DieFailed(DieAddr),
     /// The device ran out of spare blocks to remap grown bad blocks.
     OutOfSpareBlocks,
     /// The stack reported transient overload (a BUSY status): the request was
@@ -99,6 +106,9 @@ impl std::fmt::Display for FlashError {
             }
             FlashError::EraseFailed(b) => {
                 write!(f, "erase failure on block {b:?} (block marked grown-bad)")
+            }
+            FlashError::DieFailed(d) => {
+                write!(f, "die {d:?} failed permanently (commands rejected)")
             }
             FlashError::OutOfSpareBlocks => write!(f, "device out of spare blocks"),
             FlashError::Busy => write!(f, "stack overloaded (request shed; retry later)"),

@@ -29,7 +29,7 @@ use std::collections::VecDeque;
 use serde::{Deserialize, Serialize};
 use sim_utils::time::SimInstant;
 
-use crate::addr::{BlockAddr, Ppa};
+use crate::addr::{BlockAddr, DieAddr, Ppa};
 use crate::error::{FlashError, FlashResult};
 use crate::interface::{OpCompletion, OpKind};
 
@@ -55,6 +55,9 @@ pub enum CommandStatus {
     EraseFailed(BlockAddr),
     /// A PAGE READ saw bit errors beyond the ECC correction budget.
     Uncorrectable(Ppa),
+    /// The die failed while the command was in flight (a deterministic
+    /// [`crate::fault::KillSpec`] fired); the command is lost.
+    DieFailed(DieAddr),
 }
 
 impl CommandStatus {
@@ -71,6 +74,7 @@ impl CommandStatus {
             CommandStatus::ProgramFailed(ppa) => Err(FlashError::ProgramFailed(ppa)),
             CommandStatus::EraseFailed(b) => Err(FlashError::EraseFailed(b)),
             CommandStatus::Uncorrectable(ppa) => Err(FlashError::UncorrectableEcc(ppa)),
+            CommandStatus::DieFailed(d) => Err(FlashError::DieFailed(d)),
         }
     }
 }
@@ -120,7 +124,10 @@ struct DieQueue {
 pub struct CommandQueues {
     depth: usize,
     dies: Vec<DieQueue>,
-    completed: Vec<QueuedCompletion>,
+    /// Unpolled completions, each tagged with the die it ran on (the tag is
+    /// internal — [`CommandQueues::poll`] strips it) so a die failure can
+    /// rewrite exactly its own in-flight completions.
+    completed: Vec<(usize, QueuedCompletion)>,
     next_id: u64,
     peak_inflight: usize,
 }
@@ -264,20 +271,45 @@ impl CommandQueues {
             .unwrap_or(0);
         q.insert(pos, (completion.completed_at, kind));
         self.peak_inflight = self.peak_inflight.max(q.len());
-        self.completed.push(QueuedCompletion {
-            id,
-            kind,
-            submitted_at,
-            issued_at,
-            completion,
-            status,
-        });
+        self.completed.push((
+            die,
+            QueuedCompletion {
+                id,
+                kind,
+                submitted_at,
+                issued_at,
+                completion,
+                status,
+            },
+        ));
         id
+    }
+
+    /// The die failed at `now`: every unpolled completion on `die` whose
+    /// completion still lies in the virtual future is rewritten to
+    /// [`CommandStatus::DieFailed`] (those commands were in flight and are
+    /// lost — the poll stream reports them as errors, like a real driver
+    /// reading error completions after a die drop), and the die's in-flight
+    /// window is cleared — nothing occupies a dead die.  Returns the number
+    /// of in-flight commands that were failed.
+    pub fn fail_die(&mut self, die: usize, now: SimInstant, addr: DieAddr) -> usize {
+        let mut failed = 0;
+        for (d, c) in &mut self.completed {
+            if *d == die && c.completion.completed_at > now && c.status.is_ok() {
+                c.status = CommandStatus::DieFailed(addr);
+                failed += 1;
+            }
+        }
+        self.dies[die].inflight.clear();
+        failed
     }
 
     /// Drain every completion recorded since the last poll, in submit order.
     pub fn poll(&mut self) -> Vec<QueuedCompletion> {
         std::mem::take(&mut self.completed)
+            .into_iter()
+            .map(|(_, c)| c)
+            .collect()
     }
 
     /// Completions not yet polled.
@@ -437,6 +469,31 @@ mod tests {
         // Past every completion the queues are cold.
         assert_eq!(q.inflight_total(1000), 0);
         assert_eq!(q.inflight_reads(1000), 0);
+    }
+
+    #[test]
+    fn fail_die_rewrites_inflight_completions_and_clears_the_window() {
+        let mut q = CommandQueues::new(2, 4);
+        let (i, _) = q.admit(0, 0);
+        q.record(0, OpKind::Program, 0, i, completion(0, 900));
+        let (i, _) = q.admit(0, 0);
+        q.record(0, OpKind::Read, 0, i, completion(0, 400));
+        let (i, _) = q.admit(1, 0);
+        q.record(1, OpKind::Read, 0, i, completion(0, 600));
+        // At t=500 the die-0 read has already completed: only the program is
+        // still in flight and gets failed; the other die is untouched.
+        let addr = DieAddr::new(0, 0);
+        assert_eq!(q.fail_die(0, 500, addr), 1);
+        assert_eq!(q.inflight_on(0, 500), 0, "a dead die holds nothing in flight");
+        assert_eq!(q.inflight_on(1, 500), 1, "other dies keep their windows");
+        let polled = q.poll();
+        let failed: Vec<_> = polled
+            .iter()
+            .filter(|c| c.status == CommandStatus::DieFailed(addr))
+            .collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].kind, OpKind::Program);
+        assert_eq!(failed[0].result(), Err(FlashError::DieFailed(addr)));
     }
 
     #[test]

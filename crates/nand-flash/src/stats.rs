@@ -50,6 +50,14 @@ pub struct FlashStats {
     /// PAGE READ commands whose bit errors exceeded the ECC correction
     /// budget (each retry of the read-retry ladder counts separately).
     pub uncorrectable_reads: u64,
+    /// Dies that failed permanently (deterministic die/channel kills; a
+    /// channel kill counts every die it takes down).
+    pub die_failures: u64,
+    /// Commands rejected up front because they addressed a dead die.
+    pub dead_die_rejections: u64,
+    /// Queued commands that were in flight when their die failed and
+    /// completed with [`crate::queue::CommandStatus::DieFailed`].
+    pub inflight_die_failures: u64,
     /// Bytes transferred from the device to the host.
     pub bytes_read: u64,
     /// Bytes transferred from the host to the device.
@@ -115,6 +123,9 @@ impl FlashStats {
         self.erase_failures += other.erase_failures;
         self.corrected_reads += other.corrected_reads;
         self.uncorrectable_reads += other.uncorrectable_reads;
+        self.die_failures += other.die_failures;
+        self.dead_die_rejections += other.dead_die_rejections;
+        self.inflight_die_failures += other.inflight_die_failures;
         self.bytes_read += other.bytes_read;
         self.bytes_written += other.bytes_written;
         self.read_latency.merge(&other.read_latency);
@@ -187,6 +198,20 @@ mod tests {
         assert_eq!(a.reads, 3);
         assert_eq!(a.erases, 7);
         assert_eq!(a.per_die_ops, vec![4, 6]);
+    }
+
+    #[test]
+    fn merge_accumulates_die_failure_counters() {
+        let mut a = FlashStats::new(2);
+        a.die_failures = 1;
+        a.dead_die_rejections = 3;
+        let mut b = FlashStats::new(2);
+        b.die_failures = 2;
+        b.inflight_die_failures = 5;
+        a.merge(&b);
+        assert_eq!(a.die_failures, 3);
+        assert_eq!(a.dead_die_rejections, 3);
+        assert_eq!(a.inflight_die_failures, 5);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use ftl::block_device::BlockDevice;
 use nand_flash::{FlashResult, NativeFlashInterface, OpCompletion};
-use noftl_core::NoFtl;
+use noftl_core::{NoFtl, RedundancyPolicy};
 use sim_utils::time::SimInstant;
 
 /// Page id alias used by the batch write API (kept here to avoid a cyclic
@@ -218,6 +218,81 @@ pub fn parse_slo(value: &str) -> bool {
         value.trim().to_ascii_lowercase().as_str(),
         "on" | "true" | "1" | "yes"
     )
+}
+
+/// Default parity stripe width — data members per parity page — when
+/// `NOFTL_REDUNDANCY` asks for parity without a number.
+pub const DEFAULT_PARITY_K: usize = 3;
+
+/// Resolve the per-region redundancy policy from the `NOFTL_REDUNDANCY`
+/// environment variable:
+///
+/// * unset / `off` / `false` / `0` / `no` / `none` — no redundancy (the
+///   default and the equivalence baseline: every write path bit- and
+///   cycle-identical to a build without the redundancy machinery);
+/// * `on` / `true` / `yes` / `parity` — die-disjoint XOR parity striping
+///   with [`DEFAULT_PARITY_K`] data members per parity page;
+/// * `parity:k` — parity striping with `k` data members per parity page;
+/// * `mirror` — full mirroring (every write also lands a copy on another
+///   die);
+/// * anything else — off (a reliability knob fails safe, like every other
+///   policy knob).
+///
+/// This is the **only** place the `NOFTL_REDUNDANCY` environment variable is
+/// read (the knob-registry lint enforces it): the policy is injected
+/// DBMS-side by [`NoFtlBackend::new`] into instances configured without one
+/// — an explicitly configured `NoFtlConfig::redundancy` vector (or prior
+/// `set_redundancy_*` call) always wins over the environment.
+pub fn redundancy_from_env() -> Option<RedundancyPolicy> {
+    match std::env::var("NOFTL_REDUNDANCY") {
+        Ok(v) => parse_redundancy(&v),
+        Err(_) => None,
+    }
+}
+
+/// Parse one `NOFTL_REDUNDANCY` spelling (see [`redundancy_from_env`]).
+pub fn parse_redundancy(value: &str) -> Option<RedundancyPolicy> {
+    let v = value.trim().to_ascii_lowercase();
+    match v.as_str() {
+        "" | "off" | "false" | "0" | "no" | "none" => None,
+        "on" | "true" | "yes" | "parity" => Some(RedundancyPolicy::Parity(DEFAULT_PARITY_K)),
+        "mirror" => Some(RedundancyPolicy::Mirror),
+        _ => v
+            .strip_prefix("parity:")
+            .and_then(|k| k.trim().parse::<usize>().ok())
+            .filter(|&k| k >= 1)
+            .map(RedundancyPolicy::Parity),
+    }
+}
+
+/// Spare-space ratio that preserves the GC headroom of `base` once
+/// `policy`'s redundancy copies start consuming physical capacity.
+///
+/// Redundancy writes come out of over-provisioning: a `Parity(k)` region
+/// keeps ≈ `1/k` extra live pages per mapped page (the sealed parity — and
+/// stale stripes pin their parity until an erase breaks them, so churny
+/// workloads pin more), a `Mirror` region a full copy.  A config built for
+/// the unprotected baseline therefore deadlocks the allocator when the knob
+/// turns on.  Harnesses that size a run's logical capacity pass their
+/// baseline ratio through here:
+///
+/// * `None` — `base` unchanged (off stays bit-identical);
+/// * `Parity(k)` — `1 − (1 − base) · k/(k+1)`: logical capacity shrinks by
+///   the parity share;
+/// * `Mirror` — `1 − (1 − base)/2`: logical capacity halves.
+///
+/// The result is a *floor*: update-heavy workloads on parity regions should
+/// start from a generous `base`, because superseded stripe members keep
+/// their parity page live until a member's block erases.
+pub fn redundancy_op_ratio(base: f64, policy: Option<RedundancyPolicy>) -> f64 {
+    match policy {
+        None | Some(RedundancyPolicy::None) => base,
+        Some(RedundancyPolicy::Parity(k)) => {
+            let k = k.max(1) as f64;
+            1.0 - (1.0 - base) * k / (k + 1.0)
+        }
+        Some(RedundancyPolicy::Mirror) => 1.0 - (1.0 - base) / 2.0,
+    }
 }
 
 /// Class of an in-flight submission, for the mixed read/write windows the
@@ -496,6 +571,16 @@ pub trait StorageBackend {
         Ok(now)
     }
 
+    /// Give the backend one opportunity for background rebuild work after a
+    /// die failure, at a load-chosen instant (the NoFTL backend reconstructs
+    /// a bounded batch of lost pages onto surviving dies only while the
+    /// device is read-cold; see [`noftl_core::NoFtl::schedule_rebuild`]).
+    /// Returns the completion instant of any work done (at least `now`);
+    /// back ends without redundancy machinery return `now` unchanged.
+    fn schedule_rebuild(&mut self, now: SimInstant) -> FlashResult<SimInstant> {
+        Ok(now)
+    }
+
     /// Number of physical regions the backend exposes (1 when the physical
     /// layout is hidden behind a block interface).
     fn regions(&self) -> usize {
@@ -518,6 +603,14 @@ pub trait StorageBackend {
     /// use this to reach the embedded NoFTL's recovery statistics after a
     /// run.  Backends that do not opt in return `None`.
     fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
+    /// Mutable counterpart of [`StorageBackend::as_any`]: die-failure chaos
+    /// tests use this to arm a deterministic kill plan on the embedded
+    /// device *mid-run*, after the workload's load phase has placed real
+    /// data on the die about to fail.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         None
     }
 }
@@ -557,6 +650,14 @@ impl NoFtlBackend {
             }
             if noftl.gc_read_heat_penalty() == 0.0 {
                 noftl.set_gc_read_heat_penalty(DEFAULT_SLO_GC_READ_HEAT_PENALTY);
+            }
+        }
+        // The redundancy knob follows the same pattern: only instances whose
+        // config left `redundancy` empty pick up the environment policy
+        // (applied to every region); an explicit per-region vector wins.
+        if let Some(policy) = redundancy_from_env() {
+            if !noftl.redundancy_configured() {
+                noftl.set_redundancy_all(policy);
             }
         }
         Self { noftl }
@@ -658,6 +759,10 @@ impl StorageBackend for NoFtlBackend {
         Ok(self.noftl.schedule_gc(now)?.unwrap_or(now))
     }
 
+    fn schedule_rebuild(&mut self, now: SimInstant) -> FlashResult<SimInstant> {
+        Ok(self.noftl.schedule_rebuild(now)?.unwrap_or(now))
+    }
+
     fn regions(&self) -> usize {
         self.noftl.regions()
     }
@@ -683,6 +788,10 @@ impl StorageBackend for NoFtlBackend {
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
     }
 }
@@ -1183,6 +1292,89 @@ mod tests {
         ] {
             assert_eq!(parse_slo(v), expect, "spelling {v:?}");
         }
+    }
+
+    #[test]
+    fn redundancy_knob_parses_all_spellings() {
+        for (v, expect) in [
+            ("", None),
+            ("off", None),
+            ("False", None),
+            ("0", None),
+            ("no", None),
+            ("none", None),
+            ("on", Some(RedundancyPolicy::Parity(DEFAULT_PARITY_K))),
+            ("TRUE", Some(RedundancyPolicy::Parity(DEFAULT_PARITY_K))),
+            (" yes ", Some(RedundancyPolicy::Parity(DEFAULT_PARITY_K))),
+            ("parity", Some(RedundancyPolicy::Parity(DEFAULT_PARITY_K))),
+            ("Parity:2", Some(RedundancyPolicy::Parity(2))),
+            ("parity: 5 ", Some(RedundancyPolicy::Parity(5))),
+            ("parity:0", None),
+            ("parity:junk", None),
+            ("MIRROR", Some(RedundancyPolicy::Mirror)),
+            ("garbage", None),
+        ] {
+            assert_eq!(parse_redundancy(v), expect, "spelling {v:?}");
+        }
+    }
+
+    #[test]
+    fn redundancy_op_ratio_reserves_the_copy_share() {
+        // Off leaves the baseline untouched (the equivalence invariant).
+        assert_eq!(redundancy_op_ratio(0.10, None), 0.10);
+        assert_eq!(redundancy_op_ratio(0.10, Some(RedundancyPolicy::None)), 0.10);
+        // Parity(3): logical capacity shrinks by the 1/(k+1) parity share.
+        let p3 = redundancy_op_ratio(0.10, Some(RedundancyPolicy::Parity(3)));
+        assert!((p3 - 0.325).abs() < 1e-12, "got {p3}");
+        // Wider stripes cost less spare space.
+        let p7 = redundancy_op_ratio(0.10, Some(RedundancyPolicy::Parity(7)));
+        assert!(p7 < p3);
+        // Mirror halves the logical capacity.
+        let m = redundancy_op_ratio(0.10, Some(RedundancyPolicy::Mirror));
+        assert!((m - 0.55).abs() < 1e-12, "got {m}");
+        // The physical budget actually covers the copies: (1-op')*(1+1/k)
+        // must not exceed the baseline's occupancy ceiling.
+        assert!((1.0 - p3) * (1.0 + 1.0 / 3.0) <= 1.0 - 0.10 + 1e-12);
+        assert!((1.0 - m) * 2.0 <= 1.0 - 0.10 + 1e-12);
+    }
+
+    #[test]
+    fn backend_injects_env_redundancy_only_when_none_configured() {
+        // An instance configured policy-free picks up whatever the central
+        // knob says on this CI leg...
+        let b = NoFtlBackend::new(NoFtl::new(NoFtlConfig::new(FlashGeometry::small())));
+        match redundancy_from_env() {
+            Some(p) => {
+                assert!(b.noftl().redundancy_configured());
+                for r in 0..b.regions() {
+                    assert_eq!(b.noftl().redundancy_policy(r), p);
+                }
+            }
+            None => assert!(!b.noftl().redundancy_configured()),
+        }
+        // ...while an explicitly configured vector always wins over the env.
+        let mut cfg = NoFtlConfig::new(FlashGeometry::small());
+        cfg.redundancy = vec![
+            RedundancyPolicy::None,
+            RedundancyPolicy::Mirror,
+            RedundancyPolicy::None,
+            RedundancyPolicy::None,
+        ];
+        let b = NoFtlBackend::new(NoFtl::new(cfg));
+        assert_eq!(b.noftl().redundancy_policy(1), RedundancyPolicy::Mirror);
+        assert_eq!(b.noftl().redundancy_policy(0), RedundancyPolicy::None);
+        assert_eq!(b.noftl().redundancy_policy(2), RedundancyPolicy::None);
+    }
+
+    #[test]
+    fn noftl_backend_schedules_rebuild_through_the_trait() {
+        // A healthy device has no rebuild work: the hook is a timing no-op
+        // (the equivalence invariant for the engine's background slot).
+        let mut b = NoFtlBackend::new(NoFtl::new(NoFtlConfig::new(FlashGeometry::small())));
+        assert_eq!(b.schedule_rebuild(123).unwrap(), 123);
+        assert_eq!(b.noftl().rebuild_stats().rebuild_scheduled, 0);
+        // Back ends without redundancy machinery return `now` unchanged.
+        assert_eq!(MemBackend::new(512, 8).schedule_rebuild(7).unwrap(), 7);
     }
 
     #[test]

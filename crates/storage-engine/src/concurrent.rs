@@ -633,7 +633,10 @@ impl Shared {
                 if let Some(a) = self.admission.lock().as_mut() {
                     a.note_shed();
                 }
-                return Err(EngineError::Overloaded { waited_ns: clear - now });
+                return Err(EngineError::Overloaded {
+                    waited_ns: clear - now,
+                    retry_after_ns: (clear - now).saturating_sub(cfg.deadline_ns),
+                });
             }
             t = clear;
         }

@@ -53,6 +53,12 @@ pub enum EngineError {
         /// Virtual nanoseconds the arrival would have had to wait for the
         /// pressure to clear (already past the admission deadline).
         waited_ns: u64,
+        /// Back-off hint: virtual nanoseconds after which a re-offer could
+        /// clear the admission deadline — the pressure horizon minus the
+        /// deadline budget.  A retry before `now + retry_after_ns` faces the
+        /// same horizon and sheds again; open-loop drivers that re-offer
+        /// shed requests honor this instead of hammering the window.
+        retry_after_ns: u64,
     },
 }
 
@@ -63,8 +69,14 @@ impl std::fmt::Display for EngineError {
             EngineError::UnrecoverablePage { page, cause } => {
                 write!(f, "page {page} unrecoverable from WAL replay after {cause}")
             }
-            EngineError::Overloaded { waited_ns } => {
-                write!(f, "admission deadline exceeded ({waited_ns} ns of pressure ahead)")
+            EngineError::Overloaded {
+                waited_ns,
+                retry_after_ns,
+            } => {
+                write!(
+                    f,
+                    "admission deadline exceeded ({waited_ns} ns of pressure ahead, retry after {retry_after_ns} ns)"
+                )
             }
         }
     }
@@ -327,7 +339,12 @@ impl StorageEngine {
                 if let Some(a) = self.admission.as_mut() {
                     a.note_shed();
                 }
-                return Err(EngineError::Overloaded { waited_ns: clear - now });
+                return Err(EngineError::Overloaded {
+                    waited_ns: clear - now,
+                    // The earliest re-offer that could admit: by then the
+                    // horizon sits within the deadline budget again.
+                    retry_after_ns: (clear - now).saturating_sub(cfg.deadline_ns),
+                });
             }
             t = clear;
         }
@@ -725,10 +742,13 @@ impl StorageEngine {
     /// device queue ([`FlusherPool::throttled_wave`]) and, after the flush
     /// decision, offers the backend a proactive GC step into the current
     /// instant if it is read-cold
-    /// ([`StorageBackend::schedule_background_gc`]).  GC cost reaches the
-    /// foreground only through device-queue occupancy, never this return
-    /// value.  With scheduling off neither hook runs — the path is identical
-    /// to the pre-SLO engine.
+    /// ([`StorageBackend::schedule_background_gc`]) followed by one bounded
+    /// online-rebuild step ([`StorageBackend::schedule_rebuild`]) when a die
+    /// has failed, so lost pages are reconstructed as background work paced
+    /// by foreground load.  Background cost reaches the foreground only
+    /// through device-queue occupancy, never this return value.  With
+    /// scheduling off none of the hooks run — the path is identical to the
+    /// pre-SLO engine.
     pub fn maybe_flush(&mut self, now: SimInstant) -> FlashResult<SimInstant> {
         let t = if self.flushers.should_flush(&self.pool)
             && !self
@@ -742,6 +762,7 @@ impl StorageEngine {
         };
         if self.slo_scheduling {
             self.backend.schedule_background_gc(t)?;
+            self.backend.schedule_rebuild(t)?;
         }
         Ok(t)
     }
@@ -872,8 +893,16 @@ mod tests {
             deadline_ns: 1,
         }));
         match e.begin_admitted(t) {
-            Err(EngineError::Overloaded { waited_ns }) => {
-                assert!(waited_ns > 1, "the wait that triggered the shed is reported")
+            Err(EngineError::Overloaded {
+                waited_ns,
+                retry_after_ns,
+            }) => {
+                assert!(waited_ns > 1, "the wait that triggered the shed is reported");
+                assert_eq!(
+                    retry_after_ns,
+                    waited_ns - 1,
+                    "the back-off hint is the horizon minus the deadline budget"
+                );
             }
             other => panic!("expected Overloaded, got {other:?}"),
         }
@@ -881,7 +910,10 @@ mod tests {
         assert_eq!(s.shed, 1);
         assert_eq!(s.admitted, 0, "a shed arrival is not admitted");
         assert!(matches!(
-            FlashError::from(EngineError::Overloaded { waited_ns: 7 }),
+            FlashError::from(EngineError::Overloaded {
+                waited_ns: 7,
+                retry_after_ns: 3
+            }),
             FlashError::Busy
         ));
     }

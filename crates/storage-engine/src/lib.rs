@@ -211,6 +211,33 @@
 //! (`admission`, `slo_scheduling`), defaulted from the knob by
 //! `backend::slo_from_env`; explicit configuration always wins over the
 //! environment.
+//!
+//! ## Die-level failure tolerance (PR 10)
+//!
+//! `NOFTL_REDUNDANCY` (parsed by [`backend::parse_redundancy`], injected
+//! only when [`noftl_core::NoFtlConfig::redundancy`] is unconfigured) arms
+//! per-region redundancy in the NoFTL core: `parity` / `parity:k` for
+//! die-disjoint XOR stripes, `mirror` for per-page die-disjoint copies,
+//! `off` (the default) bit- and cycle-identical to unset.  The engine's part
+//! of the bargain:
+//!
+//! * [`backend::StorageBackend::schedule_rebuild`] — `maybe_flush` offers
+//!   the core one bounded online-rebuild step per call (right after the
+//!   proactive-GC offer, under the same `slo_scheduling` gate), so pages
+//!   lost to a dead die are re-homed onto surviving dies as background work
+//!   scheduled into read-cold instants rather than one foreground stall.
+//! * [`backend::redundancy_op_ratio`] — the over-provisioning floor a
+//!   redundant region needs: parity multiplies the data share by
+//!   `(k+1)/k`, mirroring by 2.
+//! * A shed [`engine::EngineError::Overloaded`] now carries
+//!   `retry_after_ns`, the earliest re-offer instant whose remaining
+//!   admission wait fits the deadline budget; `workloads::OpenLoopDriver`
+//!   honours it (opt-in `retry_shed`) with bounded re-offers that still
+//!   reconcile admitted + shed against offered, call for call.
+//!
+//! Zero committed-data loss across a mid-workload die kill — and bit-identical
+//! degraded reads before the rebuild lands — is pinned by the die-failure
+//! storms in `tests/chaos.rs`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

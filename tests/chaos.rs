@@ -23,7 +23,7 @@ use proptest::prelude::*;
 
 use noftl::nand_flash::fault::{FaultPlan, DEFAULT_FAULT_SEED};
 use noftl::nand_flash::{DeviceConfig, FlashError, FlashGeometry, NandDevice};
-use noftl::noftl_core::{NoFtl, NoFtlConfig};
+use noftl::noftl_core::{NoFtl, NoFtlConfig, RedundancyPolicy};
 use noftl::sim_utils::time::SimInstant;
 use noftl::storage_engine::backend::NoFtlBackend;
 use noftl::storage_engine::{
@@ -420,6 +420,341 @@ fn storm_injects_and_recovers_every_fault_class() {
     assert!(flash.erase_failures > 0, "storm must inject erase failures");
     assert!(flash.corrected_reads > 0, "storm must inject correctable read errors");
     assert!(n.stats().retired_blocks > 0, "recovery must have retired blocks");
+}
+
+// ---------------------------------------------------------------------------
+// Die-failure storms (PR 10): a whole die dies mid-workload while every
+// region runs a redundancy policy.  The workload must complete, no committed
+// data may be lost, reads of lost pages must come back bit-identical through
+// reconstruction, and the redundancy / rebuild counters must be truthful.
+// ---------------------------------------------------------------------------
+
+/// A fault plan with every probabilistic failure mode zeroed: nothing fires
+/// until a deterministic die kill is armed.
+fn quiet_plan() -> FaultPlan {
+    let mut plan = FaultPlan::seeded(7);
+    plan.program_fail_base = 0.0;
+    plan.erase_fail_prob = 0.0;
+    plan.read_error_base = 0.0;
+    plan
+}
+
+/// [`quiet_plan`] plus a deterministic kill of `die_flat`, fired by the next
+/// device command after the plan is armed.
+fn kill_plan(die_flat: u32) -> FaultPlan {
+    quiet_plan().with_die_kill(0, die_flat)
+}
+
+/// Full stack with `policy` on every region and no probabilistic faults.
+/// Over-provisioning is generous (0.60): parity overhead, stale-stripe
+/// parity pinning and the eventual loss of a quarter of the physical pool
+/// all eat spare blocks.  `slo_scheduling` is on so the online rebuild rides
+/// the background hook in [`StorageEngine::maybe_flush`].
+fn redundant_engine(policy: RedundancyPolicy, depth: usize) -> StorageEngine {
+    redundant_engine_with_frames(policy, depth, 48)
+}
+
+/// [`redundant_engine`] with an explicit buffer-pool size: the targeted
+/// degraded-read legs shrink the pool below the working set so reads
+/// demonstrably reach the device — and its dead die — instead of the cache.
+fn redundant_engine_with_frames(
+    policy: RedundancyPolicy,
+    depth: usize,
+    buffer_frames: usize,
+) -> StorageEngine {
+    let geometry = FlashGeometry::small();
+    let mut cfg = NoFtlConfig::new(geometry);
+    cfg.async_queue_depth = depth;
+    cfg.op_ratio = 0.60;
+    let mut dev_cfg = DeviceConfig::new(geometry);
+    dev_cfg.store_data = cfg.store_data;
+    // An explicit (inert) plan, so the storms are independent of the
+    // `NOFTL_FAULTS` environment leg they happen to execute under.
+    dev_cfg.faults = Some(quiet_plan());
+    let mut noftl = NoFtl::with_device(NandDevice::new(dev_cfg), cfg);
+    noftl.set_redundancy_all(policy);
+    let mut backend = NoFtlBackend::new(noftl);
+    backend.noftl_mut().set_async_depth(depth);
+
+    let mut ecfg = EngineConfig::new();
+    ecfg.buffer_frames = buffer_frames;
+    ecfg.log_pages = LOG_PAGES;
+    let mut flushers = FlusherConfig::die_wise(2);
+    flushers.async_depth = depth;
+    ecfg.flushers = flushers;
+    ecfg.readahead_window = 16;
+    ecfg.slo_scheduling = true;
+    StorageEngine::new(Box::new(backend), ecfg)
+}
+
+/// Mutable access to the embedded NoFTL (via the backend downcast hook), for
+/// arming the kill plan mid-run and draining the rebuild.
+fn noftl_mut_of(engine: &mut StorageEngine) -> &mut NoFtl {
+    engine
+        .backend_mut()
+        .as_any_mut()
+        .and_then(|a| a.downcast_mut::<NoFtlBackend>())
+        .expect("chaos engines run on the NoFTL backend")
+        .noftl_mut()
+}
+
+/// Run the online rebuild to completion and return the finish time.
+fn drain_rebuild(engine: &mut StorageEngine, now: SimInstant) -> SimInstant {
+    let n = noftl_mut_of(engine);
+    let mut t = now;
+    while let Some(end) = n.schedule_rebuild(t).expect("rebuild step") {
+        t = end.max(t);
+    }
+    t
+}
+
+/// The redundancy and rebuild counters must tell the truth about a
+/// single-die failure on a fully protected device.
+fn assert_redundancy_truthful(engine: &StorageEngine, policy: RedundancyPolicy) {
+    let n = noftl_of(engine);
+    let rs = n.redundancy_stats();
+    let rb = n.rebuild_stats();
+    match policy {
+        RedundancyPolicy::Parity(_) => {
+            assert!(rs.stripes_sealed > 0, "a parity storm must seal stripes");
+            assert!(
+                rs.parity_pages_written >= rs.stripes_sealed,
+                "every sealed stripe has a parity page"
+            );
+        }
+        RedundancyPolicy::Mirror => {
+            assert!(rs.mirror_pages_written > 0, "a mirror storm must write copies");
+        }
+        RedundancyPolicy::None => {}
+    }
+    assert!(n.any_die_dead(), "the kill must actually have fired");
+    assert_eq!(rb.die_failures_detected, 1, "exactly one die failed");
+    assert_eq!(
+        rb.pages_lost, 0,
+        "no committed page may be lost on a protected region"
+    );
+    assert!(rb.pages_rebuilt > 0, "the dead die held mapped pages to re-home");
+    assert!(rb.accounted(), "the rebuild walker must account for every page");
+    assert!(
+        rs.reconstructed_pages >= rb.pages_rebuilt,
+        "every rebuilt page was reconstructed from redundancy"
+    );
+}
+
+/// One die-failure storm: TPC-B on a fully `policy`-protected stack, a die
+/// killed halfway through, the storm finishing across the failure, the
+/// online rebuild drained, and zero committed-data loss demanded.
+fn die_kill_storm(policy: RedundancyPolicy, seed: u64, depth: usize, crash_check: bool) {
+    let mut engine = redundant_engine(policy, depth);
+    let mut w = TpcB::new(TpcBConfig {
+        scale_factor: 1,
+        tellers_per_branch: 10,
+        accounts_per_branch: 400,
+        seed,
+    });
+    let mut now = w.setup(&mut engine, 0).expect("TPC-B load on the redundant stack");
+    // First half of the storm on a healthy device.
+    for _ in 0..22 {
+        let (t, _) = w
+            .run_transaction(&mut engine, 0, now)
+            .expect("transaction before the die failure");
+        now = engine.maybe_flush(t).expect("flush").max(t);
+    }
+    // Arm the kill: the very next device command fires it, mid-storm, on a
+    // die whose blocks by now hold committed rows, WAL pages and parity or
+    // mirror copies.
+    let dead_die = (seed % 4) as u32;
+    noftl_mut_of(&mut engine).set_fault_plan(Some(kill_plan(dead_die)));
+    for _ in 0..22 {
+        let (t, _) = w
+            .run_transaction(&mut engine, 0, now)
+            .expect("transaction across the die failure");
+        now = engine.maybe_flush(t).expect("flush").max(t);
+    }
+    let end = engine.quiesce(now);
+    // Finish whatever the background hook has not yet rebuilt.
+    let end = drain_rebuild(&mut engine, end);
+
+    // Zero committed-data loss: every loaded row survives the die loss and
+    // the TPC-B consistency condition holds across all three levels.
+    let (accounts, end) = scan_rows(&mut engine, "account", end);
+    assert_eq!(accounts.len(), 400, "account rows lost to the die failure");
+    let (tellers, end) = scan_rows(&mut engine, "teller", end);
+    assert_eq!(tellers.len(), 10, "teller rows lost to the die failure");
+    let (branches, end) = scan_rows(&mut engine, "branch", end);
+    assert_eq!(branches.len(), 1, "branch rows lost to the die failure");
+    let (history, end) = scan_rows(&mut engine, "history", end);
+    assert_eq!(history.len(), 44, "history rows lost to the die failure");
+
+    let history_total: i64 = history.iter().map(|r| le_i64(&r[24..32])).sum();
+    let account_total: i64 = accounts.iter().map(|r| le_i64(&r[16..24])).sum();
+    let teller_total: i64 = tellers.iter().map(|r| le_i64(&r[16..24])).sum();
+    let branch_total: i64 = branches.iter().map(|r| le_i64(&r[8..16])).sum();
+    assert_eq!(account_total, history_total, "account balances diverged from history");
+    assert_eq!(teller_total, history_total, "teller balances diverged from history");
+    assert_eq!(branch_total, history_total, "branch balances diverged from history");
+
+    assert_redundancy_truthful(&engine, policy);
+    if crash_check {
+        assert_committed_log_durable(&mut engine, &mut w, end, 6);
+        assert_redundancy_truthful(&engine, policy);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn die_kill_storms_parity_sync(seed in any::<u64>(), crash in any::<bool>()) {
+        die_kill_storm(RedundancyPolicy::Parity(3), seed, 1, crash);
+    }
+
+    #[test]
+    fn die_kill_storms_parity_async_depth8(seed in any::<u64>(), crash in any::<bool>()) {
+        die_kill_storm(RedundancyPolicy::Parity(3), seed, 8, crash);
+    }
+
+    #[test]
+    fn die_kill_storms_mirror_sync(seed in any::<u64>(), crash in any::<bool>()) {
+        die_kill_storm(RedundancyPolicy::Mirror, seed, 1, crash);
+    }
+
+    #[test]
+    fn die_kill_storms_mirror_async_depth8(seed in any::<u64>(), crash in any::<bool>()) {
+        die_kill_storm(RedundancyPolicy::Mirror, seed, 8, crash);
+    }
+}
+
+/// Before any rebuild runs, reads of pages lost to a dead die must be served
+/// **bit-identical** through reconstruction: a degraded leg (die killed
+/// after the storm, no rebuild) scans the same rows as a healthy leg of the
+/// identical seeded run — and scans them again, still identical, after the
+/// rebuild re-homes them.
+#[test]
+fn degraded_reads_after_die_loss_are_bit_identical() {
+    let run = |kill: bool| -> Vec<Vec<Vec<u8>>> {
+        let mut engine = redundant_engine_with_frames(RedundancyPolicy::Parity(3), 1, 6);
+        let mut w = TpcB::new(TpcBConfig {
+            scale_factor: 1,
+            tellers_per_branch: 10,
+            accounts_per_branch: 400,
+            seed: 0xD1E,
+        });
+        let mut now = w.setup(&mut engine, 0).expect("load");
+        for _ in 0..20 {
+            let (t, _) = w.run_transaction(&mut engine, 0, now).expect("txn");
+            now = engine.maybe_flush(t).expect("flush").max(t);
+        }
+        let mut end = engine.quiesce(now);
+        if kill {
+            noftl_mut_of(&mut engine).set_fault_plan(Some(kill_plan(2)));
+        }
+        let mut tables = Vec::new();
+        for table in ["account", "teller", "branch", "history"] {
+            let (rows, t) = scan_rows(&mut engine, table, end);
+            tables.push(rows);
+            end = t;
+        }
+        if kill {
+            // The scans above ran degraded — the buffer pool is far smaller
+            // than the database, so they demonstrably hit the dead die.
+            let n = noftl_of(&engine);
+            assert!(n.any_die_dead(), "the scan must have fired the kill");
+            assert!(
+                n.redundancy_stats().degraded_reads > 0,
+                "scans of a quarter-dead device must serve degraded reads"
+            );
+            assert_eq!(n.rebuild_stats().pages_lost, 0);
+            // After the rebuild every row must still read back identical.
+            let end = drain_rebuild(&mut engine, end);
+            assert!(noftl_of(&engine).rebuild_stats().pages_rebuilt > 0);
+            let mut t = end;
+            for (i, table) in ["account", "teller", "branch", "history"].into_iter().enumerate() {
+                let (rows, t2) = scan_rows(&mut engine, table, t);
+                assert_eq!(rows, tables[i], "{table} changed across the rebuild");
+                t = t2;
+            }
+        }
+        tables
+    };
+    let healthy = run(false);
+    let degraded = run(true);
+    assert_eq!(
+        healthy, degraded,
+        "degraded reads must be bit-identical to the healthy leg"
+    );
+}
+
+/// Without redundancy a die failure *is* data loss — and the stack must say
+/// so: typed read failures on lost pages, truthful loss counters, and no
+/// phantom reconstructions.
+#[test]
+fn die_loss_without_redundancy_fails_typed_and_counts_losses() {
+    let mut engine = redundant_engine(RedundancyPolicy::None, 1);
+    let mut w = TpcB::new(TpcBConfig {
+        scale_factor: 1,
+        tellers_per_branch: 10,
+        accounts_per_branch: 400,
+        seed: 0xDEAD,
+    });
+    let mut now = w.setup(&mut engine, 0).expect("load");
+    for _ in 0..20 {
+        let (t, _) = w.run_transaction(&mut engine, 0, now).expect("txn");
+        now = engine.maybe_flush(t).expect("flush").max(t);
+    }
+    let end = engine.quiesce(now);
+    noftl_mut_of(&mut engine).set_fault_plan(Some(kill_plan(1)));
+    // One device read fires the armed kill (on whichever die it targets).
+    {
+        let n = noftl_mut_of(&mut engine);
+        let mut buf = vec![0u8; 4096];
+        let _ = n.read(end, 0, &mut buf);
+        assert!(n.any_die_dead(), "the kill must fire on the first command");
+    }
+    let end = drain_rebuild(&mut engine, end);
+    let rb = noftl_of(&engine).rebuild_stats();
+    assert_eq!(rb.die_failures_detected, 1);
+    assert_eq!(rb.pages_rebuilt, 0, "nothing to rebuild from without redundancy");
+    assert!(rb.pages_lost > 0, "losses must be counted, not hidden");
+    assert!(rb.accounted());
+    assert_eq!(noftl_of(&engine).redundancy_stats().reconstructed_pages, 0);
+    // Every lost page fails typed — the WAL-replay layer above can take
+    // over — and the loss counter matches the typed failures one for one.
+    let pages = engine.backend().num_pages();
+    let page_size = engine.page_size();
+    let n = noftl_mut_of(&mut engine);
+    let mut typed = 0u64;
+    let mut buf = vec![0u8; page_size];
+    for lpn in 0..pages {
+        match n.read(end, lpn, &mut buf) {
+            Ok(_) => {}
+            Err(FlashError::DieFailed(_)) => typed += 1,
+            // Logical pages the workload never wrote have no mapping.
+            Err(FlashError::ReadOfUnwrittenPage(_)) => {}
+            Err(e) => panic!("read of lpn {lpn}: expected DieFailed, got {e}"),
+        }
+    }
+    assert!(typed > 0, "a quarter of the mapped pages died with the die");
+    assert_eq!(
+        typed,
+        n.rebuild_stats().pages_lost,
+        "the loss counter must match the typed read failures exactly"
+    );
+}
+
+/// CI smoke: one die-kill rebuild storm whose policy honours the
+/// `NOFTL_REDUNDANCY` knob (`NOFTL_REDUNDANCY=parity` pins `Parity(3)`,
+/// `parity:k` and `mirror` pin theirs); with the knob off or unset the
+/// default parity policy is used, so the smoke always exercises a
+/// mid-workload die failure, the online rebuild and the loss accounting.
+#[test]
+fn redundancy_rebuild_smoke() {
+    let policy = noftl::storage_engine::backend::redundancy_from_env()
+        .unwrap_or(RedundancyPolicy::Parity(
+            noftl::storage_engine::backend::DEFAULT_PARITY_K,
+        ));
+    die_kill_storm(policy, 0xD1E5EED, 8, true);
+    die_kill_storm(policy, 0xD1E5EED, 1, false);
 }
 
 /// CI smoke: one TPC-B storm with a crash-at-boundary leg.  The plan's seed

@@ -998,6 +998,67 @@ mod threads_single_client_identity {
     }
 }
 
+fn with_redundancy_env<R>(value: Option<&str>, f: impl FnOnce() -> R) -> R {
+    let saved = std::env::var("NOFTL_REDUNDANCY").ok();
+    match value {
+        Some(v) => std::env::set_var("NOFTL_REDUNDANCY", v),
+        None => std::env::remove_var("NOFTL_REDUNDANCY"),
+    }
+    let r = f();
+    match saved {
+        Some(v) => std::env::set_var("NOFTL_REDUNDANCY", v),
+        None => std::env::remove_var("NOFTL_REDUNDANCY"),
+    }
+    r
+}
+
+#[test]
+fn fig3_output_identical_with_redundancy_unset_vs_off() {
+    // The redundancy plumbing (parity stripes, mirror copies, degraded
+    // reads, online rebuild) must be a strict no-op when disabled:
+    // `NOFTL_REDUNDANCY=off` has to produce the same figures as a build that
+    // never heard of the knob.
+    let _guard = ENV_LOCK.lock().unwrap();
+    let unset = with_redundancy_env(None, || render_fig3(&run_gc_overhead(Scale::Quick)));
+    let off = with_redundancy_env(Some("off"), || render_fig3(&run_gc_overhead(Scale::Quick)));
+    assert_eq!(
+        unset, off,
+        "Figure 3 output must be bit-identical with NOFTL_REDUNDANCY unset vs off"
+    );
+}
+
+#[test]
+fn fig4_output_identical_with_redundancy_unset_vs_off() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let dies = [1u32, 2, 4, 8];
+    let unset = with_redundancy_env(None, || {
+        render_fig4(&run_dbwriter_scaling(Benchmark::TpcB, Scale::Quick, &dies))
+    });
+    let off = with_redundancy_env(Some("off"), || {
+        render_fig4(&run_dbwriter_scaling(Benchmark::TpcB, Scale::Quick, &dies))
+    });
+    assert_eq!(
+        unset, off,
+        "Figure 4 output must be bit-identical with NOFTL_REDUNDANCY unset vs off"
+    );
+}
+
+#[test]
+fn emulator_command_traces_identical_with_redundancy_unset_vs_off() {
+    // Stronger than figure identity: the device-level command stream — every
+    // opcode, address, issue and completion stamp — must match cycle for
+    // cycle across two flush cycles with the redundancy knob explicitly off.
+    let _guard = ENV_LOCK.lock().unwrap();
+    let (trace_unset, contents_unset, end_unset) =
+        with_redundancy_env(None, || traced_flush_cycles(64, 1));
+    let (trace_off, contents_off, end_off) =
+        with_redundancy_env(Some("off"), || traced_flush_cycles(64, 1));
+    assert!(!trace_unset.is_empty());
+    assert_eq!(trace_unset, trace_off);
+    assert_eq!(contents_unset, contents_off);
+    assert_eq!(end_unset, end_off);
+}
+
 #[test]
 fn fig3_output_identical_with_slo_unset_vs_off() {
     // The SLO plumbing (admission control, throttled waves, proactive GC)

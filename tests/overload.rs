@@ -111,10 +111,18 @@ fn deadline_shorter_than_one_wal_group_sheds_with_typed_error() {
     let (mut engine, end) = engine_with_one_force(admission);
     let committed_before = engine.committed();
     match engine.begin_admitted(1) {
-        Err(EngineError::Overloaded { waited_ns }) => {
+        Err(EngineError::Overloaded {
+            waited_ns,
+            retry_after_ns,
+        }) => {
             assert!(
                 waited_ns >= end - 1,
                 "the error reports the pressure ahead: {waited_ns}"
+            );
+            assert_eq!(
+                retry_after_ns,
+                waited_ns - 1,
+                "the back-off hint is the pressure ahead minus the deadline budget"
             );
         }
         other => panic!("expected Overloaded, got {other:?}"),
