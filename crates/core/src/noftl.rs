@@ -131,6 +131,13 @@ pub struct NoFtl {
     rebuild_reads_per_die: Vec<u64>,
     /// `rebuild_reads_per_die` snapshot of the last heat update.
     rebuild_read_marker: Vec<u64>,
+    /// Completion instant of re-protection work done while unwinding the
+    /// committed prefix of a failed batched relocation.  The error path
+    /// cannot carry a timestamp, so the work is stashed here and folded
+    /// into the retirement that always follows the failure
+    /// ([`NoFtl::retire_failed_block`] takes it).  Stays 0 with redundancy
+    /// off, keeping the off leg cycle-identical.
+    unwind_horizon: SimInstant,
 }
 
 /// Additional read attempts the retry ladder issues after an uncorrectable
@@ -221,6 +228,7 @@ impl NoFtl {
             rebuild_stats: RebuildStats::default(),
             rebuild_reads_per_die: Vec::new(),
             rebuild_read_marker: Vec::new(),
+            unwind_horizon: 0,
             scrub_threshold: config.scrub_read_disturb_threshold.max(1),
             device,
             map: HostMappingTable::with_physical_pages(logical_pages, geometry.total_pages()),
@@ -1101,9 +1109,15 @@ impl NoFtl {
     fn mirror_write(&mut self, now: SimInstant, primary: Ppa, data: &[u8]) -> FlashResult<SimInstant> {
         let g = *self.device.geometry();
         let total = g.total_dies() as usize;
+        if total < 2 {
+            // A single-die geometry has no disjoint die to place the copy
+            // on; a same-die "mirror" would survive no die failure.
+            self.redundancy_stats.mirror_skipped_no_space += 1;
+            return Ok(now);
+        }
         let src_die = primary.die_addr().flat(&g) as usize;
         let mut t = now;
-        for off in 1..total.max(2) {
+        for off in 1..total {
             let d = (src_die + off) % total;
             while let Some(mp) = self.regions.allocate_page_on_die(d, self.gc_low) {
                 match self.device.program_page(t, mp, data, Oob::meta(0)) {
@@ -1127,6 +1141,7 @@ impl NoFtl {
                 }
             }
         }
+        self.redundancy_stats.mirror_skipped_no_space += 1;
         Ok(t)
     }
 
@@ -1181,6 +1196,7 @@ impl NoFtl {
         let total = g.total_dies() as usize;
         let mut t = now;
         let mut parity: Option<Ppa> = None;
+        let mut degraded = false;
         'search: for pass in 0..2 {
             for d in 0..total {
                 if pass == 0 && member_dies.contains(&(d as u64)) {
@@ -1194,6 +1210,10 @@ impl NoFtl {
                         Ok(c) => {
                             t = t.max(c.completed_at);
                             parity = Some(pp);
+                            // A pass-1 placement shares a die with a member:
+                            // the stripe survives block loss but no longer
+                            // every single-die failure.
+                            degraded = pass == 1;
                             break 'search;
                         }
                         Err(FlashError::ProgramFailed(failed)) => {
@@ -1212,6 +1232,7 @@ impl NoFtl {
             // No die anywhere has spare pages: the members stay unprotected
             // rather than failing the foreground write that triggered the
             // seal.
+            self.redundancy_stats.stripes_abandoned += 1;
             return Ok(t);
         };
         let pflat = pp.flat(&g);
@@ -1232,6 +1253,9 @@ impl NoFtl {
         });
         self.redundancy_stats.parity_pages_written += 1;
         self.redundancy_stats.stripes_sealed += 1;
+        if degraded {
+            self.redundancy_stats.stripes_sealed_degraded += 1;
+        }
         Ok(t)
     }
 
@@ -1283,6 +1307,16 @@ impl NoFtl {
         }
         if let RedundancyPolicy::Parity(k) = self.policy_of_lpn(lpn) {
             if let Some(data) = data {
+                // If the source still sat in the open stripe, back its
+                // content (identical to the relocated `data`) out of the
+                // in-memory XOR and drop the stale member — otherwise the
+                // stripe could later seal over a flat whose block was
+                // erased and re-programmed in the meantime.
+                if let Some(pos) = self.open_stripe.iter().position(|&m| m == src_flat) {
+                    self.open_stripe.remove(pos);
+                    xor_into(&mut self.open_stripe_xor, data);
+                    self.redundancy_stats.open_members_purged += 1;
+                }
                 t = self.stripe_join(t, dst_flat, data, k)?;
             }
         }
@@ -1301,7 +1335,11 @@ impl NoFtl {
         block: BlockAddr,
     ) -> FlashResult<SimInstant> {
         let g = *self.device.geometry();
-        let mut t = now;
+        // The still-open stripe is tracked only in memory (`stripe_of` is
+        // assigned at seal time), so it must be purged separately: any
+        // pending member inside this block loses its flash content to the
+        // erase, and a later seal would otherwise cover re-programmed data.
+        let mut t = self.purge_open_stripe_in_block(now, block)?;
         for off in 0..g.pages_per_block {
             let flat = block.page(off).flat(&g);
             let other = self
@@ -1321,6 +1359,51 @@ impl NoFtl {
                 .unwrap_or(NO_STRIPE);
             if sid != NO_STRIPE {
                 t = self.break_stripe(t, sid, Some(block))?;
+            }
+        }
+        Ok(t)
+    }
+
+    /// Back every still-open stripe member inside `block` out of the
+    /// in-memory XOR before the block's erase destroys its flash content:
+    /// re-read the stored content (invalidated pages stay readable until the
+    /// erase lands) and re-XOR it, then drop the member.  Members end up
+    /// here stale — superseded by an overwrite/dead-page hint, or left
+    /// behind by a relocation whose re-join went to the new address.  When a
+    /// member's content is unreadable (e.g. its die died) the XOR cannot be
+    /// repaired, so the whole open stripe is abandoned rather than sealed
+    /// over garbage.
+    fn purge_open_stripe_in_block(
+        &mut self,
+        now: SimInstant,
+        block: BlockAddr,
+    ) -> FlashResult<SimInstant> {
+        if self.open_stripe.is_empty() {
+            return Ok(now);
+        }
+        let g = *self.device.geometry();
+        let dying: Vec<u64> = self
+            .open_stripe
+            .iter()
+            .copied()
+            .filter(|&m| Ppa::from_flat(&g, m).block_addr() == block)
+            .collect();
+        let mut t = now;
+        let mut buf = vec![0u8; self.page_size];
+        for m in dying {
+            match self.reconstruction_read(t, Ppa::from_flat(&g, m), &mut buf) {
+                Ok((_, c)) => {
+                    t = t.max(c.completed_at);
+                    xor_into(&mut self.open_stripe_xor, &buf);
+                    self.open_stripe.retain(|&x| x != m);
+                    self.redundancy_stats.open_members_purged += 1;
+                }
+                Err(_) => {
+                    self.open_stripe.clear();
+                    self.open_stripe_xor.clear();
+                    self.redundancy_stats.stripes_abandoned += 1;
+                    return Ok(t);
+                }
             }
         }
         Ok(t)
@@ -1916,19 +1999,26 @@ impl NoFtl {
                     .drain(..pos)
                     .map(|(src, dst, lpn, data, _)| (src, dst, lpn, data))
                     .collect();
+                let mut t = now;
                 for (src, dst, lpn, data) in committed {
                     self.map.update(lpn, dst.flat(&g));
                     self.device.invalidate_page(src)?;
                     self.stats.gc_page_copies += 1;
                     if self.redundancy_active {
-                        self.relink_redundancy(
-                            now,
+                        t = self.relink_redundancy(
+                            t,
                             src.flat(&g),
                             dst.flat(&g),
                             lpn,
                             Some(&data),
                         )?;
                     }
+                }
+                if self.redundancy_active {
+                    // The re-protection work above must still land on the GC
+                    // timeline even though this path propagates an error:
+                    // the retirement that follows picks the horizon up.
+                    self.unwind_horizon = self.unwind_horizon.max(t);
                 }
                 return Err(FlashError::ProgramFailed(failed));
             }
@@ -2019,7 +2109,10 @@ impl NoFtl {
         // Out of the allocation pools first, so relocation destinations can
         // never land in the block being retired.
         self.regions.retire_block(block);
-        let mut t = now;
+        // Fold in re-protection work a failed batched relocation did while
+        // unwinding its committed prefix — the error that routed control
+        // here could not carry its completion instant.
+        let mut t = now.max(std::mem::take(&mut self.unwind_horizon));
         loop {
             let mut survivors: Vec<(Ppa, u64)> = Vec::new();
             for page_idx in 0..g.pages_per_block {
@@ -3765,9 +3858,13 @@ mod tests {
         let rs = n.redundancy_stats();
         assert_eq!(rs.parity_pages_written, 0);
         assert_eq!(rs.stripes_sealed, 0);
+        assert_eq!(rs.stripes_sealed_degraded, 0);
+        assert_eq!(rs.stripes_abandoned, 0);
+        assert_eq!(rs.open_members_purged, 0);
         assert_eq!(rs.stripes_broken, 0);
         assert_eq!(rs.members_reprotected, 0);
         assert_eq!(rs.mirror_pages_written, 0);
+        assert_eq!(rs.mirror_skipped_no_space, 0);
         assert_eq!(rs.degraded_reads, 0);
         assert_eq!(rs.reconstructed_pages, 0);
         let rb = n.rebuild_stats();
@@ -3802,5 +3899,111 @@ mod tests {
         assert_eq!(n.rebuild_stats().pages_lost, 0);
         n.read(now, 0, &mut buf).unwrap();
         assert_eq!(buf, page(&n, 1));
+    }
+
+    #[test]
+    fn erase_purges_stale_open_stripe_members() {
+        let mut n = small_noftl();
+        n.set_redundancy_all(RedundancyPolicy::Parity(3));
+        let g = *n.device.geometry();
+        let mut now = 0;
+        let d1 = page(&n, 0x22);
+        now = n.write(now, 0, &page(&n, 0x11)).unwrap().completed_at;
+        now = n.write(now, 1, &d1).unwrap().completed_at;
+        let f0 = n.map.get(0).unwrap();
+        let f1 = n.map.get(1).unwrap();
+        assert_eq!(n.open_stripe, vec![f0, f1], "k = 3: stripe still open");
+        // lpn 0's page goes stale without a re-join: dead-page hint.
+        n.mark_dead(0).unwrap();
+        assert!(n.open_stripe.contains(&f0), "hinted member stays pending");
+        // Its block is reclaimed: the pre-erase hook must back the stale
+        // member out of the open stripe — a later seal would otherwise
+        // cover flash the erase is about to destroy.
+        let block = Ppa::from_flat(&g, f0).block_addr();
+        now = n.break_redundancy_in_block(now, block).unwrap();
+        assert_eq!(n.open_stripe, vec![f1]);
+        assert_eq!(n.redundancy_stats().open_members_purged, 1);
+        assert_eq!(n.redundancy_stats().stripes_abandoned, 0);
+        // The repaired stripe seals and reconstructs bit-identical: fill it,
+        // kill the surviving member's die, and read the member degraded.
+        now = n.write(now, 2, &page(&n, 0x33)).unwrap().completed_at;
+        now = n.write(now, 3, &page(&n, 0x44)).unwrap().completed_at;
+        assert_eq!(n.redundancy_stats().stripes_sealed, 1);
+        let dead_die = die_of_lpn(&n, 1);
+        let live_lpn = (2..4u64).find(|&l| die_of_lpn(&n, l) != dead_die).unwrap();
+        n.set_fault_plan(Some(kill_plan(dead_die)));
+        let mut buf = page(&n, 0);
+        n.read(now, live_lpn, &mut buf).unwrap();
+        n.read(now, 1, &mut buf).unwrap();
+        assert_eq!(buf, d1, "reconstruction must not see the purged member");
+        assert!(n.redundancy_stats().degraded_reads >= 1);
+    }
+
+    #[test]
+    fn relocation_rejoin_drops_the_stale_open_member() {
+        let mut n = small_noftl();
+        n.set_redundancy_all(RedundancyPolicy::Parity(3));
+        let g = *n.device.geometry();
+        let d0 = page(&n, 0x5A);
+        let now = n.write(0, 0, &d0).unwrap().completed_at;
+        let f0 = n.map.get(0).unwrap();
+        assert_eq!(n.open_stripe, vec![f0]);
+        // Relocate lpn 0 to another die, as GC would: the re-join must
+        // replace the stale member instead of accumulating beside it.
+        let src_die = Ppa::from_flat(&g, f0).die_addr().flat(&g) as usize;
+        let dst = n
+            .regions
+            .allocate_page_on_die((src_die + 1) % g.total_dies() as usize, n.gc_low)
+            .unwrap();
+        n.relink_redundancy(now, f0, dst.flat(&g), 0, Some(&d0)).unwrap();
+        assert_eq!(n.open_stripe, vec![dst.flat(&g)]);
+        assert_eq!(n.redundancy_stats().open_members_purged, 1);
+        assert_eq!(n.open_stripe_xor, d0, "XOR repaired to cover only the new member");
+    }
+
+    #[test]
+    fn parity_exhausting_disjoint_dies_counts_degraded_seal() {
+        // Two dies, Parity(2): both stripe members occupy all dies, so the
+        // parity fallback must land on a member die — and say so.
+        let mut g = FlashGeometry::small();
+        g.channels = 1;
+        g.dies_per_channel = 2;
+        let mut n = NoFtl::with_geometry(g);
+        n.set_redundancy_all(RedundancyPolicy::Parity(2));
+        let r0 = n.regions.region_of_lpn(0);
+        let l1 = (1..16u64)
+            .find(|&l| n.regions.region_of_lpn(l) != r0)
+            .expect("a second region exists");
+        let mut now = 0;
+        now = n.write(now, 0, &page(&n, 1)).unwrap().completed_at;
+        now = n.write(now, l1, &page(&n, 2)).unwrap().completed_at;
+        assert_ne!(die_of_lpn(&n, 0), die_of_lpn(&n, l1));
+        let rs = n.redundancy_stats();
+        assert_eq!(rs.stripes_sealed, 1);
+        assert_eq!(
+            rs.stripes_sealed_degraded, 1,
+            "a member-die parity placement must be observable"
+        );
+        // The stripe still recovers block-level loss: contents read back.
+        let mut buf = page(&n, 0);
+        n.read(now, 0, &mut buf).unwrap();
+        assert_eq!(buf, page(&n, 1));
+    }
+
+    #[test]
+    fn single_die_mirror_skips_instead_of_same_die_copy() {
+        let mut n = tiny_noftl();
+        n.set_redundancy_all(RedundancyPolicy::Mirror);
+        let data = page(&n, 0x7E);
+        let now = n.write(0, 0, &data).unwrap().completed_at;
+        let rs = n.redundancy_stats();
+        assert_eq!(
+            rs.mirror_pages_written, 0,
+            "a same-die copy survives no die failure and must not be written"
+        );
+        assert_eq!(rs.mirror_skipped_no_space, 1);
+        let mut buf = page(&n, 0);
+        n.read(now, 0, &mut buf).unwrap();
+        assert_eq!(buf, data);
     }
 }

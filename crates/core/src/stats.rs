@@ -86,6 +86,18 @@ pub struct RedundancyStats {
     pub parity_pages_written: u64,
     /// Stripes sealed (a parity page written covering ≥ 1 data member).
     pub stripes_sealed: u64,
+    /// Stripes sealed with the parity page on a die that already holds a
+    /// member (no disjoint die had space) — that stripe no longer survives
+    /// every single-die failure, only block-level loss.
+    pub stripes_sealed_degraded: u64,
+    /// Open stripes discarded unsealed: no die anywhere had space for the
+    /// parity page, or a dying member's content was unreadable and the
+    /// in-memory XOR could not be repaired.  The pending members stay
+    /// unprotected.
+    pub stripes_abandoned: u64,
+    /// Members of the still-open stripe backed out of the in-memory XOR
+    /// because their block was erased or retired before the stripe sealed.
+    pub open_members_purged: u64,
     /// Stripes broken because a member or parity page's block was erased or
     /// retired; surviving mapped members are re-protected.
     pub stripes_broken: u64,
@@ -94,6 +106,9 @@ pub struct RedundancyStats {
     pub members_reprotected: u64,
     /// Mirror copies programmed for writes into `Mirror` regions.
     pub mirror_pages_written: u64,
+    /// `Mirror`-region writes left with a single copy: no die other than
+    /// the primary's had allocatable space, or the geometry has one die.
+    pub mirror_skipped_no_space: u64,
     /// Host reads served degraded — the mapped page's die was dead and the
     /// content came from its mirror or stripe peers.
     pub degraded_reads: u64,
@@ -154,18 +169,26 @@ mod tests {
         let mut s = RedundancyStats {
             parity_pages_written: 4,
             stripes_sealed: 2,
+            stripes_sealed_degraded: 1,
+            stripes_abandoned: 2,
+            open_members_purged: 3,
             stripes_broken: 1,
             members_reprotected: 3,
             mirror_pages_written: 9,
+            mirror_skipped_no_space: 2,
             degraded_reads: 5,
             reconstructed_pages: 6,
         };
         s.clear();
         assert_eq!(s.parity_pages_written, 0);
         assert_eq!(s.stripes_sealed, 0);
+        assert_eq!(s.stripes_sealed_degraded, 0);
+        assert_eq!(s.stripes_abandoned, 0);
+        assert_eq!(s.open_members_purged, 0);
         assert_eq!(s.stripes_broken, 0);
         assert_eq!(s.members_reprotected, 0);
         assert_eq!(s.mirror_pages_written, 0);
+        assert_eq!(s.mirror_skipped_no_space, 0);
         assert_eq!(s.degraded_reads, 0);
         assert_eq!(s.reconstructed_pages, 0);
     }

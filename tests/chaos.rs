@@ -521,9 +521,21 @@ fn assert_redundancy_truthful(engine: &StorageEngine, policy: RedundancyPolicy) 
                 rs.parity_pages_written >= rs.stripes_sealed,
                 "every sealed stripe has a parity page"
             );
+            assert!(
+                rs.stripes_sealed_degraded <= rs.stripes_sealed,
+                "degraded seals are a subset of all seals"
+            );
+            assert_eq!(
+                rs.stripes_abandoned, 0,
+                "a storm with free space must never abandon a stripe unsealed"
+            );
         }
         RedundancyPolicy::Mirror => {
             assert!(rs.mirror_pages_written > 0, "a mirror storm must write copies");
+            assert_eq!(
+                rs.mirror_skipped_no_space, 0,
+                "a storm with free space must never skip a mirror copy"
+            );
         }
         RedundancyPolicy::None => {}
     }
